@@ -1,0 +1,62 @@
+//! Criterion benches for the planning layers: CQ generation (Theorem 3.1,
+//! Section 5) and share optimization (Section 4).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_cq::{cqs_for_sample, cycle_cqs, merge_by_orientation};
+use subgraph_pattern::catalog;
+use subgraph_shares::dominance::single_cq_expression_with_dominance;
+use subgraph_shares::{optimize_shares, CostExpression};
+
+fn bench_cq_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cq/generation");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for (name, pattern) in [
+        ("square", catalog::square()),
+        ("lollipop", catalog::lollipop()),
+        ("c6", catalog::cycle(6)),
+        ("k4", catalog::k4()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("theorem_3_1", name), &pattern, |b, p| {
+            b.iter(|| cqs_for_sample(p).len())
+        });
+        group.bench_with_input(BenchmarkId::new("orientation_merge", name), &pattern, |b, p| {
+            b.iter(|| merge_by_orientation(&cqs_for_sample(p)).len())
+        });
+    }
+    for p in [5usize, 7, 9] {
+        group.bench_with_input(BenchmarkId::new("cycle_run_sequences", p), &p, |b, &p| {
+            b.iter(|| cycle_cqs(p).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_share_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shares/solver");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let lollipop_cq = cqs_for_sample(&catalog::lollipop())
+        .into_iter()
+        .find(|q| q.subgoals() == [(0, 1), (1, 2), (1, 3), (2, 3)])
+        .unwrap();
+    let lollipop_expr = single_cq_expression_with_dominance(&lollipop_cq);
+    group.bench_function("lollipop_example_4_1", |b| {
+        b.iter(|| optimize_shares(&lollipop_expr, 750.0).cost_per_edge)
+    });
+    let square_expr = CostExpression::from_cq_collection(&cqs_for_sample(&catalog::square()));
+    group.bench_function("square_example_4_2", |b| {
+        b.iter(|| optimize_shares(&square_expr, 512.0).cost_per_edge)
+    });
+    let hexagon_expr = CostExpression::from_cq_collection(&cqs_for_sample(&catalog::cycle(6)));
+    group.bench_function("hexagon_example_4_3", |b| {
+        b.iter(|| optimize_shares(&hexagon_expr, 500_000.0).cost_per_edge)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cq_generation, bench_share_solver);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the three map-reduce processing strategies of
+//! Section 4 on arbitrary sample graphs.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_core::enumerate::{
+    bucket_oriented_enumerate, cq_oriented_enumerate, variable_oriented_enumerate,
+};
+use subgraph_graph::generators;
+use subgraph_mapreduce::EngineConfig;
+use subgraph_pattern::catalog;
+
+fn bench_enumeration_strategies(c: &mut Criterion) {
+    let graph = generators::gnm(200, 1_400, 5);
+    let config = EngineConfig::default();
+
+    for (name, pattern) in [("square", catalog::square()), ("lollipop", catalog::lollipop())] {
+        let mut group = c.benchmark_group(format!("enumerate/{name}"));
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+        group.sample_size(10);
+        group.bench_function("variable_oriented_k64", |b| {
+            b.iter(|| variable_oriented_enumerate(&pattern, &graph, 64, &config).count())
+        });
+        group.bench_function("cq_oriented_k64", |b| {
+            b.iter(|| cq_oriented_enumerate(&pattern, &graph, 64, &config).count())
+        });
+        for buckets in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("bucket_oriented", buckets),
+                &buckets,
+                |b, &buckets| {
+                    b.iter(|| bucket_oriented_enumerate(&pattern, &graph, buckets, &config).count())
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_enumeration_strategies);
+criterion_main!(benches);

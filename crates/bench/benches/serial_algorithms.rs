@@ -1,0 +1,66 @@
+//! Criterion benches for the serial algorithms of Sections 6–7: the generic
+//! matcher (baseline), the decomposition join (Theorem 7.2), OddCycle
+//! (Algorithm 1) and the bounded-degree algorithm (Theorem 7.3).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use subgraph_core::serial::{
+    enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic, enumerate_odd_cycles,
+};
+use subgraph_graph::generators;
+use subgraph_pattern::catalog;
+
+fn bench_serial_algorithms(c: &mut Criterion) {
+    let random = generators::gnm(60, 350, 2);
+    let capped = generators::bounded_degree(400, 1_200, 10, 3);
+    let tree = generators::regular_tree(6, 3);
+
+    let mut group = c.benchmark_group("serial/square");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.sample_size(10);
+    group.bench_function("generic", |b| {
+        b.iter(|| enumerate_generic(&catalog::square(), &random).count())
+    });
+    group.bench_function("decomposition", |b| {
+        b.iter(|| enumerate_by_decomposition(&catalog::square(), &random).count())
+    });
+    group.bench_function("bounded_degree_on_capped", |b| {
+        b.iter(|| enumerate_bounded_degree(&catalog::square(), &capped).count())
+    });
+    group.finish();
+
+    let mut cycles = c.benchmark_group("serial/pentagon");
+    cycles.warm_up_time(Duration::from_secs(1));
+    cycles.measurement_time(Duration::from_secs(2));
+    cycles.sample_size(10);
+    cycles.sample_size(10);
+    let small = generators::gnm(25, 90, 4);
+    cycles.bench_function("odd_cycle_algorithm", |b| {
+        b.iter(|| enumerate_odd_cycles(&small, 2).count())
+    });
+    cycles.bench_function("generic", |b| {
+        b.iter(|| enumerate_generic(&catalog::cycle(5), &small).count())
+    });
+    cycles.bench_function("decomposition", |b| {
+        b.iter(|| enumerate_by_decomposition(&catalog::cycle(5), &small).count())
+    });
+    cycles.finish();
+
+    let mut stars = c.benchmark_group("serial/stars_on_tree");
+    stars.warm_up_time(Duration::from_secs(1));
+    stars.measurement_time(Duration::from_secs(2));
+    stars.sample_size(10);
+    stars.sample_size(10);
+    stars.bench_function("bounded_degree", |b| {
+        b.iter(|| enumerate_bounded_degree(&catalog::star(4), &tree).count())
+    });
+    stars.bench_function("generic", |b| {
+        b.iter(|| enumerate_generic(&catalog::star(4), &tree).count())
+    });
+    stars.finish();
+}
+
+criterion_group!(benches, bench_serial_algorithms);
+criterion_main!(benches);

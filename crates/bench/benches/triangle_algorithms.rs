@@ -1,0 +1,51 @@
+//! Criterion benches for the three single-round triangle algorithms of
+//! Section 2 (the timing counterpart of Figures 1 and 2) plus the serial
+//! baseline.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_core::serial::enumerate_triangles_serial;
+use subgraph_core::triangles::{bucket_ordered_triangles, multiway_triangles, partition_triangles};
+use subgraph_graph::generators;
+use subgraph_mapreduce::EngineConfig;
+
+fn bench_triangle_algorithms(c: &mut Criterion) {
+    let graph = generators::gnm(1_000, 10_000, 1);
+    let config = EngineConfig::default();
+
+    let mut group = c.benchmark_group("triangles/figure2");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.sample_size(10);
+    group.bench_function("serial_m32", |bencher| {
+        bencher.iter(|| enumerate_triangles_serial(&graph).count())
+    });
+    group.bench_function("partition_b12", |bencher| {
+        bencher.iter(|| partition_triangles(&graph, 12, &config).count())
+    });
+    group.bench_function("multiway_b6", |bencher| {
+        bencher.iter(|| multiway_triangles(&graph, 6, &config).count())
+    });
+    group.bench_function("bucket_ordered_b10", |bencher| {
+        bencher.iter(|| bucket_ordered_triangles(&graph, 10, &config).count())
+    });
+    group.finish();
+
+    // Sweep of b for the bucket-ordered algorithm: communication grows with b
+    // while total reducer work stays flat (convertibility, Theorem 6.1).
+    let mut sweep = c.benchmark_group("triangles/bucket_ordered_sweep");
+    sweep.warm_up_time(Duration::from_secs(1));
+    sweep.measurement_time(Duration::from_secs(2));
+    sweep.sample_size(10);
+    sweep.sample_size(10);
+    for b in [2usize, 4, 8, 16] {
+        sweep.bench_with_input(BenchmarkId::from_parameter(b), &b, |bencher, &b| {
+            bencher.iter(|| bucket_ordered_triangles(&graph, b, &config).count())
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_triangle_algorithms);
+criterion_main!(benches);

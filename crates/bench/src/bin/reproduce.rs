@@ -1,0 +1,70 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p subgraph-bench --bin reproduce -- all
+//! cargo run --release -p subgraph-bench --bin reproduce -- fig2 shares-hexagon
+//! ```
+//!
+//! Run with no arguments to list the available reproductions.
+
+use subgraph_bench::{computation, cq_tables, figures, share_tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "help") {
+        print_usage();
+        return;
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => print!("{}", subgraph_bench::run_all()),
+            "fig1" => print!("{}", figures::figure1()),
+            "fig2" => print!("{}", figures::figure2()),
+            "cascade" => print!("{}", figures::cascade_comparison()),
+            "square-cqs" => print!("{}", cq_tables::square_cqs()),
+            "lollipop-cqs" => print!("{}", cq_tables::lollipop_cqs()),
+            "cycle-cqs" => print!("{}", cq_tables::cycle_cq_table()),
+            "shares-lollipop" => print!("{}", share_tables::lollipop_shares()),
+            "shares-square" => print!("{}", share_tables::square_shares()),
+            "shares-hexagon" => print!("{}", share_tables::hexagon_shares()),
+            "useful-reducers" => print!("{}", share_tables::useful_reducer_table()),
+            "partition-ratio" => print!("{}", share_tables::partition_ratio_table()),
+            "combined-vs-separate" => print!("{}", share_tables::combined_vs_separate()),
+            "convertibility" => print!("{}", computation::convertibility_table()),
+            "odd-cycle" => print!("{}", computation::odd_cycle_table()),
+            "decompose" => print!("{}", computation::decomposition_table()),
+            "bounded-degree" => print!("{}", computation::bounded_degree_table()),
+            "relation-sizes" => print!("{}", computation::relation_size_table()),
+            other => {
+                eprintln!("unknown reproduction {other:?}\n");
+                print_usage();
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: reproduce <target> [<target> ...]\n\
+         targets:\n  \
+         all                   every table and figure\n  \
+         fig1                  Figure 1  (asymptotic triangle comparison)\n  \
+         fig2                  Figure 2  (specific reducer counts)\n  \
+         cascade               Section 2 motivation (1-round vs 2-round cascade)\n  \
+         square-cqs            Example 3.2 / Figure 3\n  \
+         lollipop-cqs          Figures 5-7\n  \
+         cycle-cqs             Section 5 / Examples 5.3-5.5\n  \
+         shares-lollipop       Example 4.1\n  \
+         shares-square         Example 4.2\n  \
+         shares-hexagon        Example 4.3 / Theorem 4.3\n  \
+         useful-reducers       Theorem 4.2\n  \
+         partition-ratio       Section 4.5\n  \
+         combined-vs-separate  Theorem 4.4 (measured)\n  \
+         convertibility        Theorem 6.1 / Example 6.1 (measured)\n  \
+         odd-cycle             Algorithm 1 / Theorem 7.1\n  \
+         decompose             Theorem 7.2\n  \
+         bounded-degree        Theorem 7.3\n  \
+         relation-sizes        Section 7.4"
+    );
+}

@@ -1,0 +1,125 @@
+//! Convertible algorithms (Section 6, Theorem 6.1).
+//!
+//! A serial algorithm with running time `O(n^α m^β)` is *convertible* (its
+//! map-reduce version does the same total work, up to constants) whenever
+//! `α + 2β ≥ p`, because hashing nodes into `b` buckets gives each of the
+//! `O(b^p)` reducers a subgraph with `O(n/b)` nodes and `O(m/b²)` edges, so the
+//! total reducer work is `O(b^{p−α−2β} · n^α m^β)`.
+
+use subgraph_pattern::decompose::decompose;
+use subgraph_pattern::SampleGraph;
+
+/// The convertibility analysis for one sample graph / serial algorithm pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvertibilityReport {
+    /// Number of pattern nodes `p`.
+    pub pattern_nodes: usize,
+    /// Exponent of `n` in the serial running time.
+    pub alpha: f64,
+    /// Exponent of `m` in the serial running time.
+    pub beta: f64,
+    /// `p − α − 2β`: non-positive means convertible.
+    pub exponent_gap: f64,
+}
+
+impl ConvertibilityReport {
+    /// True when the algorithm is convertible (Theorem 6.1).
+    pub fn convertible(&self) -> bool {
+        self.exponent_gap <= 1e-12
+    }
+}
+
+/// Theorem 6.1's criterion for explicit exponents.
+pub fn is_convertible(pattern_nodes: usize, alpha: f64, beta: f64) -> ConvertibilityReport {
+    ConvertibilityReport {
+        pattern_nodes,
+        alpha,
+        beta,
+        exponent_gap: pattern_nodes as f64 - alpha - 2.0 * beta,
+    }
+}
+
+/// The convertibility report for the decomposition-based algorithm of
+/// Theorem 7.2 applied to `sample` — always convertible, with `α = q` (the
+/// isolated nodes of the best decomposition) and `β = (p − q)/2`.
+pub fn decomposition_report(sample: &SampleGraph) -> ConvertibilityReport {
+    let d = decompose(sample);
+    is_convertible(sample.num_nodes(), d.alpha as f64, d.beta())
+}
+
+/// Predicted total reducer work for a convertible algorithm: `b^{p−α−2β} · n^α m^β`
+/// (Theorem 6.1's accounting). For a convertible algorithm the exponent of `b`
+/// is non-positive, so more reducers never increase the total work.
+pub fn predicted_parallel_work(
+    buckets: usize,
+    pattern_nodes: usize,
+    alpha: f64,
+    beta: f64,
+    n: usize,
+    m: usize,
+) -> f64 {
+    (buckets as f64).powf(pattern_nodes as f64 - alpha - 2.0 * beta)
+        * (n as f64).powf(alpha)
+        * (m as f64).powf(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgraph_pattern::catalog;
+
+    #[test]
+    fn triangle_serial_algorithm_is_convertible() {
+        // Example 6.1: p = 3, α = 0, β = 3/2.
+        let report = is_convertible(3, 0.0, 1.5);
+        assert!(report.convertible());
+        assert_eq!(report.exponent_gap, 0.0);
+    }
+
+    #[test]
+    fn insufficient_exponents_are_not_convertible() {
+        // A hypothetical O(m) algorithm for a 4-node pattern would not be
+        // convertible (4 − 0 − 2 > 0).
+        let report = is_convertible(4, 0.0, 1.0);
+        assert!(!report.convertible());
+        assert!(report.exponent_gap > 0.0);
+    }
+
+    #[test]
+    fn decomposition_reports_are_always_convertible() {
+        for sample in [
+            catalog::triangle(),
+            catalog::square(),
+            catalog::lollipop(),
+            catalog::cycle(5),
+            catalog::cycle(6),
+            catalog::star(5),
+            catalog::k4(),
+        ] {
+            let report = decomposition_report(&sample);
+            assert!(report.convertible(), "{sample:?} not convertible");
+            // Theorem 7.2 decompositions meet the bound with equality.
+            assert!(report.exponent_gap.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predicted_work_is_monotone_in_buckets_only_when_not_convertible() {
+        // Convertible: exponent of b is ≤ 0 ⇒ work does not grow with b.
+        let w1 = predicted_parallel_work(2, 3, 0.0, 1.5, 1000, 10_000);
+        let w2 = predicted_parallel_work(16, 3, 0.0, 1.5, 1000, 10_000);
+        assert!(w2 <= w1 + 1e-6);
+        // Not convertible: work grows with b.
+        let bad1 = predicted_parallel_work(2, 4, 0.0, 1.0, 1000, 10_000);
+        let bad2 = predicted_parallel_work(16, 4, 0.0, 1.0, 1000, 10_000);
+        assert!(bad2 > bad1);
+    }
+
+    #[test]
+    fn star_report_uses_isolated_nodes() {
+        let report = decomposition_report(&catalog::star(4));
+        assert_eq!(report.alpha, 2.0);
+        assert_eq!(report.beta, 1.0);
+        assert!(report.convertible());
+    }
+}

@@ -1,0 +1,91 @@
+//! Result types shared by the serial and map-reduce enumeration algorithms.
+
+use subgraph_mapreduce::JobMetrics;
+use subgraph_pattern::Instance;
+
+/// Output of a serial enumeration algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct SerialRun {
+    /// Every instance found (exactly once each if the algorithm is correct).
+    pub instances: Vec<Instance>,
+    /// The algorithm's self-reported work in its natural unit (candidate
+    /// tuples examined); this is the quantity the `O(n^α m^β)` bounds of
+    /// Sections 6–7 describe.
+    pub work: u64,
+}
+
+impl SerialRun {
+    /// Number of instances found.
+    pub fn count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of *distinct* instances (equals `count()` when the exactly-once
+    /// invariant holds).
+    pub fn distinct(&self) -> usize {
+        let mut sorted = self.instances.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Duplicate discoveries (0 when the exactly-once invariant holds).
+    pub fn duplicates(&self) -> usize {
+        self.count() - self.distinct()
+    }
+}
+
+/// Output of a single-round map-reduce enumeration algorithm.
+#[derive(Clone, Debug)]
+pub struct MapReduceRun {
+    /// Every instance emitted by the reducers.
+    pub instances: Vec<Instance>,
+    /// Cost metrics of the round (communication cost, reducers used, reducer
+    /// work, skew, timings).
+    pub metrics: JobMetrics,
+}
+
+impl MapReduceRun {
+    /// Number of instances found.
+    pub fn count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of distinct instances.
+    pub fn distinct(&self) -> usize {
+        let mut sorted = self.instances.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Duplicate discoveries (0 when the exactly-once invariant holds).
+    pub fn duplicates(&self) -> usize {
+        self.count() - self.distinct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_accounting() {
+        let a = Instance::from_edge_set([(0, 1), (1, 2), (0, 2)]);
+        let b = Instance::from_edge_set([(3, 4), (4, 5), (3, 5)]);
+        let run = SerialRun {
+            instances: vec![a.clone(), b.clone(), a.clone()],
+            work: 3,
+        };
+        assert_eq!(run.count(), 3);
+        assert_eq!(run.distinct(), 2);
+        assert_eq!(run.duplicates(), 1);
+    }
+
+    #[test]
+    fn empty_runs() {
+        let run = SerialRun::default();
+        assert_eq!(run.count(), 0);
+        assert_eq!(run.duplicates(), 0);
+    }
+}

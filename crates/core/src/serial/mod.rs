@@ -1,0 +1,19 @@
+//! Serial enumeration algorithms (Sections 6–7).
+//!
+//! These are the algorithms the reducers run — and, run over the whole data
+//! graph, the serial baselines whose running time the convertibility argument
+//! (Theorem 6.1) compares against.
+
+pub mod bounded_degree;
+pub mod decompose;
+pub mod generic;
+pub mod odd_cycle;
+pub mod triangles;
+pub mod two_paths;
+
+pub use bounded_degree::enumerate_bounded_degree;
+pub use decompose::enumerate_by_decomposition;
+pub use generic::enumerate_generic;
+pub use odd_cycle::enumerate_odd_cycles;
+pub use triangles::enumerate_triangles_serial;
+pub use two_paths::properly_ordered_two_paths;

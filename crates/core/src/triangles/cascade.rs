@@ -1,0 +1,227 @@
+//! The two-round baseline: a cascade of two-way joins.
+//!
+//! Section 2 motivates the single-round multiway join by comparing it against
+//! the conventional alternative — evaluating
+//! `E(X,Y) ⋈ E(Y,Z) ⋈ E(X,Z)` as a cascade of two-way joins, each in its own
+//! map-reduce round:
+//!
+//! * **Round 1** joins `E(X,Y)` with `E(Y,Z)` on `Y`, producing every *wedge*
+//!   (2-path) `X < Y < Z`.
+//! * **Round 2** joins the wedges with `E(X,Z)` on `(X, Z)`, keeping the
+//!   wedges whose endpoints are adjacent.
+//!
+//! Its communication cost is `2m` in round 1 plus `m +` (number of wedges) in
+//! round 2; on skewed graphs the wedge count is far larger than the `O(bm)`
+//! the one-round algorithms ship, which is exactly the paper's argument for
+//! the multiway join. The implementation exists so the benchmark harness can
+//! measure that comparison.
+
+use crate::result::MapReduceRun;
+use subgraph_graph::{DataGraph, Edge, NodeId};
+use subgraph_mapreduce::{run_job, EngineConfig, JobMetrics, MapContext, ReduceContext};
+use subgraph_pattern::Instance;
+
+/// A wedge `x − y − z` with `x < y < z` produced by the first round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Wedge {
+    /// Smallest node (plays `X`).
+    pub x: NodeId,
+    /// Middle node (plays `Y`).
+    pub y: NodeId,
+    /// Largest node (plays `Z`).
+    pub z: NodeId,
+}
+
+/// Value type of the second round: either a wedge waiting for its closing edge
+/// or the closing edge itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Round2Value {
+    MiddleNode(NodeId),
+    ClosingEdge,
+}
+
+/// Runs the two-round cascade and returns the triangles plus the *combined*
+/// metrics of both rounds (communication costs add).
+pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
+    let (wedges, round1) = wedge_round(graph, config);
+    let (instances, round2) = closing_round(graph, &wedges, config);
+    MapReduceRun {
+        instances,
+        metrics: combine(round1, round2),
+    }
+}
+
+/// Round 1: every edge is shipped twice (once as `E(X,Y)` keyed by its upper
+/// endpoint, once as `E(Y,Z)` keyed by its lower endpoint); the reducer for
+/// node `y` pairs its lower neighbours with its upper neighbours.
+pub fn wedge_round(graph: &DataGraph, config: &EngineConfig) -> (Vec<Wedge>, JobMetrics) {
+    #[derive(Clone, Copy)]
+    enum Side {
+        Lower(NodeId),
+        Upper(NodeId),
+    }
+    let mapper = |edge: &Edge, ctx: &mut MapContext<NodeId, Side>| {
+        // E(X,Y) with Y = hi: contributes a lower neighbour to hi.
+        ctx.emit(edge.hi(), Side::Lower(edge.lo()));
+        // E(Y,Z) with Y = lo: contributes an upper neighbour to lo.
+        ctx.emit(edge.lo(), Side::Upper(edge.hi()));
+    };
+    let reducer = |y: &NodeId, values: &[Side], ctx: &mut ReduceContext<Wedge>| {
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        for value in values {
+            match *value {
+                Side::Lower(x) => lower.push(x),
+                Side::Upper(z) => upper.push(z),
+            }
+        }
+        ctx.add_work((lower.len() * upper.len()) as u64);
+        for &x in &lower {
+            for &z in &upper {
+                ctx.emit(Wedge { x, y: *y, z });
+            }
+        }
+    };
+    run_job(graph.edges(), &mapper, &reducer, config)
+}
+
+/// Round 2: wedges and edges are keyed by the endpoint pair `(x, z)`; a wedge
+/// becomes a triangle when the closing edge shares its key.
+fn closing_round(
+    graph: &DataGraph,
+    wedges: &[Wedge],
+    config: &EngineConfig,
+) -> (Vec<Instance>, JobMetrics) {
+    // Inputs of the second round: all wedges then all edges.
+    enum Round2Input {
+        Wedge(Wedge),
+        Edge(Edge),
+    }
+    let inputs: Vec<Round2Input> = wedges
+        .iter()
+        .map(|&w| Round2Input::Wedge(w))
+        .chain(graph.edges().iter().map(|&e| Round2Input::Edge(e)))
+        .collect();
+
+    let mapper = |input: &Round2Input, ctx: &mut MapContext<(NodeId, NodeId), Round2Value>| {
+        match input {
+            Round2Input::Wedge(w) => ctx.emit((w.x, w.z), Round2Value::MiddleNode(w.y)),
+            Round2Input::Edge(e) => ctx.emit(e.endpoints(), Round2Value::ClosingEdge),
+        }
+    };
+    let reducer = |key: &(NodeId, NodeId),
+                   values: &[Round2Value],
+                   ctx: &mut ReduceContext<Instance>| {
+        ctx.add_work(values.len() as u64);
+        let closed = values.iter().any(|v| matches!(v, Round2Value::ClosingEdge));
+        if !closed {
+            return;
+        }
+        let (x, z) = *key;
+        for value in values {
+            if let Round2Value::MiddleNode(y) = value {
+                ctx.emit(Instance::from_edge_set([(x, *y), (*y, z), (x, z)]));
+            }
+        }
+    };
+    run_job(&inputs, &mapper, &reducer, config)
+}
+
+fn combine(a: JobMetrics, b: JobMetrics) -> JobMetrics {
+    JobMetrics {
+        input_records: a.input_records + b.input_records,
+        key_value_pairs: a.key_value_pairs + b.key_value_pairs,
+        reducers_used: a.reducers_used + b.reducers_used,
+        max_reducer_input: a.max_reducer_input.max(b.max_reducer_input),
+        reducer_work: a.reducer_work + b.reducer_work,
+        outputs: b.outputs,
+        map_time: a.map_time + b.map_time,
+        shuffle_time: a.shuffle_time + b.shuffle_time,
+        reduce_time: a.reduce_time + b.reduce_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::triangles::enumerate_triangles_serial;
+    use crate::triangles::bucket_ordered::bucket_ordered_triangles;
+    use subgraph_graph::generators;
+
+    fn config() -> EngineConfig {
+        EngineConfig::with_threads(4)
+    }
+
+    #[test]
+    fn finds_every_triangle_exactly_once() {
+        for seed in 0..3 {
+            let g = generators::gnm(70, 420, seed);
+            let serial = enumerate_triangles_serial(&g);
+            let run = cascade_triangles(&g, &config());
+            assert_eq!(run.count(), serial.count(), "seed {seed}");
+            assert_eq!(run.duplicates(), 0);
+        }
+    }
+
+    #[test]
+    fn wedge_round_counts_ordered_two_paths() {
+        // In K_n every ordered triple x < y < z is a wedge: C(n, 3) of them.
+        let g = generators::complete(8);
+        let (wedges, metrics) = wedge_round(&g, &config());
+        assert_eq!(wedges.len(), 56);
+        assert_eq!(metrics.key_value_pairs, 2 * g.num_edges());
+        for w in &wedges {
+            assert!(w.x < w.y && w.y < w.z);
+        }
+    }
+
+    #[test]
+    fn communication_cost_is_two_m_plus_wedges_plus_m() {
+        let g = generators::gnm(90, 600, 4);
+        let (wedges, _) = wedge_round(&g, &config());
+        let run = cascade_triangles(&g, &config());
+        assert_eq!(
+            run.metrics.key_value_pairs,
+            2 * g.num_edges() + wedges.len() + g.num_edges()
+        );
+    }
+
+    #[test]
+    fn skewed_graphs_make_the_cascade_expensive() {
+        // On a power-law graph the wedge count blows up, so the cascade ships
+        // far more data than the one-round bucket-ordered algorithm with a
+        // moderate b — the paper's motivation for multiway joins.
+        let g = generators::power_law(800, 4_000, 2.2, 9);
+        let cascade = cascade_triangles(&g, &config());
+        let one_round = bucket_ordered_triangles(&g, 8, &config());
+        assert_eq!(cascade.count(), one_round.count());
+        assert!(
+            cascade.metrics.key_value_pairs > one_round.metrics.key_value_pairs,
+            "cascade {} vs one-round {}",
+            cascade.metrics.key_value_pairs,
+            one_round.metrics.key_value_pairs
+        );
+    }
+
+    #[test]
+    fn triangle_free_graph_produces_wedges_but_no_triangles() {
+        // An even cycle is triangle-free but still has ordered wedges (every
+        // interior node of the identifier order has one lower and one upper
+        // neighbour), so round 1 does real work and round 2 discards it all.
+        let g = generators::cycle(12);
+        let run = cascade_triangles(&g, &config());
+        assert_eq!(run.count(), 0);
+        assert!(run.metrics.key_value_pairs > 3 * g.num_edges());
+    }
+
+    #[test]
+    fn complete_bipartite_graphs_have_no_ordered_wedges() {
+        // With one side holding all the smaller identifiers, no node has both
+        // a lower and an upper neighbour, so the wedge round is empty and the
+        // cascade ships exactly 3m pairs.
+        let g = generators::complete_bipartite(6, 6);
+        let run = cascade_triangles(&g, &config());
+        assert_eq!(run.count(), 0);
+        assert_eq!(run.metrics.key_value_pairs, 3 * g.num_edges());
+    }
+}

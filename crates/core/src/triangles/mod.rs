@@ -1,0 +1,22 @@
+//! The three single-round map-reduce triangle algorithms compared in
+//! Section 2 (Figures 1 and 2).
+//!
+//! | algorithm | reducers | communication / edge |
+//! |---|---|---|
+//! | [`partition`] (Suri–Vassilvitskii [19]) | `C(b, 3) ≈ b³/6` | `(3/2)(b−1)(b−2)/b ≈ 3b/2` |
+//! | [`multiway`] (Section 2.2, plain Afrati–Ullman join) | `b³` | `3b − 2` |
+//! | [`bucket_ordered`] (Section 2.3, hash-ordered nodes) | `C(b+2, 3) ≈ b³/6` | `b` |
+//!
+//! All three run on the instrumented engine of `subgraph-mapreduce`, so the
+//! benchmark harness reports *measured* replication per edge next to the
+//! formulas above.
+
+pub mod bucket_ordered;
+pub mod cascade;
+pub mod multiway;
+pub mod partition;
+
+pub use bucket_ordered::bucket_ordered_triangles;
+pub use cascade::cascade_triangles;
+pub use multiway::multiway_triangles;
+pub use partition::partition_triangles;

@@ -1,0 +1,399 @@
+//! Serial evaluation of conjunctive queries over a data graph.
+//!
+//! This is the computation each reducer performs in the paper's map-reduce
+//! algorithms (Section 4), and — run over the whole data graph — a serial
+//! reference algorithm. The edge relation `E(X, Y)` holds each undirected edge
+//! exactly once, oriented so that `X` precedes `Y` under the supplied
+//! [`NodeOrder`]; arithmetic comparisons refer to the same order.
+//!
+//! Evaluation is a backtracking join: variables are assigned one at a time,
+//! candidates are drawn from the adjacency lists of already-assigned
+//! neighbouring variables, and subgoal orientation plus arithmetic comparisons
+//! are checked as soon as both endpoints are bound. Assignments are required
+//! to be injective (an instance of the sample graph uses `p` distinct data
+//! nodes).
+
+use crate::query::{ConjunctiveQuery, CqGroup, Var};
+use subgraph_graph::{DataGraph, NodeId, NodeOrder};
+use subgraph_pattern::Instance;
+
+/// The result of evaluating one or more CQs.
+#[derive(Clone, Debug, Default)]
+pub struct EvalOutcome {
+    /// One entry per satisfying assignment, converted to a canonical instance.
+    /// If the CQ collection is correct, this list contains no duplicates.
+    pub instances: Vec<Instance>,
+    /// Number of satisfying assignments found (equals `instances.len()`).
+    pub assignments: usize,
+}
+
+impl EvalOutcome {
+    /// Merges another outcome into this one.
+    pub fn absorb(&mut self, other: EvalOutcome) {
+        self.assignments += other.assignments;
+        self.instances.extend(other.instances);
+    }
+
+    /// Number of *distinct* instances found.
+    pub fn distinct_instances(&self) -> usize {
+        let mut sorted = self.instances.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Number of duplicate discoveries (0 means the exactly-once invariant held).
+    pub fn duplicates(&self) -> usize {
+        self.assignments - self.distinct_instances()
+    }
+}
+
+/// Evaluates a single CQ over `graph` with the given node order.
+pub fn evaluate_cq<O: NodeOrder>(
+    cq: &ConjunctiveQuery,
+    graph: &DataGraph,
+    order: &O,
+) -> EvalOutcome {
+    evaluate_cq_filtered(cq, graph, order, &|_, _| true)
+}
+
+/// Evaluates a single CQ, additionally restricting the data nodes each
+/// variable may bind to. This is what a reducer in variable-oriented
+/// processing (Section 4.3) does: variable `X` may only bind to nodes whose
+/// `X`-hash equals the reducer's bucket for `X`, which is exactly how each
+/// solution ends up discovered by a single reducer.
+pub fn evaluate_cq_filtered<O: NodeOrder>(
+    cq: &ConjunctiveQuery,
+    graph: &DataGraph,
+    order: &O,
+    candidate_filter: &dyn Fn(Var, NodeId) -> bool,
+) -> EvalOutcome {
+    evaluate_internal_filtered(
+        cq.num_vars(),
+        cq.subgoals(),
+        graph,
+        order,
+        &|rank_of| cq.constraints_hold(rank_of),
+        candidate_filter,
+    )
+}
+
+/// Evaluates a merged orientation group (Section 3.3): the relational part is
+/// matched once and an assignment is accepted if it satisfies the OR of the
+/// member conditions.
+pub fn evaluate_cq_group<O: NodeOrder>(
+    group: &CqGroup,
+    graph: &DataGraph,
+    order: &O,
+) -> EvalOutcome {
+    evaluate_internal(
+        group.num_vars(),
+        &group.subgoals,
+        graph,
+        order,
+        &|rank_of| group.constraints_hold(rank_of),
+    )
+}
+
+/// Evaluates a whole CQ collection and concatenates the results. For a correct
+/// collection (Theorem 3.1, Theorem 5.1) the combined outcome has no
+/// duplicates and covers every instance of the sample graph.
+pub fn evaluate_cqs<O: NodeOrder>(
+    cqs: &[ConjunctiveQuery],
+    graph: &DataGraph,
+    order: &O,
+) -> EvalOutcome {
+    let mut outcome = EvalOutcome::default();
+    for cq in cqs {
+        outcome.absorb(evaluate_cq(cq, graph, order));
+    }
+    outcome
+}
+
+/// Shared backtracking engine. `accept` receives a rank lookup for the fully
+/// bound assignment and decides whether the arithmetic conditions hold.
+fn evaluate_internal<O: NodeOrder>(
+    num_vars: usize,
+    subgoals: &[(Var, Var)],
+    graph: &DataGraph,
+    order: &O,
+    accept: &dyn Fn(&dyn Fn(Var) -> u64) -> bool,
+) -> EvalOutcome {
+    evaluate_internal_filtered(num_vars, subgoals, graph, order, accept, &|_, _| true)
+}
+
+/// Backtracking engine with a per-variable candidate filter.
+fn evaluate_internal_filtered<O: NodeOrder>(
+    num_vars: usize,
+    subgoals: &[(Var, Var)],
+    graph: &DataGraph,
+    order: &O,
+    accept: &dyn Fn(&dyn Fn(Var) -> u64) -> bool,
+    candidate_filter: &dyn Fn(Var, NodeId) -> bool,
+) -> EvalOutcome {
+    if num_vars == 0 {
+        return EvalOutcome::default();
+    }
+    let plan = plan_variable_order(num_vars, subgoals);
+    let mut assignment: Vec<Option<NodeId>> = vec![None; num_vars];
+    let mut outcome = EvalOutcome::default();
+    assign(
+        graph,
+        order,
+        subgoals,
+        &plan,
+        0,
+        &mut assignment,
+        accept,
+        candidate_filter,
+        &mut outcome,
+    );
+    outcome
+}
+
+/// Chooses the order in which variables are bound: a connected expansion of
+/// the subgoal graph so that each new variable (after the first) is adjacent
+/// to an already-bound one whenever possible.
+fn plan_variable_order(num_vars: usize, subgoals: &[(Var, Var)]) -> Vec<Var> {
+    let mut adjacency = vec![Vec::new(); num_vars];
+    for &(a, b) in subgoals {
+        adjacency[a as usize].push(b);
+        adjacency[b as usize].push(a);
+    }
+    let mut plan: Vec<Var> = Vec::with_capacity(num_vars);
+    let mut placed = vec![false; num_vars];
+    while plan.len() < num_vars {
+        // Seed with the highest-degree unplaced variable (most constrained first).
+        let seed = (0..num_vars)
+            .filter(|&v| !placed[v])
+            .max_by_key(|&v| adjacency[v].len())
+            .expect("there is an unplaced variable");
+        placed[seed] = true;
+        plan.push(seed as Var);
+        loop {
+            // Among unplaced variables adjacent to a placed one, pick the one
+            // with the most placed neighbours.
+            let candidate = (0..num_vars)
+                .filter(|&v| !placed[v])
+                .map(|v| {
+                    let bound_neighbors = adjacency[v]
+                        .iter()
+                        .filter(|&&u| placed[u as usize])
+                        .count();
+                    (bound_neighbors, v)
+                })
+                .filter(|&(bound, _)| bound > 0)
+                .max();
+            match candidate {
+                Some((_, v)) => {
+                    placed[v] = true;
+                    plan.push(v as Var);
+                }
+                None => break,
+            }
+        }
+    }
+    plan
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign<O: NodeOrder>(
+    graph: &DataGraph,
+    order: &O,
+    subgoals: &[(Var, Var)],
+    plan: &[Var],
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    accept: &dyn Fn(&dyn Fn(Var) -> u64) -> bool,
+    candidate_filter: &dyn Fn(Var, NodeId) -> bool,
+    outcome: &mut EvalOutcome,
+) {
+    if depth == plan.len() {
+        let rank_of = |v: Var| -> u64 {
+            let node = assignment[v as usize].expect("all variables bound");
+            let (primary, secondary) = order.key(node);
+            // Combine into a single u64 rank preserving the lexicographic order;
+            // primary values are small (bucket ids / degrees) in practice.
+            primary
+                .saturating_mul(u32::MAX as u64 + 1)
+                .saturating_add(secondary as u64)
+        };
+        if accept(&rank_of) {
+            let edges = subgoals.iter().map(|&(a, b)| {
+                (
+                    assignment[a as usize].unwrap(),
+                    assignment[b as usize].unwrap(),
+                )
+            });
+            outcome.instances.push(Instance::from_edge_set(edges));
+            outcome.assignments += 1;
+        }
+        return;
+    }
+    let var = plan[depth];
+    // Candidate nodes: intersection of neighbourhoods of bound neighbours, or
+    // every node if no neighbour is bound yet.
+    let bound_neighbor = subgoals.iter().find_map(|&(a, b)| {
+        if a == var {
+            assignment[b as usize]
+        } else if b == var {
+            assignment[a as usize]
+        } else {
+            None
+        }
+    });
+    let candidates: Vec<NodeId> = match bound_neighbor {
+        Some(anchor) => graph.neighbors(anchor).to_vec(),
+        None => graph.nodes().collect(),
+    };
+    'candidates: for node in candidates {
+        // Per-variable admissibility (reducer bucket filters) and injectivity.
+        if !candidate_filter(var, node) || assignment.iter().any(|&a| a == Some(node)) {
+            continue;
+        }
+        // Check every subgoal whose endpoints are now both bound.
+        assignment[var as usize] = Some(node);
+        for &(a, b) in subgoals {
+            if let (Some(x), Some(y)) = (assignment[a as usize], assignment[b as usize]) {
+                if !(graph.has_edge(x, y) && order.precedes(x, y)) {
+                    assignment[var as usize] = None;
+                    continue 'candidates;
+                }
+            }
+        }
+        assign(
+            graph,
+            order,
+            subgoals,
+            plan,
+            depth + 1,
+            assignment,
+            accept,
+            candidate_filter,
+            outcome,
+        );
+        assignment[var as usize] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::cqs_for_sample;
+    use crate::orientation::merge_by_orientation;
+    use subgraph_graph::{generators, IdOrder};
+    use subgraph_pattern::catalog;
+
+    fn choose(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
+    }
+
+    #[test]
+    fn triangle_cq_counts_triangles_in_complete_graph() {
+        let g = generators::complete(7);
+        let cqs = cqs_for_sample(&catalog::triangle());
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, choose(7, 3));
+        assert_eq!(outcome.duplicates(), 0);
+    }
+
+    #[test]
+    fn triangle_cq_on_triangle_free_graph_finds_nothing() {
+        let g = generators::complete_bipartite(4, 5);
+        let cqs = cqs_for_sample(&catalog::triangle());
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, 0);
+    }
+
+    #[test]
+    fn square_cqs_count_squares_in_complete_bipartite_graph() {
+        // K_{a,b} contains C(a,2) · C(b,2) squares.
+        let g = generators::complete_bipartite(4, 5);
+        let cqs = cqs_for_sample(&catalog::square());
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, choose(4, 2) * choose(5, 2));
+        assert_eq!(outcome.duplicates(), 0);
+    }
+
+    #[test]
+    fn square_cqs_count_squares_in_complete_graph() {
+        // K_n contains 3 · C(n,4) squares (each 4-subset hosts 3 distinct 4-cycles).
+        let g = generators::complete(6);
+        let cqs = cqs_for_sample(&catalog::square());
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, 3 * choose(6, 4));
+        assert_eq!(outcome.duplicates(), 0);
+    }
+
+    #[test]
+    fn lollipop_cqs_count_lollipops_in_complete_graph() {
+        // Each 4-subset of K_n hosts 4 · 3 = 12 distinct lollipops.
+        let g = generators::complete(6);
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, 12 * choose(6, 4));
+        assert_eq!(outcome.duplicates(), 0);
+    }
+
+    #[test]
+    fn merged_groups_count_the_same_instances() {
+        let g = generators::gnm(30, 120, 3);
+        for sample in [catalog::square(), catalog::lollipop(), catalog::cycle(5)] {
+            let cqs = cqs_for_sample(&sample);
+            let plain = evaluate_cqs(&cqs, &g, &IdOrder);
+            let mut merged = EvalOutcome::default();
+            for group in merge_by_orientation(&cqs) {
+                merged.absorb(evaluate_cq_group(&group, &g, &IdOrder));
+            }
+            assert_eq!(plain.assignments, merged.assignments);
+            assert_eq!(plain.duplicates(), 0);
+            assert_eq!(merged.duplicates(), 0);
+            let mut a = plain.instances.clone();
+            let mut b = merged.instances.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bucket_order_finds_the_same_instances_as_id_order() {
+        use subgraph_graph::BucketThenIdOrder;
+        let g = generators::gnm(25, 90, 9);
+        let cqs = cqs_for_sample(&catalog::triangle());
+        let by_id = evaluate_cqs(&cqs, &g, &IdOrder);
+        let by_bucket = evaluate_cqs(&cqs, &g, &BucketThenIdOrder::new(4));
+        assert_eq!(by_id.assignments, by_bucket.assignments);
+        assert_eq!(by_bucket.duplicates(), 0);
+    }
+
+    #[test]
+    fn disjoint_triangles_are_each_found_once() {
+        let g = generators::disjoint_triangles(10);
+        let cqs = cqs_for_sample(&catalog::triangle());
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, 10);
+        assert_eq!(outcome.duplicates(), 0);
+    }
+
+    #[test]
+    fn empty_pattern_yields_nothing() {
+        let g = generators::complete(4);
+        let cq = ConjunctiveQuery::new(0, vec![], vec![]);
+        let outcome = evaluate_cq(&cq, &g, &IdOrder);
+        assert_eq!(outcome.assignments, 0);
+    }
+
+    #[test]
+    fn cycle_c6_count_in_complete_graph() {
+        // Number of 6-cycles in K_n: C(n,6) · 6!/(2·6) = C(n,6) · 60.
+        let g = generators::complete(7);
+        let cqs = cqs_for_sample(&catalog::cycle(6));
+        let outcome = evaluate_cqs(&cqs, &g, &IdOrder);
+        assert_eq!(outcome.assignments, choose(7, 6) * 60);
+        assert_eq!(outcome.duplicates(), 0);
+    }
+}

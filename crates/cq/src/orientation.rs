@@ -1,0 +1,253 @@
+//! Merging CQs that share an edge orientation (Section 3.3, Figures 6–7).
+//!
+//! Several of the CQs produced by Theorem 3.1 can have identical relational
+//! subgoals (the same orientation of every edge of the sample graph) and
+//! differ only in their arithmetic conditions. Such CQs are combined into a
+//! [`CqGroup`]: the relational part is evaluated once and an assignment is
+//! accepted if it satisfies the OR of the member conditions. Because the
+//! member conditions are distinct total orders of the variables, an assignment
+//! of distinct nodes satisfies at most one of them, so the exactly-once
+//! guarantee is preserved.
+
+use crate::query::{ConjunctiveQuery, Constraint, CqGroup, Var};
+use std::collections::BTreeMap;
+
+/// Groups CQs by their canonical subgoal list (edge orientation). The result
+/// is ordered by orientation for deterministic output.
+pub fn merge_by_orientation(cqs: &[ConjunctiveQuery]) -> Vec<CqGroup> {
+    let mut groups: BTreeMap<Vec<(Var, Var)>, Vec<ConjunctiveQuery>> = BTreeMap::new();
+    for q in cqs {
+        groups
+            .entry(q.canonical_subgoals())
+            .or_default()
+            .push(q.clone());
+    }
+    groups
+        .into_iter()
+        .map(|(subgoals, members)| CqGroup { subgoals, members })
+        .collect()
+}
+
+/// Computes the simplified constraint set the paper displays for a merged
+/// group (Figure 7): for each pair of variables,
+///
+/// * `A < B` if `A` precedes `B` in **every** member order,
+/// * `B < A` if `B` precedes `A` in every member order,
+/// * `A ≠ B` otherwise (the members disagree),
+///
+/// followed by removal of comparisons implied transitively by the kept `<`
+/// constraints. This is a *display* form; exact evaluation always uses the OR
+/// of the member conjunctions ([`CqGroup::constraints_hold`]).
+pub fn simplified_constraints(group: &CqGroup) -> Vec<Constraint> {
+    let p = group.num_vars();
+    if group.members.is_empty() || p == 0 {
+        return Vec::new();
+    }
+    // precedence[a][b] = true if a < b in every member.
+    let mut always = vec![vec![true; p]; p];
+    for member in &group.members {
+        // Recover the total order from the Lt chain: build rank from constraints.
+        let rank = member_ranks(member, p);
+        for a in 0..p {
+            for b in 0..p {
+                if a != b && rank[a] >= rank[b] {
+                    always[a][b] = false;
+                }
+            }
+        }
+    }
+    let mut lts: Vec<(usize, usize)> = Vec::new();
+    let mut neqs: Vec<(usize, usize)> = Vec::new();
+    for a in 0..p {
+        for b in (a + 1)..p {
+            if always[a][b] {
+                lts.push((a, b));
+            } else if always[b][a] {
+                lts.push((b, a));
+            } else {
+                neqs.push((a, b));
+            }
+        }
+    }
+    // Transitive reduction of the strict order given by `lts`.
+    let mut reachable = vec![vec![false; p]; p];
+    for &(a, b) in &lts {
+        reachable[a][b] = true;
+    }
+    for k in 0..p {
+        for i in 0..p {
+            for j in 0..p {
+                if reachable[i][k] && reachable[k][j] {
+                    reachable[i][j] = true;
+                }
+            }
+        }
+    }
+    let reduced: Vec<(usize, usize)> = lts
+        .iter()
+        .copied()
+        .filter(|&(a, b)| {
+            // Keep (a,b) unless there is an intermediate k with a<k and k<b.
+            !(0..p).any(|k| k != a && k != b && reachable[a][k] && reachable[k][b])
+        })
+        .collect();
+    // ≠ constraints implied by comparability are dropped.
+    let mut out: Vec<Constraint> = reduced
+        .into_iter()
+        .map(|(a, b)| Constraint::Lt(a as Var, b as Var))
+        .collect();
+    out.extend(
+        neqs.into_iter()
+            .filter(|&(a, b)| !reachable[a][b] && !reachable[b][a])
+            .map(|(a, b)| Constraint::Neq(a as Var, b as Var)),
+    );
+    out.sort_unstable();
+    out
+}
+
+/// Number of total orders of the variables that satisfy the simplified
+/// constraint set. Used to check that the simplification is *exact*, i.e.
+/// admits precisely the member orders (the paper's Figure 7 claims this for
+/// the lollipop).
+pub fn orders_satisfying_simplification(group: &CqGroup) -> usize {
+    let p = group.num_vars();
+    let constraints = simplified_constraints(group);
+    subgraph_pattern::automorphism::all_permutations(p)
+        .into_iter()
+        .filter(|ordering| {
+            // ordering[rank] = variable; rank of variable v:
+            let mut rank = vec![0u64; p];
+            for (r, &v) in ordering.iter().enumerate() {
+                rank[v as usize] = r as u64;
+            }
+            constraints.iter().all(|c| c.holds(&|v: Var| rank[v as usize]))
+        })
+        .count()
+}
+
+fn member_ranks(member: &ConjunctiveQuery, p: usize) -> Vec<usize> {
+    // Members produced by `cq_for_ordering` carry the chain
+    // Lt(o[0], o[1]), Lt(o[1], o[2]), …; reconstruct the order by topological
+    // sort over the Lt constraints (general enough for hand-built members too).
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut indegree = vec![0usize; p];
+    for c in member.constraints() {
+        if let Constraint::Lt(a, b) = *c {
+            succ[a as usize].push(b as usize);
+            indegree[b as usize] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..p).filter(|&v| indegree[v] == 0).collect();
+    let mut rank = vec![0usize; p];
+    let mut next_rank = 0;
+    while let Some(v) = queue.pop() {
+        rank[v] = next_rank;
+        next_rank += 1;
+        for &w in &succ[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::cqs_for_sample;
+    use subgraph_pattern::catalog;
+
+    #[test]
+    fn square_cqs_have_three_distinct_orientations() {
+        let cqs = cqs_for_sample(&catalog::square());
+        let groups = merge_by_orientation(&cqs);
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.members.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lollipop_merges_twelve_cqs_into_six_groups_as_in_figure_6() {
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        assert_eq!(cqs.len(), 12);
+        let groups = merge_by_orientation(&cqs);
+        assert_eq!(groups.len(), 6);
+        // Group sizes from Figure 6: 1, 2, 3, 3, 2, 1.
+        let mut sizes: Vec<usize> = groups.iter().map(|g| g.members.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn lollipop_group_simplifications_are_exact() {
+        // The paper's Figure 7 replaces each group's OR of total orders by a
+        // conjunction of < and ≠ constraints. That replacement admits exactly
+        // the member orders.
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        for group in merge_by_orientation(&cqs) {
+            assert_eq!(
+                orders_satisfying_simplification(&group),
+                group.members.len(),
+                "simplification of {} is not exact",
+                group.orientation_signature()
+            );
+        }
+    }
+
+    #[test]
+    fn lollipop_singleton_groups_keep_their_total_order() {
+        // Figure 7, first query: E(W,X) & E(X,Y) & E(X,Z) & E(Y,Z) with
+        // W<X & X<Y & Y<Z (the chain), i.e. three Lt constraints, no ≠.
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let groups = merge_by_orientation(&cqs);
+        let singleton: Vec<&CqGroup> =
+            groups.iter().filter(|g| g.members.len() == 1).collect();
+        assert_eq!(singleton.len(), 2);
+        for g in singleton {
+            let simplified = simplified_constraints(g);
+            assert_eq!(simplified.len(), 3);
+            assert!(simplified
+                .iter()
+                .all(|c| matches!(c, Constraint::Lt(_, _))));
+        }
+    }
+
+    #[test]
+    fn lollipop_pair_group_introduces_one_disequality() {
+        // Figure 7, second query (group {2, 5}): constraints W≠Y & Y<X & X<Z.
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let groups = merge_by_orientation(&cqs);
+        let pair_groups: Vec<&CqGroup> =
+            groups.iter().filter(|g| g.members.len() == 2).collect();
+        assert_eq!(pair_groups.len(), 2);
+        for g in pair_groups {
+            let simplified = simplified_constraints(g);
+            let neqs = simplified
+                .iter()
+                .filter(|c| matches!(c, Constraint::Neq(_, _)))
+                .count();
+            assert_eq!(neqs, 1, "expected exactly one ≠ in {simplified:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_single_group() {
+        let cqs = cqs_for_sample(&catalog::triangle());
+        let groups = merge_by_orientation(&cqs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 1);
+        assert_eq!(groups[0].orientation_signature(), "WX,WY,XY");
+    }
+
+    #[test]
+    fn simplification_of_empty_group_is_empty() {
+        let group = CqGroup {
+            subgoals: vec![],
+            members: vec![],
+        };
+        assert!(simplified_constraints(&group).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for CQ generation and evaluation.
+
+use crate::cycles::{cycle_cqs, orientation_representatives, valid_orientations};
+use crate::eval::{evaluate_cq_group, evaluate_cqs, EvalOutcome};
+use crate::generate::cqs_for_sample;
+use crate::orientation::merge_by_orientation;
+use proptest::prelude::*;
+use subgraph_graph::{generators, BucketThenIdOrder, IdOrder};
+use subgraph_pattern::catalog;
+use subgraph_pattern::SampleGraph;
+
+fn small_patterns() -> impl Strategy<Value = SampleGraph> {
+    prop_oneof![
+        Just(catalog::triangle()),
+        Just(catalog::square()),
+        Just(catalog::lollipop()),
+        Just(catalog::cycle(5)),
+        Just(catalog::star(4)),
+        Just(catalog::path(4)),
+        Just(catalog::k4()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central invariant of the paper: for any sample graph the CQ
+    /// collection of Theorem 3.1 finds each instance exactly once, under any
+    /// total order of the data-graph nodes.
+    #[test]
+    fn general_method_never_duplicates(
+        sample in small_patterns(),
+        n in 10usize..22,
+        seed in 0u64..50,
+        buckets in 1usize..6,
+    ) {
+        let m = (n * (n - 1) / 2) / 2;
+        let g = generators::gnm(n, m, seed);
+        let cqs = cqs_for_sample(&sample);
+        let by_id = evaluate_cqs(&cqs, &g, &IdOrder);
+        prop_assert_eq!(by_id.duplicates(), 0);
+        let by_bucket = evaluate_cqs(&cqs, &g, &BucketThenIdOrder::new(buckets));
+        prop_assert_eq!(by_bucket.duplicates(), 0);
+        // The node order never changes which instances exist.
+        prop_assert_eq!(by_id.assignments, by_bucket.assignments);
+    }
+
+    /// Orientation-merged groups find exactly the same instances as the
+    /// unmerged CQ collection.
+    #[test]
+    fn orientation_merge_preserves_results(
+        sample in small_patterns(),
+        n in 10usize..20,
+        seed in 0u64..50,
+    ) {
+        let m = (n * (n - 1) / 2) / 3;
+        let g = generators::gnm(n, m, seed);
+        let cqs = cqs_for_sample(&sample);
+        let plain = evaluate_cqs(&cqs, &g, &IdOrder);
+        let mut merged = EvalOutcome::default();
+        for group in merge_by_orientation(&cqs) {
+            merged.absorb(evaluate_cq_group(&group, &g, &IdOrder));
+        }
+        prop_assert_eq!(plain.assignments, merged.assignments);
+        prop_assert_eq!(merged.duplicates(), 0);
+    }
+
+    /// The run-sequence CQs for cycles agree with the general method and never
+    /// duplicate (Theorem 5.1).
+    #[test]
+    fn cycle_method_agrees_with_general_method(
+        p in 3usize..7,
+        n in 10usize..18,
+        seed in 0u64..30,
+    ) {
+        let m = (n * (n - 1) / 2) / 2;
+        let g = generators::gnm(n, m, seed);
+        let via_runs: Vec<_> = cycle_cqs(p).into_iter().map(|c| c.query).collect();
+        let runs_outcome = evaluate_cqs(&via_runs, &g, &IdOrder);
+        let general_outcome = evaluate_cqs(&cqs_for_sample(&catalog::cycle(p)), &g, &IdOrder);
+        prop_assert_eq!(runs_outcome.duplicates(), 0);
+        prop_assert_eq!(general_outcome.duplicates(), 0);
+        prop_assert_eq!(runs_outcome.assignments, general_outcome.assignments);
+    }
+
+    /// Every valid orientation string is equivalent to exactly one representative.
+    #[test]
+    fn orientation_classes_cover_all_valid_strings(p in 3usize..9) {
+        let reps = orientation_representatives(p);
+        let all = valid_orientations(p);
+        // Each representative is itself a valid string, and representatives are distinct.
+        let mut sorted = reps.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), reps.len());
+        for r in &reps {
+            prop_assert!(all.contains(r));
+        }
+        // No valid string is missed: the count of classes is at most the count
+        // of strings and at least strings / (2p).
+        prop_assert!(reps.len() * 2 * p >= all.len());
+        prop_assert!(reps.len() <= all.len());
+    }
+}

@@ -1,0 +1,271 @@
+//! Data model for conjunctive queries with arithmetic comparisons.
+
+use std::fmt;
+use subgraph_pattern::PatternNode;
+
+/// A variable of a conjunctive query. Variables correspond one-to-one with the
+/// nodes of the sample graph, so they reuse the pattern-node index type.
+pub type Var = PatternNode;
+
+/// An atomic arithmetic comparison between two variables.
+///
+/// Comparisons refer to the chosen total order `<` on data-graph nodes (which
+/// may be the identifier order, the bucket-then-id order of Section 2.3, or
+/// any other [`subgraph_graph::NodeOrder`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constraint {
+    /// `Lt(a, b)` means the node bound to `a` strictly precedes the node bound to `b`.
+    Lt(Var, Var),
+    /// `Neq(a, b)` means the two variables are bound to different nodes.
+    Neq(Var, Var),
+}
+
+impl Constraint {
+    /// Evaluates the constraint given the rank (position in the total order)
+    /// of the node bound to each variable.
+    pub fn holds(&self, rank_of: &dyn Fn(Var) -> u64) -> bool {
+        match *self {
+            Constraint::Lt(a, b) => rank_of(a) < rank_of(b),
+            Constraint::Neq(a, b) => rank_of(a) != rank_of(b),
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Lt(a, b) => write!(f, "{}<{}", var_name(*a), var_name(*b)),
+            Constraint::Neq(a, b) => write!(f, "{}!={}", var_name(*a), var_name(*b)),
+        }
+    }
+}
+
+/// A single conjunctive query: relational subgoals `E(a, b)` (one per edge of
+/// the sample graph, with the arguments in the orientation the query requires)
+/// plus a conjunction of arithmetic comparisons.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    num_vars: usize,
+    subgoals: Vec<(Var, Var)>,
+    constraints: Vec<Constraint>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query over `num_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if any subgoal or constraint mentions a variable `≥ num_vars`,
+    /// or if a subgoal/constraint relates a variable to itself.
+    pub fn new(
+        num_vars: usize,
+        subgoals: Vec<(Var, Var)>,
+        constraints: Vec<Constraint>,
+    ) -> Self {
+        for &(a, b) in &subgoals {
+            assert!(a != b, "subgoal E({a},{b}) relates a variable to itself");
+            assert!((a as usize) < num_vars && (b as usize) < num_vars);
+        }
+        for c in &constraints {
+            let (a, b) = match *c {
+                Constraint::Lt(a, b) | Constraint::Neq(a, b) => (a, b),
+            };
+            assert!(a != b, "constraint relates a variable to itself");
+            assert!((a as usize) < num_vars && (b as usize) < num_vars);
+        }
+        ConjunctiveQuery {
+            num_vars,
+            subgoals,
+            constraints,
+        }
+    }
+
+    /// Number of variables (= number of nodes of the sample graph).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The relational subgoals, each an ordered pair `(a, b)` meaning `E(a, b)`.
+    pub fn subgoals(&self) -> &[(Var, Var)] {
+        &self.subgoals
+    }
+
+    /// The arithmetic comparisons (a conjunction).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The subgoal list sorted canonically — two queries have the same *edge
+    /// orientation* (Section 3.3) iff their canonical subgoals are equal.
+    pub fn canonical_subgoals(&self) -> Vec<(Var, Var)> {
+        let mut s = self.subgoals.clone();
+        s.sort_unstable();
+        s
+    }
+
+    /// True if the assignment of ranks satisfies all arithmetic comparisons.
+    pub fn constraints_hold(&self, rank_of: &dyn Fn(Var) -> u64) -> bool {
+        self.constraints.iter().all(|c| c.holds(rank_of))
+    }
+
+    /// Renders the query in the paper's notation, e.g.
+    /// `E(W,X) & E(X,Y) & E(Y,Z) & E(W,Z) & W<X & X<Y & Y<Z`.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = self
+            .subgoals
+            .iter()
+            .map(|&(a, b)| format!("E({},{})", var_name(a), var_name(b)))
+            .collect();
+        parts.extend(self.constraints.iter().map(|c| format!("{c:?}")));
+        parts.join(" & ")
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CQ[{}]", self.render())
+    }
+}
+
+/// A group of CQs that share the same edge orientation (identical relational
+/// subgoals up to reordering) and differ only in their arithmetic comparisons.
+///
+/// Section 3.3 merges such CQs by taking the logical OR of their conditions.
+/// Evaluation therefore accepts an assignment iff it satisfies *at least one*
+/// member's conjunction, which keeps the "exactly once" guarantee (the member
+/// conditions are mutually exclusive total orders).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqGroup {
+    /// Canonical (sorted) subgoal list shared by every member.
+    pub subgoals: Vec<(Var, Var)>,
+    /// The member queries; all have the same subgoals.
+    pub members: Vec<ConjunctiveQuery>,
+}
+
+impl CqGroup {
+    /// Number of variables (taken from the first member).
+    pub fn num_vars(&self) -> usize {
+        self.members
+            .first()
+            .map(|q| q.num_vars())
+            .unwrap_or(0)
+    }
+
+    /// True if the rank assignment satisfies at least one member's conditions.
+    pub fn constraints_hold(&self, rank_of: &dyn Fn(Var) -> u64) -> bool {
+        self.members.iter().any(|q| q.constraints_hold(rank_of))
+    }
+
+    /// The orientation signature used for display: each subgoal `(a, b)`
+    /// rendered as `ab` with the lower end of the edge first (Figure 6 style).
+    pub fn orientation_signature(&self) -> String {
+        self.subgoals
+            .iter()
+            .map(|&(a, b)| format!("{}{}", var_name(a), var_name(b)))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Human-readable variable names matching the paper's conventions: four or
+/// fewer variables are `W, X, Y, Z` (as in Figures 3–7); larger patterns use
+/// `X1, X2, …` (as in Section 5).
+pub fn var_name(v: Var) -> String {
+    const SMALL: [&str; 4] = ["W", "X", "Y", "Z"];
+    if (v as usize) < SMALL.len() {
+        SMALL[v as usize].to_string()
+    } else {
+        format!("X{}", v + 1)
+    }
+}
+
+/// Variable names for a pattern with `num_vars` variables; patterns with more
+/// than four nodes use `X1..Xp` for *all* variables so the rendering matches
+/// Section 5's cycle notation.
+pub fn var_names(num_vars: usize) -> Vec<String> {
+    if num_vars <= 4 {
+        (0..num_vars as Var).map(var_name).collect()
+    } else {
+        (1..=num_vars).map(|i| format!("X{i}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_evaluation() {
+        let ranks = |v: Var| -> u64 { [10, 20, 20, 5][v as usize] };
+        assert!(Constraint::Lt(0, 1).holds(&ranks));
+        assert!(!Constraint::Lt(1, 2).holds(&ranks));
+        assert!(!Constraint::Neq(1, 2).holds(&ranks));
+        assert!(Constraint::Neq(0, 3).holds(&ranks));
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        // The first CQ for the square from Example 3.1.
+        let q = ConjunctiveQuery::new(
+            4,
+            vec![(0, 1), (1, 2), (2, 3), (0, 3)],
+            vec![Constraint::Lt(0, 1), Constraint::Lt(1, 2), Constraint::Lt(2, 3)],
+        );
+        assert_eq!(
+            q.render(),
+            "E(W,X) & E(X,Y) & E(Y,Z) & E(W,Z) & W<X & X<Y & Y<Z"
+        );
+    }
+
+    #[test]
+    fn canonical_subgoals_ignore_order_of_listing() {
+        let a = ConjunctiveQuery::new(3, vec![(0, 1), (1, 2)], vec![]);
+        let b = ConjunctiveQuery::new(3, vec![(1, 2), (0, 1)], vec![]);
+        assert_eq!(a.canonical_subgoals(), b.canonical_subgoals());
+        let c = ConjunctiveQuery::new(3, vec![(1, 0), (1, 2)], vec![]);
+        assert_ne!(a.canonical_subgoals(), c.canonical_subgoals());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_variable_rejected() {
+        let _ = ConjunctiveQuery::new(2, vec![(0, 2)], vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reflexive_subgoal_rejected() {
+        let _ = ConjunctiveQuery::new(2, vec![(1, 1)], vec![]);
+    }
+
+    #[test]
+    fn group_accepts_union_of_members() {
+        let member1 = ConjunctiveQuery::new(2, vec![(0, 1)], vec![Constraint::Lt(0, 1)]);
+        let member2 = ConjunctiveQuery::new(2, vec![(0, 1)], vec![Constraint::Lt(1, 0)]);
+        let group = CqGroup {
+            subgoals: vec![(0, 1)],
+            members: vec![member1, member2],
+        };
+        let asc = |v: Var| -> u64 { [1, 2][v as usize] };
+        let desc = |v: Var| -> u64 { [2, 1][v as usize] };
+        assert!(group.constraints_hold(&asc));
+        assert!(group.constraints_hold(&desc));
+        assert_eq!(group.num_vars(), 2);
+    }
+
+    #[test]
+    fn variable_names_follow_paper_conventions() {
+        assert_eq!(var_names(4), vec!["W", "X", "Y", "Z"]);
+        assert_eq!(var_names(5), vec!["X1", "X2", "X3", "X4", "X5"]);
+        assert_eq!(var_name(0), "W");
+        assert_eq!(var_name(6), "X7");
+    }
+
+    #[test]
+    fn orientation_signature_lists_edges() {
+        let group = CqGroup {
+            subgoals: vec![(0, 1), (1, 2)],
+            members: vec![ConjunctiveQuery::new(3, vec![(0, 1), (1, 2)], vec![])],
+        };
+        assert_eq!(group.orientation_signature(), "WX,XY");
+    }
+}

@@ -1,0 +1,103 @@
+//! Mutable construction of [`DataGraph`]s with cleaning (dedup, self-loop drop).
+
+use crate::graph::{DataGraph, Edge, NodeId};
+
+/// Incremental builder for a simple undirected [`DataGraph`].
+///
+/// The builder silently drops self-loops and duplicate edges so that the
+/// resulting graph satisfies the paper's assumptions (simple graph, each
+/// undirected edge represented once).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with nodes `0..num_nodes`.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self loops are ignored. Endpoints
+    /// beyond the current node count grow the node set.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        if u == v {
+            self.dropped_self_loops += 1;
+            return self;
+        }
+        let needed = (u.max(v) as usize) + 1;
+        if needed > self.num_nodes {
+            self.num_nodes = needed;
+        }
+        self.edges.push(Edge::new(u, v));
+        self
+    }
+
+    /// Adds every edge in the iterator.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> &mut Self {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of self-loops that were dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of edge insertions accepted so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph. Duplicate edges collapse to one.
+    pub fn build(self) -> DataGraph {
+        DataGraph::from_parts(self.num_nodes, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_drops_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 0).add_edge(0, 1).add_edge(2, 2);
+        assert_eq!(b.dropped_self_loops(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn builder_grows_node_space() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 6);
+        assert!(g.has_edge(5, 0));
+    }
+
+    #[test]
+    fn builder_add_edges_bulk() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3), (1, 2)]);
+        assert_eq!(b.pending_edges(), 4);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn default_builder_is_empty() {
+        let g = GraphBuilder::default().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

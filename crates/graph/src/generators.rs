@@ -1,0 +1,313 @@
+//! Synthetic data-graph generators for the graph families the paper analyses.
+//!
+//! The paper's cost analysis assumes random edge placement (Sections 2 and 6),
+//! social-network-like skew (Section 1.1), degree caps of `√m` (Section 7.3),
+//! and specific worst-case families such as Δ-regular trees (end of Section
+//! 7.3). These generators produce all of them deterministically from a seed so
+//! every experiment in `EXPERIMENTS.md` is reproducible.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{DataGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly random graph with exactly `m` distinct edges over `n` nodes
+/// (the Erdős–Rényi `G(n, m)` model).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of node pairs `n(n-1)/2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> DataGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} pairs exist"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        chosen.insert(key);
+    }
+    let mut b = GraphBuilder::new(n);
+    b.add_edges(chosen);
+    b.build()
+}
+
+/// Random graph where each of the `n(n-1)/2` edges is present independently
+/// with probability `p` (the `G(n, p)` model).
+pub fn gnp(n: usize, p: f64, seed: u64) -> DataGraph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Chung–Lu power-law graph: node `v` has expected degree proportional to
+/// `(v + 1)^{-1/(gamma - 1)}` scaled so the expected edge count is about `m`.
+/// This is the stand-in for the skewed social networks motivating Section 1.1.
+pub fn power_law(n: usize, m: usize, gamma: f64, seed: u64) -> DataGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exponent = -1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    // Under Chung–Lu the expected degree of v is w_v and the expected edge
+    // count is (Σw)/2, so rescale the weights to make Σw = 2m.
+    let scale = 2.0 * m as f64 / total;
+    let w: Vec<f64> = weights.iter().map(|x| x * scale).collect();
+    let s: f64 = w.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (w[u] * w[v] / s).min(1.0);
+            if p > 0.0 && rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The cycle `C_n` over nodes `0..n` (`n >= 3`).
+pub fn cycle(n: usize) -> DataGraph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// The path `P_n` with `n` nodes and `n - 1` edges.
+pub fn path(n: usize) -> DataGraph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as NodeId, v as NodeId);
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> DataGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// A star with centre node `0` and `n - 1` leaves.
+pub fn star(n: usize) -> DataGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as NodeId);
+    }
+    b.build()
+}
+
+/// A `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> DataGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete Δ-regular tree with `levels` levels below the root: the root has
+/// Δ children, every internal node has Δ−1 children, and every non-leaf node
+/// therefore has degree Δ. This is the worst case for `p`-star counting used
+/// at the end of Section 7.3 (Θ(mΔ^{p-2}) instances of a `p`-node star).
+pub fn regular_tree(delta: usize, levels: usize) -> DataGraph {
+    assert!(delta >= 2, "a regular tree needs Δ ≥ 2");
+    let mut b = GraphBuilder::new(1);
+    let mut frontier = vec![0 as NodeId];
+    let mut next_id: NodeId = 1;
+    for level in 0..levels {
+        let children_per_node = if level == 0 { delta } else { delta - 1 };
+        let mut next_frontier = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..children_per_node {
+                b.add_edge(parent, next_id);
+                next_frontier.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = next_frontier;
+    }
+    b.build()
+}
+
+/// Random graph over `n` nodes where every node's degree is capped at
+/// `max_degree`; about `m` edges are attempted. Used for the bounded-degree
+/// regime of Theorem 7.3 (e.g. `max_degree = ⌊√m⌋`).
+pub fn bounded_degree(n: usize, m: usize, max_degree: usize, seed: u64) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut degree = vec![0usize; n];
+    let mut chosen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(20).max(1000);
+    while chosen.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || degree[u] >= max_degree || degree[v] >= max_degree {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    b.add_edges(
+        chosen
+            .into_iter()
+            .map(|(u, v)| (u as NodeId, v as NodeId)),
+    );
+    b.build()
+}
+
+/// A disjoint union of `count` triangles — handy in tests because the exact
+/// number of triangles, squares, etc. is known by construction.
+pub fn disjoint_triangles(count: usize) -> DataGraph {
+    let mut b = GraphBuilder::new(3 * count);
+    for t in 0..count {
+        let base = (3 * t) as NodeId;
+        b.add_edge(base, base + 1);
+        b.add_edge(base + 1, base + 2);
+        b.add_edge(base, base + 2);
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` (nodes `0..a` on one side and
+/// `a..a+b` on the other). `K_{2,2}` is a 4-cycle; `K_{a,b}` contains exactly
+/// `C(a,2)·C(b,2)` squares, a useful closed form for tests.
+pub fn complete_bipartite(a: usize, b: usize) -> DataGraph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(u as NodeId, (a + v) as NodeId);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = gnm(50, 200, 7);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm(30, 60, 42);
+        let b = gnm(30, 60, 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = gnm(30, 60, 43);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    #[should_panic]
+    fn gnm_rejects_too_many_edges() {
+        let _ = gnm(4, 10, 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn cycle_path_complete_counts() {
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(star(7).num_edges(), 6);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // rows*(cols-1) + cols*(rows-1)
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+    }
+
+    #[test]
+    fn regular_tree_degrees() {
+        let g = regular_tree(4, 3);
+        // Every non-leaf has degree 4; leaves degree 1.
+        let internal = g.nodes().filter(|&v| g.degree(v) > 1).count();
+        assert!(internal > 0);
+        for v in g.nodes() {
+            let d = g.degree(v);
+            assert!(d == 1 || d == 4, "node {v} has degree {d}");
+        }
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        let g = bounded_degree(200, 500, 6, 11);
+        assert!(g.max_degree() <= 6);
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = power_law(300, 900, 2.5, 3);
+        assert!(g.num_edges() > 100);
+        // The max degree should be well above the average degree.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(g.max_degree() as f64 > 2.0 * avg);
+    }
+
+    #[test]
+    fn disjoint_triangles_structure() {
+        let g = disjoint_triangles(4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.has_edge(3, 5));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+}

@@ -1,0 +1,300 @@
+//! The immutable data graph: edge list + CSR adjacency + O(1) edge index.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a node in the data graph. Nodes are dense integers `0..n`.
+pub type NodeId = u32;
+
+/// An undirected edge of the data graph, stored canonically with `lo() <= hi()`
+/// under the *identifier* order. Algorithms that need a different node order
+/// (bucket order, degree order) re-orient edges through a
+/// [`crate::ordering::NodeOrder`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    u: NodeId,
+    v: NodeId,
+}
+
+impl Edge {
+    /// Creates the canonical representation of the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics if `u == v`; the paper's graphs are simple (no self loops).
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self loops are not allowed in a simple data graph");
+        if u < v {
+            Edge { u, v }
+        } else {
+            Edge { u: v, v: u }
+        }
+    }
+
+    /// The smaller endpoint under the identifier order.
+    pub fn lo(&self) -> NodeId {
+        self.u
+    }
+
+    /// The larger endpoint under the identifier order.
+    pub fn hi(&self) -> NodeId {
+        self.v
+    }
+
+    /// Both endpoints as a `(lo, hi)` pair.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.u, self.v)
+    }
+
+    /// Returns the endpoint opposite to `x`, or `None` if `x` is not incident.
+    pub fn other(&self, x: NodeId) -> Option<NodeId> {
+        if x == self.u {
+            Some(self.v)
+        } else if x == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
+    /// True if `x` is one of the endpoints.
+    pub fn is_incident(&self, x: NodeId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.u, self.v)
+    }
+}
+
+/// An immutable simple undirected graph.
+///
+/// The structure keeps three synchronized views of the same edge set:
+/// a flat edge list (what the mappers stream over), a CSR adjacency array
+/// (for degree-proportional neighbourhood scans), and a hash-set edge index
+/// (for O(1) `has_edge` checks, as assumed throughout Sections 6–7 of the
+/// paper).
+#[derive(Clone)]
+pub struct DataGraph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    /// CSR offsets: neighbours of node `v` are `adjacency[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<usize>,
+    adjacency: Vec<NodeId>,
+    edge_index: HashSet<(NodeId, NodeId)>,
+}
+
+impl DataGraph {
+    /// Builds a graph from a node count and a de-duplicated canonical edge list.
+    /// Prefer [`crate::builder::GraphBuilder`] which performs the cleaning.
+    pub(crate) fn from_parts(num_nodes: usize, mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut degree = vec![0usize; num_nodes];
+        for e in &edges {
+            degree[e.lo() as usize] += 1;
+            degree[e.hi() as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut adjacency = vec![0 as NodeId; offsets[num_nodes]];
+        let mut cursor = offsets.clone();
+        for e in &edges {
+            let (a, b) = e.endpoints();
+            adjacency[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            adjacency[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency run for deterministic iteration and binary search.
+        for v in 0..num_nodes {
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let edge_index = edges.iter().map(|e| e.endpoints()).collect();
+        DataGraph {
+            num_nodes,
+            edges,
+            offsets,
+            adjacency,
+            edge_index,
+        }
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes as NodeId
+    }
+
+    /// The canonical edge list (each undirected edge once, `lo < hi`).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree Δ over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes)
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Neighbours of `v`, sorted by identifier.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// O(1) test whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edge_index.contains(&key)
+    }
+
+    /// True if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Returns the subgraph induced by keeping only edges for which `keep`
+    /// returns true. Node identifiers are preserved (no compaction), which is
+    /// what a reducer working on "its" fragment of the data graph needs.
+    pub fn filter_edges<F: Fn(&Edge) -> bool>(&self, keep: F) -> DataGraph {
+        let edges = self.edges.iter().copied().filter(|e| keep(e)).collect();
+        DataGraph::from_parts(self.num_nodes, edges)
+    }
+
+    /// Builds a graph over the same node-id space from an arbitrary edge list.
+    /// Duplicates are removed; endpoints must be `< num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut builder = crate::builder::GraphBuilder::new(num_nodes);
+        for (u, v) in edges {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+}
+
+impl fmt::Debug for DataGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DataGraph {{ n: {}, m: {} }}",
+            self.num_nodes,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> DataGraph {
+        DataGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn edge_is_canonicalized() {
+        let e = Edge::new(7, 3);
+        assert_eq!(e.lo(), 3);
+        assert_eq!(e.hi(), 7);
+        assert_eq!(Edge::new(3, 7), e);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let _ = Edge::new(5, 5);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(2, 9);
+        assert_eq!(e.other(2), Some(9));
+        assert_eq!(e.other(9), Some(2));
+        assert_eq!(e.other(4), None);
+        assert!(e.is_incident(2));
+        assert!(!e.is_incident(3));
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = DataGraph::from_edges(5, [(4, 0), (0, 2), (2, 4), (1, 2)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 4]);
+        assert_eq!(g.neighbors(0), &[2, 4]);
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_checks_both_orientations() {
+        let g = path_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let g = DataGraph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn filter_edges_keeps_node_space() {
+        let g = path_graph();
+        let sub = g.filter_edges(|e| e.lo() != 0);
+        assert_eq!(sub.num_nodes(), 4);
+        assert_eq!(sub.num_edges(), 2);
+        assert!(!sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DataGraph::from_edges(0, []);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_degree(), 0);
+    }
+}

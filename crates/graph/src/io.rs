@@ -1,0 +1,135 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the usual whitespace-separated `u v` per line, with `#`
+//! comments, which is how public social-network snapshots (the paper's
+//! motivating inputs) are distributed.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{DataGraph, NodeId};
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Errors arising while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment, blank, nor a `u v` pair.
+    Parse { line_number: usize, content: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Parse {
+                line_number,
+                content,
+            } => write!(f, "cannot parse line {line_number}: {content:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses an edge list from any buffered reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DataGraph, EdgeListError> {
+    let mut builder = GraphBuilder::new(0);
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a.parse::<NodeId>(), b.parse::<NodeId>()),
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line_number: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        match (u, v) {
+            (Ok(u), Ok(v)) => {
+                builder.add_edge(u, v);
+            }
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line_number: idx + 1,
+                    content: line.clone(),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DataGraph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file))
+}
+
+/// Writes the canonical edge list (`lo hi` per line) to any writer.
+pub fn write_edge_list<W: Write>(graph: &DataGraph, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "# nodes={} edges={}", graph.num_nodes(), graph.num_edges())?;
+    for e in graph.edges() {
+        writeln!(writer, "{} {}", e.lo(), e.hi())?;
+    }
+    Ok(())
+}
+
+/// Writes the edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &DataGraph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = generators::gnm(40, 100, 5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.num_edges(), g.num_edges());
+        for e in g.edges() {
+            assert!(parsed.has_edge(e.lo(), e.hi()));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n% another\n0 1\n1 2\n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_number() {
+        let text = "0 1\nnot-an-edge\n";
+        let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            EdgeListError::Parse { line_number, .. } => assert_eq!(line_number, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_endpoint_is_an_error() {
+        let text = "0\n";
+        assert!(read_edge_list(io::BufReader::new(text.as_bytes())).is_err());
+    }
+}

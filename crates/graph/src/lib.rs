@@ -1,0 +1,37 @@
+//! Data-graph substrate for single-round map-reduce subgraph enumeration.
+//!
+//! The paper (Afrati, Fotakis, Ullman, ICDE 2013) works with a *data graph* `G`
+//! of `n` nodes and `m` undirected, unlabeled edges. Every algorithm in the
+//! paper relies on three properties of the data-graph representation that this
+//! crate provides:
+//!
+//! 1. **A total order `<` on nodes.** Section 2.2 uses an arbitrary order so
+//!    that the edge relation `E(a, b)` stores each undirected edge exactly once
+//!    with `a < b`; Section 2.3 and Theorem 4.2 order nodes by
+//!    *(hash bucket, id)*; Section 7 orders nodes by *non-decreasing degree*.
+//!    [`ordering::NodeOrder`] makes the order pluggable.
+//! 2. **An O(1) edge-existence index** (Section 6.2), used by the decomposition
+//!    join (Lemma 6.1), the `OddCycle` algorithm (Algorithm 1) and the
+//!    bounded-degree algorithm (Theorem 7.3).
+//! 3. **Adjacency lists** retrievable in time proportional to the degree
+//!    (Section 7), stored here in compressed sparse row (CSR) form.
+//!
+//! Synthetic generators reproduce the graph families the paper analyses:
+//! uniformly random `G(n, m)` and `G(n, p)` graphs, power-law (Chung–Lu)
+//! graphs standing in for social networks, Δ-regular trees (the worst case of
+//! Section 7.3), cycles, cliques, grids, stars, and degree-capped graphs for
+//! the `√m` bounded-degree regime.
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod ordering;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use graph::{DataGraph, Edge, NodeId};
+pub use ordering::{BucketThenIdOrder, DegreeOrder, IdOrder, NodeOrder};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,191 @@
+//! Pluggable total orders on data-graph nodes.
+//!
+//! The paper uses three different total orders `<` on the nodes of the data
+//! graph, for three different purposes:
+//!
+//! * **Identifier order** (Section 2.2): any fixed order works for storing the
+//!   edge relation `E(a, b)` with `a < b` so that each instance of the sample
+//!   graph is produced exactly once.
+//! * **Bucket-then-identifier order** (Section 2.3 and Theorem 4.2): nodes are
+//!   ordered first by their hash bucket `h(v)` and ties are broken by the
+//!   identifier. With this order, only reducers whose bucket list is
+//!   non-decreasing can receive instances, shrinking the reducer count from
+//!   `b^p` to `C(b + p - 1, p)` and the replication per edge to `b^{p-2}/(p-2)!`.
+//! * **Degree order** (Section 7): nodes in non-decreasing order of degree,
+//!   ties broken by identifier, which is what makes "properly ordered 2-paths"
+//!   (Lemma 7.1) countable in `O(m^{3/2})`.
+
+use crate::graph::{DataGraph, NodeId};
+
+/// A total order on the nodes of a specific data graph.
+pub trait NodeOrder {
+    /// A sort key such that `key(u) < key(v)` iff `u` precedes `v`.
+    fn key(&self, v: NodeId) -> (u64, NodeId);
+
+    /// True iff `u` strictly precedes `v` in this order.
+    fn precedes(&self, u: NodeId, v: NodeId) -> bool {
+        self.key(u) < self.key(v)
+    }
+
+    /// Orients the undirected edge `{u, v}` so that the first component
+    /// precedes the second.
+    fn orient(&self, u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if self.precedes(u, v) {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+}
+
+/// The trivial order by node identifier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdOrder;
+
+impl NodeOrder for IdOrder {
+    fn key(&self, v: NodeId) -> (u64, NodeId) {
+        (0, v)
+    }
+}
+
+/// Order by `(hash bucket, identifier)` as in Section 2.3.
+///
+/// The hash function is a multiplicative hash reduced modulo the number of
+/// buckets `b`; the exact function is irrelevant to correctness, only that it
+/// is a fixed map from nodes to `1..=b`.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketThenIdOrder {
+    buckets: u64,
+    seed: u64,
+}
+
+impl BucketThenIdOrder {
+    /// Creates the order with `b` buckets. `b` must be at least 1.
+    pub fn new(buckets: usize) -> Self {
+        Self::with_seed(buckets, 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Creates the order with an explicit hash seed (useful in tests that
+    /// need to exercise collisions deterministically).
+    pub fn with_seed(buckets: usize, seed: u64) -> Self {
+        assert!(buckets >= 1, "at least one bucket is required");
+        BucketThenIdOrder {
+            buckets: buckets as u64,
+            seed,
+        }
+    }
+
+    /// Number of buckets `b`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets as usize
+    }
+
+    /// The bucket of node `v`, in `0..b`.
+    pub fn bucket(&self, v: NodeId) -> usize {
+        // SplitMix64-style finalizer: cheap, deterministic and well mixed.
+        let mut x = (v as u64).wrapping_add(self.seed);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x % self.buckets) as usize
+    }
+}
+
+impl NodeOrder for BucketThenIdOrder {
+    fn key(&self, v: NodeId) -> (u64, NodeId) {
+        (self.bucket(v) as u64, v)
+    }
+}
+
+/// Order by non-decreasing degree, ties broken by identifier (Section 7).
+#[derive(Clone, Debug)]
+pub struct DegreeOrder {
+    degrees: Vec<u64>,
+}
+
+impl DegreeOrder {
+    /// Builds the degree order for `graph`.
+    pub fn new(graph: &DataGraph) -> Self {
+        let degrees = graph.nodes().map(|v| graph.degree(v) as u64).collect();
+        DegreeOrder { degrees }
+    }
+}
+
+impl NodeOrder for DegreeOrder {
+    fn key(&self, v: NodeId) -> (u64, NodeId) {
+        (self.degrees[v as usize], v)
+    }
+}
+
+/// Returns the neighbours of `v` that strictly follow `v` in `order`
+/// (the set `Γ_<(v)` of Lemma 7.1).
+pub fn later_neighbors<O: NodeOrder>(graph: &DataGraph, order: &O, v: NodeId) -> Vec<NodeId> {
+    graph
+        .neighbors(v)
+        .iter()
+        .copied()
+        .filter(|&u| order.precedes(v, u))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn id_order_is_numeric() {
+        let o = IdOrder;
+        assert!(o.precedes(1, 2));
+        assert!(!o.precedes(2, 2));
+        assert_eq!(o.orient(5, 3), (3, 5));
+    }
+
+    #[test]
+    fn bucket_order_groups_by_bucket_first() {
+        let o = BucketThenIdOrder::new(4);
+        for v in 0..100u32 {
+            assert!(o.bucket(v) < 4);
+        }
+        // Nodes in the same bucket fall back to id order.
+        let mut same_bucket: Vec<u32> = (0..1000).filter(|&v| o.bucket(v) == 0).collect();
+        same_bucket.sort_unstable();
+        for w in same_bucket.windows(2) {
+            assert!(o.precedes(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn bucket_order_single_bucket_degenerates_to_id() {
+        let o = BucketThenIdOrder::new(1);
+        for v in 0..50u32 {
+            assert_eq!(o.bucket(v), 0);
+        }
+        assert!(o.precedes(3, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buckets_rejected() {
+        let _ = BucketThenIdOrder::new(0);
+    }
+
+    #[test]
+    fn degree_order_sorts_by_degree() {
+        // Star with centre 0: centre has max degree, must come last.
+        let g = generators::star(5);
+        let o = DegreeOrder::new(&g);
+        for leaf in 1..5u32 {
+            assert!(o.precedes(leaf, 0));
+        }
+        assert!(o.precedes(1, 2)); // equal degree → id breaks the tie
+    }
+
+    #[test]
+    fn orient_respects_order() {
+        let g = generators::star(4);
+        let o = DegreeOrder::new(&g);
+        assert_eq!(o.orient(0, 3), (3, 0));
+        assert_eq!(o.orient(3, 0), (3, 0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests over the graph substrate.
+
+use crate::builder::GraphBuilder;
+use crate::generators;
+use crate::graph::NodeId;
+use crate::ordering::{BucketThenIdOrder, DegreeOrder, IdOrder, NodeOrder};
+use proptest::prelude::*;
+
+fn arbitrary_edge_list() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec((0u32..60, 0u32..60), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn degrees_sum_to_twice_edges(edges in arbitrary_edge_list()) {
+        let mut b = GraphBuilder::new(60);
+        b.add_edges(edges);
+        let g = b.build();
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn has_edge_matches_adjacency(edges in arbitrary_edge_list()) {
+        let mut b = GraphBuilder::new(60);
+        b.add_edges(edges);
+        let g = b.build();
+        for v in g.nodes() {
+            for &u in g.neighbors(v) {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        for e in g.edges() {
+            prop_assert!(g.neighbors(e.lo()).contains(&e.hi()));
+        }
+    }
+
+    #[test]
+    fn orderings_are_total_and_antisymmetric(
+        edges in arbitrary_edge_list(),
+        buckets in 1usize..8,
+    ) {
+        let mut b = GraphBuilder::new(60);
+        b.add_edges(edges);
+        let g = b.build();
+        let degree = DegreeOrder::new(&g);
+        let bucket = BucketThenIdOrder::new(buckets);
+        let id = IdOrder;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    prop_assert!(!id.precedes(u, v));
+                    prop_assert!(!degree.precedes(u, v));
+                    prop_assert!(!bucket.precedes(u, v));
+                } else {
+                    prop_assert!(id.precedes(u, v) ^ id.precedes(v, u));
+                    prop_assert!(degree.precedes(u, v) ^ degree.precedes(v, u));
+                    prop_assert!(bucket.precedes(u, v) ^ bucket.precedes(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gnm_generator_edge_count_and_simplicity(n in 5usize..40, seed in 0u64..20) {
+        let max = n * (n - 1) / 2;
+        let m = max / 2;
+        let g = generators::gnm(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+        for e in g.edges() {
+            prop_assert!(e.lo() < e.hi());
+            prop_assert!((e.hi() as usize) < n);
+        }
+    }
+
+    #[test]
+    fn filter_edges_is_monotone(edges in arbitrary_edge_list(), threshold in 0u32..60) {
+        let mut b = GraphBuilder::new(60);
+        b.add_edges(edges);
+        let g = b.build();
+        let sub = g.filter_edges(|e| e.lo() >= threshold);
+        prop_assert!(sub.num_edges() <= g.num_edges());
+        for e in sub.edges() {
+            prop_assert!(g.has_edge(e.lo(), e.hi()));
+            prop_assert!(e.lo() >= threshold);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Graph statistics used for cost prediction and experiment reporting.
+
+use crate::graph::DataGraph;
+
+/// Summary statistics of a data graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Number of undirected edges `m`.
+    pub num_edges: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Minimum degree over nodes (0 if there are isolated nodes).
+    pub min_degree: usize,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+    /// Number of nodes whose degree is at least `√m` ("high-degree" nodes in
+    /// the sense of Lemma 7.1). The lemma shows there are at most `√m` such
+    /// nodes.
+    pub high_degree_nodes: usize,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn stats(graph: &DataGraph) -> GraphStats {
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let mut max_degree = 0usize;
+    let mut min_degree = usize::MAX;
+    let sqrt_m = (m as f64).sqrt();
+    let mut high = 0usize;
+    for v in graph.nodes() {
+        let d = graph.degree(v);
+        max_degree = max_degree.max(d);
+        min_degree = min_degree.min(d);
+        if d as f64 >= sqrt_m && m > 0 {
+            high += 1;
+        }
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    GraphStats {
+        num_nodes: n,
+        num_edges: m,
+        max_degree,
+        min_degree,
+        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        high_degree_nodes: high,
+    }
+}
+
+/// Degree histogram: entry `i` is the number of nodes with degree `i`.
+pub fn degree_histogram(graph: &DataGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_a_star() {
+        let g = generators::star(6);
+        let s = stats(&g);
+        assert_eq!(s.num_nodes, 6);
+        assert_eq!(s.num_edges, 5);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.min_degree, 1);
+        assert!((s.avg_degree - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_degree_bound_of_lemma_7_1() {
+        // Lemma 7.1: at most √m nodes have degree ≥ √m.
+        for seed in 0..5 {
+            let g = generators::gnm(100, 400, seed);
+            let s = stats(&g);
+            assert!(
+                (s.high_degree_nodes as f64) <= (s.num_edges as f64).sqrt() + 1e-9,
+                "too many high-degree nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = generators::gnm(50, 120, 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 50);
+        let sum_deg: usize = hist.iter().enumerate().map(|(d, c)| d * c).sum();
+        assert_eq!(sum_deg, 240);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::graph::DataGraph::from_edges(0, []);
+        let s = stats(&g);
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

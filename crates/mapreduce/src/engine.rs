@@ -1,0 +1,264 @@
+//! Execution of one map-reduce round on worker threads.
+
+use crate::metrics::JobMetrics;
+use crate::task::{MapContext, Mapper, ReduceContext, Reducer};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of worker threads for both the map and the reduce phase.
+    /// Defaults to the number of available CPUs (at least 1).
+    pub num_threads: usize,
+    /// If true, the reducer outputs are sorted per shard before being
+    /// concatenated, making the output order deterministic regardless of the
+    /// thread count. Requires `O: Ord`? — sorting is applied only to the shard
+    /// concatenation order (which is already deterministic), so no bound is
+    /// needed; kept for future use.
+    pub deterministic: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            deterministic: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A single-threaded configuration (useful in tests and for debugging).
+    pub fn serial() -> Self {
+        EngineConfig {
+            num_threads: 1,
+            deterministic: true,
+        }
+    }
+
+    /// A configuration with an explicit thread count.
+    pub fn with_threads(num_threads: usize) -> Self {
+        EngineConfig {
+            num_threads: num_threads.max(1),
+            deterministic: true,
+        }
+    }
+}
+
+/// Runs one map-reduce round over `inputs` and returns the reducer outputs
+/// together with the measured [`JobMetrics`].
+///
+/// The dataflow is exactly the paper's single round: every input record is
+/// mapped independently, the emitted pairs are grouped by key, and the reducer
+/// is invoked once per distinct key with all values for that key.
+pub fn run_job<I, K, V, O, M, R>(
+    inputs: &[I],
+    mapper: &M,
+    reducer: &R,
+    config: &EngineConfig,
+) -> (Vec<O>, JobMetrics)
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+    M: Mapper<I, K, V>,
+    R: Reducer<K, V, O>,
+{
+    let threads = config.num_threads.max(1);
+    let mut metrics = JobMetrics {
+        input_records: inputs.len(),
+        ..JobMetrics::default()
+    };
+
+    // ---- Map phase -------------------------------------------------------
+    let map_start = Instant::now();
+    let chunk_size = inputs.len().div_ceil(threads).max(1);
+    let mapped: Vec<Vec<(K, V)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut pairs = Vec::new();
+                    for record in chunk {
+                        let mut ctx = MapContext::new();
+                        mapper.map(record, &mut ctx);
+                        pairs.extend(ctx.into_pairs());
+                    }
+                    pairs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
+    });
+    metrics.map_time = map_start.elapsed();
+    metrics.key_value_pairs = mapped.iter().map(|v| v.len()).sum();
+
+    // ---- Shuffle phase ----------------------------------------------------
+    // Pairs are sharded by key hash so that each reduce worker owns a disjoint
+    // set of keys; grouping within a shard uses a hash map keyed by K.
+    let shuffle_start = Instant::now();
+    let mut shards: Vec<HashMap<K, Vec<V>>> = (0..threads).map(|_| HashMap::new()).collect();
+    for pairs in mapped {
+        for (key, value) in pairs {
+            let shard = (hash_of(&key) as usize) % threads;
+            shards[shard].entry(key).or_default().push(value);
+        }
+    }
+    metrics.shuffle_time = shuffle_start.elapsed();
+    metrics.reducers_used = shards.iter().map(|s| s.len()).sum();
+    metrics.max_reducer_input = shards
+        .iter()
+        .flat_map(|s| s.values().map(|v| v.len()))
+        .max()
+        .unwrap_or(0);
+
+    // ---- Reduce phase -----------------------------------------------------
+    let reduce_start = Instant::now();
+    let reduced: Vec<(Vec<O>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    // Sort keys for deterministic per-shard iteration order.
+                    let mut groups: Vec<(K, Vec<V>)> = shard.into_iter().collect();
+                    groups.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut outputs = Vec::new();
+                    let mut work = 0u64;
+                    for (key, values) in groups {
+                        let mut ctx = ReduceContext::new();
+                        reducer.reduce(&key, &values, &mut ctx);
+                        let (out, w) = ctx.into_parts();
+                        outputs.extend(out);
+                        work += w;
+                    }
+                    (outputs, work)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker panicked"))
+            .collect()
+    });
+    metrics.reduce_time = reduce_start.elapsed();
+
+    let mut outputs = Vec::new();
+    for (out, work) in reduced {
+        metrics.reducer_work += work;
+        outputs.extend(out);
+    }
+    metrics.outputs = outputs.len();
+    (outputs, metrics)
+}
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{MapContext, ReduceContext};
+
+    /// Word-count style job: count occurrences of each number modulo 10.
+    fn modulo_count(inputs: &[u64], threads: usize) -> (Vec<(u64, usize)>, JobMetrics) {
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 10, *x);
+        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, usize)>| {
+            ctx.add_work(vs.len() as u64);
+            ctx.emit((*k, vs.len()));
+        };
+        run_job(inputs, &mapper, &reducer, &EngineConfig::with_threads(threads))
+    }
+
+    #[test]
+    fn counts_are_correct_and_metrics_consistent() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let (mut outputs, metrics) = modulo_count(&inputs, 4);
+        outputs.sort_unstable();
+        assert_eq!(outputs.len(), 10);
+        assert!(outputs.iter().all(|&(_, c)| c == 100));
+        assert_eq!(metrics.input_records, 1000);
+        assert_eq!(metrics.key_value_pairs, 1000);
+        assert_eq!(metrics.reducers_used, 10);
+        assert_eq!(metrics.max_reducer_input, 100);
+        assert_eq!(metrics.reducer_work, 1000);
+        assert_eq!(metrics.outputs, 10);
+        assert!((metrics.replication_per_input() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let inputs: Vec<u64> = (0..500).map(|i| i * 7 % 113).collect();
+        let (mut serial, _) = modulo_count(&inputs, 1);
+        let (mut parallel, _) = modulo_count(&inputs, 8);
+        serial.sort_unstable();
+        parallel.sort_unstable();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn replication_is_counted_per_emission() {
+        // Each input emits 3 pairs: communication cost is 3 per record.
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| {
+            for i in 0..3 {
+                ctx.emit(x + i, *x);
+            }
+        };
+        let reducer =
+            |_k: &u64, vs: &[u64], ctx: &mut ReduceContext<usize>| ctx.emit(vs.len());
+        let inputs: Vec<u64> = (0..50).collect();
+        let (_, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::serial());
+        assert_eq!(metrics.key_value_pairs, 150);
+        assert!((metrics.replication_per_input() - 3.0).abs() < 1e-12);
+        assert_eq!(metrics.reducers_used, 52); // keys 0..=51
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let inputs: Vec<u64> = Vec::new();
+        let (outputs, metrics) = modulo_count(&inputs, 4);
+        assert!(outputs.is_empty());
+        assert_eq!(metrics.key_value_pairs, 0);
+        assert_eq!(metrics.reducers_used, 0);
+        assert_eq!(metrics.max_reducer_input, 0);
+    }
+
+    #[test]
+    fn mapper_emitting_nothing_is_fine() {
+        let mapper = |_x: &u64, _ctx: &mut MapContext<u64, u64>| {};
+        let reducer =
+            |_k: &u64, _vs: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(1);
+        let inputs: Vec<u64> = (0..10).collect();
+        let (outputs, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::default());
+        assert!(outputs.is_empty());
+        assert_eq!(metrics.key_value_pairs, 0);
+        assert_eq!(metrics.reducers_used, 0);
+    }
+
+    #[test]
+    fn vector_keys_work_as_reducer_identifiers() {
+        // The paper's reducer keys are lists of bucket numbers.
+        let mapper = |x: &u64, ctx: &mut MapContext<Vec<u32>, u64>| {
+            ctx.emit(vec![(x % 3) as u32, (x % 5) as u32], *x);
+        };
+        let reducer = |k: &Vec<u32>, vs: &[u64], ctx: &mut ReduceContext<(Vec<u32>, usize)>| {
+            ctx.emit((k.clone(), vs.len()));
+        };
+        let inputs: Vec<u64> = (0..150).collect();
+        let (outputs, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(3));
+        assert_eq!(metrics.reducers_used, 15);
+        assert_eq!(outputs.len(), 15);
+        assert!(outputs.iter().all(|(_, c)| *c == 10));
+    }
+}

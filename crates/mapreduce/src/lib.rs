@@ -1,0 +1,31 @@
+//! An in-process, single-round map-reduce engine with cost instrumentation.
+//!
+//! The paper analyses its algorithms on two cost measures (Section 1.2):
+//!
+//! 1. **Communication cost** — the number of key-value pairs shipped from the
+//!    mappers to the reducers (edges of the data graph are replicated to many
+//!    reducer keys).
+//! 2. **Computation cost** — the total work performed by all reducers.
+//!
+//! This engine executes exactly the dataflow those costs describe — map every
+//! input record to a multiset of `(key, value)` pairs, group by key, run one
+//! reducer invocation per distinct key — and *measures* both quantities, so
+//! the reproduction experiments compare the paper's formulas against observed
+//! counts rather than against estimates. Reducer keys in the paper are lists
+//! of bucket numbers; the engine is generic over any hashable key type.
+//!
+//! The engine runs mappers and reducers on a configurable number of threads
+//! (`std::thread::scope` workers fed through simple sharding); it intentionally
+//! does not model network transfer, spilling, or fault tolerance — none of
+//! which affect the two cost measures above.
+
+pub mod engine;
+pub mod metrics;
+pub mod task;
+
+pub use engine::{run_job, EngineConfig};
+pub use metrics::JobMetrics;
+pub use task::{MapContext, Mapper, ReduceContext, Reducer};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,100 @@
+//! Cost metrics collected while running a single map-reduce round.
+
+use std::time::Duration;
+
+/// Everything the paper's cost model talks about, measured on an actual run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobMetrics {
+    /// Number of input records fed to the mappers (for the paper's algorithms:
+    /// the number of edges `m` of the data graph).
+    pub input_records: usize,
+    /// Total key-value pairs emitted by all mappers — the paper's
+    /// **communication cost** (Section 1.2).
+    pub key_value_pairs: usize,
+    /// Number of distinct keys that received at least one value, i.e. the
+    /// number of reducers actually executed. The paper calls this the "number
+    /// of reducers"; with the hash-ordered scheme of Section 2.3 it is much
+    /// smaller than the number of possible keys.
+    pub reducers_used: usize,
+    /// Largest input (value count) handled by any single reducer — the skew
+    /// indicator behind "the curse of the last reducer".
+    pub max_reducer_input: usize,
+    /// Total computation-cost units reported by the reducers via
+    /// [`crate::ReduceContext::add_work`].
+    pub reducer_work: u64,
+    /// Total number of output records emitted by the reducers.
+    pub outputs: usize,
+    /// Wall-clock time of the map phase.
+    pub map_time: Duration,
+    /// Wall-clock time of the shuffle (grouping) phase.
+    pub shuffle_time: Duration,
+    /// Wall-clock time of the reduce phase.
+    pub reduce_time: Duration,
+}
+
+impl JobMetrics {
+    /// Communication cost per input record — the quantity the paper's
+    /// per-edge replication formulas (e.g. `b`, `3b − 2`, `3b/2`) predict.
+    pub fn replication_per_input(&self) -> f64 {
+        if self.input_records == 0 {
+            0.0
+        } else {
+            self.key_value_pairs as f64 / self.input_records as f64
+        }
+    }
+
+    /// Mean reducer input size.
+    pub fn mean_reducer_input(&self) -> f64 {
+        if self.reducers_used == 0 {
+            0.0
+        } else {
+            self.key_value_pairs as f64 / self.reducers_used as f64
+        }
+    }
+
+    /// Ratio of the largest reducer input to the mean — 1.0 means perfectly
+    /// balanced reducers, larger values mean skew.
+    pub fn skew(&self) -> f64 {
+        let mean = self.mean_reducer_input();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_reducer_input as f64 / mean
+        }
+    }
+
+    /// Total wall-clock time of the round.
+    pub fn total_time(&self) -> Duration {
+        self.map_time + self.shuffle_time + self.reduce_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let metrics = JobMetrics {
+            input_records: 100,
+            key_value_pairs: 500,
+            reducers_used: 50,
+            max_reducer_input: 20,
+            reducer_work: 1234,
+            outputs: 7,
+            ..JobMetrics::default()
+        };
+        assert!((metrics.replication_per_input() - 5.0).abs() < 1e-12);
+        assert!((metrics.mean_reducer_input() - 10.0).abs() < 1e-12);
+        assert!((metrics.skew() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_job_has_zero_ratios() {
+        let metrics = JobMetrics::default();
+        assert_eq!(metrics.replication_per_input(), 0.0);
+        assert_eq!(metrics.mean_reducer_input(), 0.0);
+        assert_eq!(metrics.skew(), 0.0);
+        assert_eq!(metrics.total_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the map-reduce engine.
+
+use crate::engine::{run_job, EngineConfig};
+use crate::task::{MapContext, ReduceContext};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Grouping semantics: the engine delivers every value to exactly one
+    /// reducer invocation, keyed correctly, regardless of thread count.
+    #[test]
+    fn grouping_matches_a_hashmap_reference(
+        inputs in prop::collection::vec(0u64..200, 0..300),
+        threads in 1usize..8,
+    ) {
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 17, *x);
+        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, usize)>| {
+            ctx.emit((*k, vs.iter().sum(), vs.len()));
+        };
+        let (outputs, metrics) =
+            run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(threads));
+
+        let mut reference: HashMap<u64, (u64, usize)> = HashMap::new();
+        for x in &inputs {
+            let entry = reference.entry(x % 17).or_default();
+            entry.0 += x;
+            entry.1 += 1;
+        }
+        prop_assert_eq!(outputs.len(), reference.len());
+        prop_assert_eq!(metrics.reducers_used, reference.len());
+        prop_assert_eq!(metrics.key_value_pairs, inputs.len());
+        for (k, sum, count) in outputs {
+            let expected = reference.get(&k).copied().unwrap_or((0, 0));
+            prop_assert_eq!((sum, count), expected);
+        }
+    }
+
+    /// Communication cost equals the number of emissions, independent of the
+    /// number of reducers or threads.
+    #[test]
+    fn communication_cost_counts_every_emission(
+        inputs in prop::collection::vec(0u64..100, 0..200),
+        replication in 1usize..6,
+        threads in 1usize..6,
+    ) {
+        let mapper = move |x: &u64, ctx: &mut MapContext<u64, u64>| {
+            for i in 0..replication {
+                ctx.emit(x.wrapping_add(i as u64 * 31), *x);
+            }
+        };
+        let reducer = |_k: &u64, vs: &[u64], ctx: &mut ReduceContext<usize>| {
+            ctx.add_work(vs.len() as u64);
+            ctx.emit(vs.len());
+        };
+        let (_, metrics) =
+            run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(threads));
+        prop_assert_eq!(metrics.key_value_pairs, inputs.len() * replication);
+        // Every shipped pair reaches exactly one reducer, so the reducer-side
+        // work (which counts received values) equals the communication cost.
+        prop_assert_eq!(metrics.reducer_work as usize, inputs.len() * replication);
+        prop_assert!(metrics.max_reducer_input <= metrics.key_value_pairs);
+    }
+
+    /// Thread count never changes the multiset of outputs.
+    #[test]
+    fn outputs_are_thread_count_invariant(
+        inputs in prop::collection::vec(0u64..500, 0..250),
+    ) {
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 23, x * x);
+        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.emit((*k, vs.iter().copied().max().unwrap_or(0)));
+        };
+        let mut baseline: Option<Vec<(u64, u64)>> = None;
+        for threads in [1usize, 2, 5] {
+            let (mut outputs, _) =
+                run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(threads));
+            outputs.sort_unstable();
+            match &baseline {
+                None => baseline = Some(outputs),
+                Some(expected) => prop_assert_eq!(&outputs, expected),
+            }
+        }
+    }
+}

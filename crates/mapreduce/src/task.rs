@@ -1,0 +1,143 @@
+//! Mapper and reducer traits plus their emission contexts.
+
+/// Collects the key-value pairs emitted by a mapper for one input record and
+/// counts them (each emission is one unit of communication cost).
+pub struct MapContext<K, V> {
+    emitted: Vec<(K, V)>,
+}
+
+impl<K, V> MapContext<K, V> {
+    pub(crate) fn new() -> Self {
+        MapContext { emitted: Vec::new() }
+    }
+
+    /// Emits one key-value pair towards the reducers.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted.push((key, value));
+    }
+
+    /// Number of pairs emitted so far for the current record.
+    pub fn emitted_len(&self) -> usize {
+        self.emitted.len()
+    }
+
+    pub(crate) fn into_pairs(self) -> Vec<(K, V)> {
+        self.emitted
+    }
+}
+
+/// Collects reducer output and the reducer's self-reported computation cost.
+pub struct ReduceContext<O> {
+    outputs: Vec<O>,
+    work: u64,
+}
+
+impl<O> ReduceContext<O> {
+    pub(crate) fn new() -> Self {
+        ReduceContext {
+            outputs: Vec::new(),
+            work: 0,
+        }
+    }
+
+    /// Emits one output record.
+    pub fn emit(&mut self, output: O) {
+        self.outputs.push(output);
+    }
+
+    /// Adds `units` to the reducer's computation-cost counter. The paper's
+    /// computation cost is the total over all reducers of whatever unit the
+    /// serial algorithm counts (e.g. candidate instances examined); reducers
+    /// report it explicitly so that the harness can compare the parallel total
+    /// against the serial baseline (Theorem 6.1).
+    pub fn add_work(&mut self, units: u64) {
+        self.work += units;
+    }
+
+    /// Number of outputs emitted so far.
+    pub fn output_len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<O>, u64) {
+        (self.outputs, self.work)
+    }
+}
+
+/// A map function: one input record to any number of key-value pairs.
+///
+/// In every algorithm of the paper the input records are the edges of the data
+/// graph and the mapper's only job is key assignment, so its computation cost
+/// is proportional to the communication cost (Section 1.2) — the engine
+/// therefore only tracks the emission count on the map side.
+pub trait Mapper<I, K, V>: Sync {
+    /// Maps one input record.
+    fn map(&self, input: &I, ctx: &mut MapContext<K, V>);
+}
+
+/// A reduce function: one distinct key and all values grouped under it.
+pub trait Reducer<K, V, O>: Sync {
+    /// Reduces one key group.
+    fn reduce(&self, key: &K, values: &[V], ctx: &mut ReduceContext<O>);
+}
+
+/// Blanket implementation so plain closures can act as mappers.
+impl<I, K, V, F> Mapper<I, K, V> for F
+where
+    F: Fn(&I, &mut MapContext<K, V>) + Sync,
+{
+    fn map(&self, input: &I, ctx: &mut MapContext<K, V>) {
+        self(input, ctx)
+    }
+}
+
+/// Blanket implementation so plain closures can act as reducers.
+impl<K, V, O, F> Reducer<K, V, O> for F
+where
+    F: Fn(&K, &[V], &mut ReduceContext<O>) + Sync,
+{
+    fn reduce(&self, key: &K, values: &[V], ctx: &mut ReduceContext<O>) {
+        self(key, values, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_context_counts_emissions() {
+        let mut ctx: MapContext<u32, &str> = MapContext::new();
+        ctx.emit(1, "a");
+        ctx.emit(2, "b");
+        assert_eq!(ctx.emitted_len(), 2);
+        assert_eq!(ctx.into_pairs(), vec![(1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn reduce_context_tracks_outputs_and_work() {
+        let mut ctx: ReduceContext<u64> = ReduceContext::new();
+        ctx.emit(7);
+        ctx.add_work(5);
+        ctx.add_work(3);
+        assert_eq!(ctx.output_len(), 1);
+        let (outputs, work) = ctx.into_parts();
+        assert_eq!(outputs, vec![7]);
+        assert_eq!(work, 8);
+    }
+
+    #[test]
+    fn closures_implement_the_traits() {
+        let mapper = |x: &u32, ctx: &mut MapContext<u32, u32>| ctx.emit(x % 2, *x);
+        let mut ctx = MapContext::new();
+        mapper.map(&5, &mut ctx);
+        assert_eq!(ctx.into_pairs(), vec![(1, 5)]);
+
+        let reducer = |_k: &u32, vs: &[u32], ctx: &mut ReduceContext<u32>| {
+            ctx.emit(vs.iter().sum());
+        };
+        let mut rctx = ReduceContext::new();
+        reducer.reduce(&1, &[1, 2, 3], &mut rctx);
+        assert_eq!(rctx.into_parts().0, vec![6]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Automorphism groups of sample graphs and the coset representatives of
+//! `S_p / Aut(S)` used by Theorem 3.1.
+//!
+//! An *automorphism* is a bijection on the nodes of `S` that preserves
+//! adjacency. The paper (Theorem 3.1) shows that one conjunctive query per
+//! member of the quotient of the symmetric group `S_p` by `Aut(S)` suffices to
+//! discover every instance of `S` exactly once. Because sample graphs are tiny
+//! we compute both the group and the quotient by brute force over all `p!`
+//! permutations.
+
+use crate::sample::{PatternNode, SampleGraph};
+use std::collections::HashSet;
+
+/// A permutation of the pattern nodes, stored as `perm[old] = new`.
+pub type Permutation = Vec<PatternNode>;
+
+/// A *node order*: a sequence listing the pattern nodes from smallest to
+/// largest. `order[rank] = node`. Every total order of the pattern nodes is
+/// one of the `p!` permutations written this way.
+pub type NodeOrdering = Vec<PatternNode>;
+
+/// Generates every permutation of `0..p` in lexicographic order.
+pub fn all_permutations(p: usize) -> Vec<Permutation> {
+    let mut result = Vec::new();
+    let mut current: Permutation = (0..p as PatternNode).collect();
+    loop {
+        result.push(current.clone());
+        // Next lexicographic permutation (classic algorithm).
+        let n = current.len();
+        if n < 2 {
+            break;
+        }
+        let mut i = n - 1;
+        while i > 0 && current[i - 1] >= current[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            break;
+        }
+        let mut j = n - 1;
+        while current[j] <= current[i - 1] {
+            j -= 1;
+        }
+        current.swap(i - 1, j);
+        current[i..].reverse();
+    }
+    result
+}
+
+/// Computes the full automorphism group of `sample` (always contains the
+/// identity). Exhaustive over all `p!` permutations.
+pub fn automorphism_group(sample: &SampleGraph) -> Vec<Permutation> {
+    all_permutations(sample.num_nodes())
+        .into_iter()
+        .filter(|perm| sample.is_automorphism(perm))
+        .collect()
+}
+
+/// Applies an automorphism `mu` to a node ordering, yielding the ordering in
+/// which the node at rank `i` is `mu(order[i])`.
+pub fn apply_to_ordering(mu: &Permutation, order: &NodeOrdering) -> NodeOrdering {
+    order.iter().map(|&v| mu[v as usize]).collect()
+}
+
+/// One node ordering per equivalence class of `S_p / Aut(S)` (Theorem 3.1),
+/// chosen as the lexicographically smallest member of each class. The number
+/// of representatives is exactly `p! / |Aut(S)|`.
+pub fn order_representatives(sample: &SampleGraph) -> Vec<NodeOrdering> {
+    let autos = automorphism_group(sample);
+    let mut seen: HashSet<NodeOrdering> = HashSet::new();
+    let mut reps = Vec::new();
+    for order in all_permutations(sample.num_nodes()) {
+        if seen.contains(&order) {
+            continue;
+        }
+        for mu in &autos {
+            seen.insert(apply_to_ordering(mu, &order));
+        }
+        reps.push(order);
+    }
+    reps
+}
+
+/// Checks whether two sample graphs are isomorphic (brute force; both must be
+/// small). Returns a witness mapping `perm[node of a] = node of b` if so.
+pub fn isomorphism(a: &SampleGraph, b: &SampleGraph) -> Option<Permutation> {
+    if a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges() {
+        return None;
+    }
+    all_permutations(a.num_nodes()).into_iter().find(|perm| {
+        a.edges()
+            .iter()
+            .all(|&(u, v)| b.has_edge(perm[u as usize], perm[v as usize]))
+            && b.num_edges() == a.num_edges()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn permutation_enumeration_counts() {
+        assert_eq!(all_permutations(0).len(), 1);
+        assert_eq!(all_permutations(1).len(), 1);
+        assert_eq!(all_permutations(3).len(), 6);
+        assert_eq!(all_permutations(5).len(), 120);
+    }
+
+    #[test]
+    fn permutations_are_lexicographic_and_distinct() {
+        let perms = all_permutations(4);
+        assert_eq!(perms.len(), 24);
+        for w in perms.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn automorphism_group_sizes_match_the_paper() {
+        // Square: 8 (Example 3.2). Lollipop: 2 (Section 3.3). Cycle C_p: 2p
+        // (Section 5.1). Clique K_p: p!.
+        assert_eq!(automorphism_group(&catalog::square()).len(), 8);
+        assert_eq!(automorphism_group(&catalog::lollipop()).len(), 2);
+        assert_eq!(automorphism_group(&catalog::cycle(5)).len(), 10);
+        assert_eq!(automorphism_group(&catalog::cycle(6)).len(), 12);
+        assert_eq!(automorphism_group(&catalog::clique(4)).len(), 24);
+        assert_eq!(automorphism_group(&catalog::triangle()).len(), 6);
+        assert_eq!(automorphism_group(&catalog::path(4)).len(), 2);
+        assert_eq!(automorphism_group(&catalog::star(5)).len(), 24);
+    }
+
+    #[test]
+    fn group_contains_identity_and_is_closed() {
+        let square = catalog::square();
+        let autos = automorphism_group(&square);
+        let identity: Permutation = (0..4).collect();
+        assert!(autos.contains(&identity));
+        // Closure under composition.
+        for a in &autos {
+            for b in &autos {
+                let composed: Permutation = (0..4).map(|i| a[b[i] as usize]).collect();
+                assert!(autos.contains(&composed));
+            }
+        }
+    }
+
+    #[test]
+    fn representative_counts_match_quotient_size() {
+        // Square: 24/8 = 3 (Example 3.2). Lollipop: 24/2 = 12 (Figure 5).
+        // Triangle: 6/6 = 1 (Section 2.2: a single CQ with X<Y<Z).
+        // Pentagon: 120/10 = 12 (Example 5.3 discussion).
+        assert_eq!(order_representatives(&catalog::square()).len(), 3);
+        assert_eq!(order_representatives(&catalog::lollipop()).len(), 12);
+        assert_eq!(order_representatives(&catalog::triangle()).len(), 1);
+        assert_eq!(order_representatives(&catalog::cycle(5)).len(), 12);
+    }
+
+    #[test]
+    fn representatives_cover_all_orderings_without_overlap() {
+        let lollipop = catalog::lollipop();
+        let autos = automorphism_group(&lollipop);
+        let reps = order_representatives(&lollipop);
+        let mut covered = HashSet::new();
+        for rep in &reps {
+            for mu in &autos {
+                let img = apply_to_ordering(mu, rep);
+                assert!(covered.insert(img), "orderings covered twice");
+            }
+        }
+        assert_eq!(covered.len(), 24);
+    }
+
+    #[test]
+    fn square_representatives_match_example_3_2() {
+        // With W=0, X=1, Y=2, Z=3 the lexicographically smallest class
+        // representatives are WXYZ, WXZY, WYXZ — the same classes the paper
+        // picks (it lists WXYZ, WYXZ, WXZY).
+        let reps = order_representatives(&catalog::square());
+        assert!(reps.contains(&vec![0, 1, 2, 3]));
+        assert!(reps.contains(&vec![0, 1, 3, 2]));
+        assert!(reps.contains(&vec![0, 2, 1, 3]));
+    }
+
+    #[test]
+    fn isomorphism_detects_relabelled_patterns() {
+        let a = catalog::square();
+        let b = crate::sample::SampleGraph::from_edges(4, &[(0, 2), (2, 1), (1, 3), (0, 3)]);
+        assert!(isomorphism(&a, &b).is_some());
+        let c = catalog::lollipop();
+        assert!(isomorphism(&a, &c).is_none());
+    }
+
+    #[test]
+    fn apply_to_ordering_relabels_positions() {
+        let mu: Permutation = vec![1, 2, 3, 0];
+        let order: NodeOrdering = vec![0, 1, 2, 3];
+        assert_eq!(apply_to_ordering(&mu, &order), vec![1, 2, 3, 0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Named sample graphs used throughout the paper.
+
+use crate::sample::{PatternNode, SampleGraph};
+
+/// The triangle `K_3` (Section 2).
+pub fn triangle() -> SampleGraph {
+    SampleGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+}
+
+/// The square `C_4` with the node naming of Figure 3:
+/// `0 = W, 1 = X, 2 = Y, 3 = Z`, edges W–X, X–Y, Y–Z, W–Z.
+pub fn square() -> SampleGraph {
+    SampleGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)])
+}
+
+/// The "lollipop" of Figure 4: a triangle `X, Y, Z` with a pendant node `W`
+/// attached to `X`. Node naming: `0 = W, 1 = X, 2 = Y, 3 = Z`.
+pub fn lollipop() -> SampleGraph {
+    SampleGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)])
+}
+
+/// The cycle `C_p` with nodes `0..p` in cyclic order (Figure 8). Requires `p ≥ 3`.
+pub fn cycle(p: usize) -> SampleGraph {
+    assert!(p >= 3, "cycles need at least 3 nodes");
+    let mut s = SampleGraph::empty(p);
+    for v in 0..p {
+        s.add_edge(v as PatternNode, ((v + 1) % p) as PatternNode);
+    }
+    s
+}
+
+/// The complete graph `K_p`.
+pub fn clique(p: usize) -> SampleGraph {
+    let mut s = SampleGraph::empty(p);
+    for u in 0..p {
+        for v in (u + 1)..p {
+            s.add_edge(u as PatternNode, v as PatternNode);
+        }
+    }
+    s
+}
+
+/// The path with `p` nodes and `p − 1` edges.
+pub fn path(p: usize) -> SampleGraph {
+    let mut s = SampleGraph::empty(p);
+    for v in 1..p {
+        s.add_edge((v - 1) as PatternNode, v as PatternNode);
+    }
+    s
+}
+
+/// The star with centre `0` and `p − 1` leaves (the Θ(mΔ^{p−2}) example of §7.3).
+pub fn star(p: usize) -> SampleGraph {
+    assert!(p >= 2);
+    let mut s = SampleGraph::empty(p);
+    for v in 1..p {
+        s.add_edge(0, v as PatternNode);
+    }
+    s
+}
+
+/// The hypercube `Q_d` on `2^d` nodes (a regular sample graph mentioned after
+/// Theorem 4.1). Requires `2^d ≤ 16`.
+pub fn hypercube(d: usize) -> SampleGraph {
+    let p = 1usize << d;
+    let mut s = SampleGraph::empty(p);
+    for u in 0..p {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if v > u {
+                s.add_edge(u as PatternNode, v as PatternNode);
+            }
+        }
+    }
+    s
+}
+
+/// `C_5` with one chord: an example of a graph containing an odd Hamilton
+/// cycle "plus additional edges" (Theorem 7.1).
+pub fn pentagon_with_chord() -> SampleGraph {
+    let mut s = cycle(5);
+    s.add_edge(0, 2);
+    s
+}
+
+/// Two triangles sharing no node, joined by a single bridge edge — an example
+/// of a decomposable sample graph for Theorem 7.2.
+pub fn bowtie_bridge() -> SampleGraph {
+    SampleGraph::from_edges(
+        6,
+        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+    )
+}
+
+/// The 4-clique `K_4` (used in decomposition and share examples).
+pub fn k4() -> SampleGraph {
+    clique(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sizes() {
+        assert_eq!(triangle().num_edges(), 3);
+        assert_eq!(square().num_edges(), 4);
+        assert_eq!(lollipop().num_edges(), 4);
+        assert_eq!(cycle(6).num_edges(), 6);
+        assert_eq!(clique(5).num_edges(), 10);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(star(6).num_edges(), 5);
+        assert_eq!(hypercube(3).num_edges(), 12);
+        assert_eq!(pentagon_with_chord().num_edges(), 6);
+        assert_eq!(bowtie_bridge().num_edges(), 7);
+    }
+
+    #[test]
+    fn regular_members_are_regular() {
+        assert!(triangle().is_regular());
+        assert!(square().is_regular());
+        assert!(cycle(7).is_regular());
+        assert!(clique(4).is_regular());
+        assert!(hypercube(2).is_regular());
+        assert!(!lollipop().is_regular());
+        assert!(!star(4).is_regular());
+    }
+
+    #[test]
+    fn lollipop_structure_matches_figure_4() {
+        let l = lollipop();
+        // W(0) only touches X(1); X touches everything; Y(2) and Z(3) touch X and each other.
+        assert_eq!(l.degree(0), 1);
+        assert_eq!(l.degree(1), 3);
+        assert_eq!(l.degree(2), 2);
+        assert_eq!(l.degree(3), 2);
+        assert!(l.has_edge(2, 3));
+        assert!(!l.has_edge(0, 2));
+    }
+
+    #[test]
+    fn cycles_have_hamilton_cycles() {
+        for p in 3..8 {
+            assert!(cycle(p).find_hamilton_cycle().is_some());
+        }
+        assert!(path(5).find_hamilton_cycle().is_none());
+    }
+
+    #[test]
+    fn hypercube_is_bipartite_regular() {
+        let q3 = hypercube(3);
+        assert_eq!(q3.num_nodes(), 8);
+        for v in q3.nodes() {
+            assert_eq!(q3.degree(v), 3);
+        }
+    }
+}

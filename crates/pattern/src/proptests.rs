@@ -1,0 +1,77 @@
+//! Property-based tests for sample graphs and their group theory.
+
+use crate::automorphism::{all_permutations, apply_to_ordering, automorphism_group, order_representatives};
+use crate::decompose::decompose;
+use crate::sample::{PatternNode, SampleGraph};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random small sample graph with `3..=6` nodes.
+fn arbitrary_sample() -> impl Strategy<Value = SampleGraph> {
+    (3usize..=6).prop_flat_map(|p| {
+        let pairs: Vec<(PatternNode, PatternNode)> = (0..p as PatternNode)
+            .flat_map(|u| ((u + 1)..p as PatternNode).map(move |v| (u, v)))
+            .collect();
+        let num_pairs = pairs.len();
+        prop::collection::vec(prop::bool::ANY, num_pairs).prop_map(move |mask| {
+            let chosen: Vec<(PatternNode, PatternNode)> = pairs
+                .iter()
+                .zip(mask.iter())
+                .filter(|(_, &keep)| keep)
+                .map(|(&e, _)| e)
+                .collect();
+            SampleGraph::from_edges(p, &chosen)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn automorphism_group_divides_factorial(sample in arbitrary_sample()) {
+        let p = sample.num_nodes();
+        let factorial: usize = (1..=p).product();
+        let autos = automorphism_group(&sample);
+        prop_assert!(!autos.is_empty());
+        // Lagrange: the group order divides |S_p|.
+        prop_assert_eq!(factorial % autos.len(), 0);
+    }
+
+    #[test]
+    fn representatives_partition_all_orderings(sample in arbitrary_sample()) {
+        let p = sample.num_nodes();
+        let factorial: usize = (1..=p).product();
+        let autos = automorphism_group(&sample);
+        let reps = order_representatives(&sample);
+        prop_assert_eq!(reps.len() * autos.len(), factorial);
+        let mut covered = HashSet::new();
+        for rep in &reps {
+            for mu in &autos {
+                prop_assert!(covered.insert(apply_to_ordering(mu, rep)));
+            }
+        }
+        prop_assert_eq!(covered.len(), factorial);
+    }
+
+    #[test]
+    fn decomposition_covers_nodes_and_is_convertible(sample in arbitrary_sample()) {
+        let d = decompose(&sample);
+        let mut covered: Vec<PatternNode> = d.pieces.iter().flat_map(|piece| piece.nodes()).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        prop_assert_eq!(covered.len(), sample.num_nodes());
+        prop_assert_eq!(d.alpha + d.beta_times_two, sample.num_nodes());
+        prop_assert!(d.is_convertible(sample.num_nodes()));
+    }
+
+    #[test]
+    fn all_permutations_are_bijections(p in 1usize..6) {
+        for perm in all_permutations(p) {
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            let expected: Vec<PatternNode> = (0..p as PatternNode).collect();
+            prop_assert_eq!(sorted, expected);
+        }
+    }
+}

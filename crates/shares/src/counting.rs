@@ -1,0 +1,147 @@
+//! Reducer-count combinatorics for hash-ordered (bucket-oriented) processing
+//! (Theorem 4.2 and Section 4.5).
+
+/// Binomial coefficient `C(n, k)` as a `u128` (exact for the ranges used here).
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+/// Theorem 4.2 / Section 2.3: with `b` buckets and a `p`-node sample graph,
+/// the number of reducers that can receive instances (non-decreasing bucket
+/// lists) is `C(b + p − 1, p)`.
+pub fn useful_reducers(b: u64, p: u64) -> u128 {
+    binomial(b + p - 1, p)
+}
+
+/// Section 4.5: the number of reducers each edge is sent to under
+/// bucket-oriented processing is `C(b + p − 3, p − 2)`.
+pub fn bucket_oriented_replication(b: u64, p: u64) -> u128 {
+    assert!(p >= 2);
+    binomial(b + p - 3, p - 2)
+}
+
+/// Section 4.5: the average number of reducers an edge is sent to under the
+/// generalized Partition algorithm with `b` groups: edges inside one group go
+/// to `C(b − 1, p − 1)` reducers, edges across two groups to `C(b − 2, p − 2)`,
+/// and a fraction `1/b` of edges is of the first kind.
+pub fn generalized_partition_replication(b: u64, p: u64) -> f64 {
+    assert!(p >= 2 && b >= p);
+    let same = binomial(b - 1, p - 1) as f64;
+    let cross = binomial(b - 2, p - 2) as f64;
+    same / b as f64 + cross * (b as f64 - 1.0) / b as f64
+}
+
+/// Section 4.5: the asymptotic ratio of generalized-Partition replication to
+/// bucket-oriented replication, `1 + 1/(p − 1)`.
+pub fn partition_to_bucket_ratio_limit(p: u64) -> f64 {
+    1.0 + 1.0 / (p as f64 - 1.0)
+}
+
+/// Section 2.1: communication cost per edge of the (triangle) Partition
+/// algorithm with `b` groups: `(3/2)(b − 1)(b − 2)/b`.
+pub fn partition_triangle_replication(b: u64) -> f64 {
+    1.5 * (b as f64 - 1.0) * (b as f64 - 2.0) / b as f64
+}
+
+/// Section 2.2: communication cost per edge of the plain multiway-join
+/// triangle algorithm with `b` buckets: `3b − 2`.
+pub fn multiway_triangle_replication(b: u64) -> f64 {
+    3.0 * b as f64 - 2.0
+}
+
+/// Section 2.3: communication cost per edge of the bucket-ordered multiway
+/// join for triangles: `b`.
+pub fn ordered_triangle_replication(b: u64) -> f64 {
+    b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(12, 3), 220);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+
+    #[test]
+    fn useful_reducer_counts_match_section_2_3() {
+        // (b+2 choose 3) for triangles; the paper notes 2^20 = C(12+2, 3)·…,
+        // more precisely C(12, 3) reducers for Partition with 12 groups and
+        // C(10+2, 3) = 220 for the ordered algorithm with b = 10.
+        assert_eq!(useful_reducers(10, 3), 220);
+        assert_eq!(useful_reducers(12, 3), binomial(14, 3));
+        // b buckets, p = 3: (b+2)(b+1)b/6.
+        for b in 1..=20u64 {
+            assert_eq!(useful_reducers(b, 3), ((b + 2) * (b + 1) * b / 6) as u128);
+        }
+    }
+
+    #[test]
+    fn bucket_oriented_replication_for_triangles_is_b() {
+        for b in 1..=30u64 {
+            assert_eq!(bucket_oriented_replication(b, 3), b as u128);
+        }
+    }
+
+    #[test]
+    fn figure_2_constants() {
+        // Partition with b = 12: 13.75 per edge.
+        assert!((partition_triangle_replication(12) - 13.75).abs() < 1e-12);
+        // Section 2.2 with b = 6: 16 per edge.
+        assert!((multiway_triangle_replication(6) - 16.0).abs() < 1e-12);
+        // Section 2.3 with b = 10: 10 per edge.
+        assert!((ordered_triangle_replication(10) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure_2_reducer_counts() {
+        // Figure 2 compares the three algorithms at almost equal reducer
+        // counts: 216 = 6³ reducers for the Section 2.2 algorithm (b = 6),
+        // 220 = C(12, 3) for Partition (12 groups), and 220 = C(10 + 2, 3) for
+        // the ordered algorithm (b = 10).
+        assert_eq!(6u64.pow(3), 216);
+        assert_eq!(binomial(12, 3), 220);
+        assert_eq!(useful_reducers(10, 3), 220);
+    }
+
+    #[test]
+    fn partition_ratio_approaches_the_section_4_5_limit() {
+        for p in 3..=8u64 {
+            let b = 50_000u64;
+            let ratio = generalized_partition_replication(b, p)
+                / bucket_oriented_replication(b, p) as f64;
+            let limit = partition_to_bucket_ratio_limit(p);
+            assert!(
+                (ratio - limit).abs() < 0.01,
+                "p = {p}: ratio {ratio} vs limit {limit}"
+            );
+            assert!(ratio > 1.0);
+        }
+    }
+
+    #[test]
+    fn partition_triangle_replication_is_consistent_with_general_formula() {
+        // For p = 3 the generalized formula must reduce to the Section 2.1 one
+        // divided by … actually Section 2.1 already is the p = 3 case:
+        // (1/b)·C(b−1,2) + ((b−1)/b)·(b−2) = (3/2)(b−1)(b−2)/b.
+        for b in 3..=40u64 {
+            let general = generalized_partition_replication(b, 3);
+            let specific = partition_triangle_replication(b);
+            assert!((general - specific).abs() < 1e-9, "b = {b}");
+        }
+    }
+}

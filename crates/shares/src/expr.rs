@@ -1,0 +1,274 @@
+//! Communication-cost expressions (Section 4.1 and 4.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+use subgraph_cq::{ConjunctiveQuery, Var};
+
+/// One term of the cost expression: `coefficient · e · Π (shares of missing variables)`.
+///
+/// The coefficient is 1 when the corresponding sample-graph edge appears in a
+/// single orientation among the CQs being evaluated together, and 2 when it
+/// appears in both orientations (its relation is then two copies of `E`,
+/// Section 4.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Term {
+    /// The (undirected) sample-graph edge this term accounts for.
+    pub edge: (Var, Var),
+    /// 1.0 for a unidirectional edge, 2.0 for a bidirectional edge.
+    pub coefficient: f64,
+    /// The variables whose shares multiply into this term (everything not in the edge).
+    pub missing: Vec<Var>,
+}
+
+/// The full communication-cost expression for evaluating one CQ or a group of
+/// CQs over the same variables. Costs are reported **per unit of relation
+/// size** (the `e` factor is left out; multiply by the data-graph edge count
+/// to get absolute communication).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostExpression {
+    num_vars: usize,
+    terms: Vec<Term>,
+    /// Shares pinned to 1 (dominated variables).
+    fixed_to_one: BTreeSet<Var>,
+}
+
+impl CostExpression {
+    /// Cost expression for a single CQ (CQ-oriented processing, Section 4.1):
+    /// every subgoal contributes a term with coefficient 1.
+    pub fn from_single_cq(cq: &ConjunctiveQuery) -> Self {
+        let subgoal_sets: Vec<Vec<(Var, Var)>> = vec![cq.subgoals().to_vec()];
+        Self::from_subgoal_collections(cq.num_vars(), &subgoal_sets)
+    }
+
+    /// Cost expression for evaluating a whole CQ collection together
+    /// (variable-oriented processing, Section 4.3): an edge that appears in
+    /// both orientations among the CQs gets coefficient 2.
+    pub fn from_cq_collection(cqs: &[ConjunctiveQuery]) -> Self {
+        assert!(!cqs.is_empty(), "at least one CQ is required");
+        let num_vars = cqs[0].num_vars();
+        assert!(
+            cqs.iter().all(|q| q.num_vars() == num_vars),
+            "all CQs must range over the same variables"
+        );
+        let subgoal_sets: Vec<Vec<(Var, Var)>> =
+            cqs.iter().map(|q| q.subgoals().to_vec()).collect();
+        Self::from_subgoal_collections(num_vars, &subgoal_sets)
+    }
+
+    /// Builds the expression from explicit subgoal lists (one per CQ).
+    pub fn from_subgoal_collections(num_vars: usize, subgoal_sets: &[Vec<(Var, Var)>]) -> Self {
+        // orientations[undirected edge] = set of orientations seen.
+        let mut orientations: BTreeMap<(Var, Var), BTreeSet<(Var, Var)>> = BTreeMap::new();
+        for set in subgoal_sets {
+            for &(a, b) in set {
+                let key = if a < b { (a, b) } else { (b, a) };
+                orientations.entry(key).or_default().insert((a, b));
+            }
+        }
+        let terms = orientations
+            .into_iter()
+            .map(|(edge, seen)| {
+                let coefficient = if seen.len() >= 2 { 2.0 } else { 1.0 };
+                let missing: Vec<Var> = (0..num_vars as Var)
+                    .filter(|&v| v != edge.0 && v != edge.1)
+                    .collect();
+                Term {
+                    edge,
+                    coefficient,
+                    missing,
+                }
+            })
+            .collect();
+        CostExpression {
+            num_vars,
+            terms,
+            fixed_to_one: BTreeSet::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The terms of the expression.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Variables whose share has been pinned to 1 by the dominance rule.
+    pub fn fixed_to_one(&self) -> &BTreeSet<Var> {
+        &self.fixed_to_one
+    }
+
+    /// Pins the share of `v` to 1 (used for dominated variables).
+    pub fn fix_to_one(&mut self, v: Var) {
+        assert!((v as usize) < self.num_vars);
+        self.fixed_to_one.insert(v);
+    }
+
+    /// Variables whose shares are free to optimize.
+    pub fn free_vars(&self) -> Vec<Var> {
+        (0..self.num_vars as Var)
+            .filter(|v| !self.fixed_to_one.contains(v))
+            .collect()
+    }
+
+    /// Evaluates the per-edge cost `Σ coeff · Π shares(missing)` for concrete shares.
+    pub fn evaluate(&self, shares: &[f64]) -> f64 {
+        assert_eq!(shares.len(), self.num_vars);
+        self.terms
+            .iter()
+            .map(|t| t.coefficient * t.missing.iter().map(|&v| shares[v as usize]).product::<f64>())
+            .sum()
+    }
+
+    /// Replication count per input tuple for each term (how many reducers each
+    /// edge is sent to on behalf of that subgoal), for concrete shares.
+    pub fn replication_per_term(&self, shares: &[f64]) -> Vec<(Term, f64)> {
+        self.terms
+            .iter()
+            .map(|t| {
+                let reps = t.coefficient
+                    * t.missing.iter().map(|&v| shares[v as usize]).product::<f64>();
+                (t.clone(), reps)
+            })
+            .collect()
+    }
+
+    /// The paper's Lagrangian optimality condition, evaluated at `shares`: for
+    /// every free variable, the sum of the terms containing that variable.
+    /// At the optimum these sums are all equal (Section 4.1).
+    pub fn per_variable_sums(&self, shares: &[f64]) -> Vec<(Var, f64)> {
+        self.free_vars()
+            .into_iter()
+            .map(|v| {
+                let sum = self
+                    .terms
+                    .iter()
+                    .filter(|t| t.missing.contains(&v))
+                    .map(|t| {
+                        t.coefficient
+                            * t.missing.iter().map(|&u| shares[u as usize]).product::<f64>()
+                    })
+                    .sum();
+                (v, sum)
+            })
+            .collect()
+    }
+
+    /// The number of reducers implied by concrete shares (product of all shares).
+    pub fn num_reducers(&self, shares: &[f64]) -> f64 {
+        shares.iter().product()
+    }
+
+    /// True if the undirected sample edge `{a, b}` is bidirectional in this expression.
+    pub fn is_bidirectional(&self, a: Var, b: Var) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.terms
+            .iter()
+            .any(|t| t.edge == key && t.coefficient >= 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgraph_cq::cqs_for_sample;
+    use subgraph_pattern::catalog;
+
+    #[test]
+    fn single_triangle_cq_expression() {
+        let cqs = cqs_for_sample(&catalog::triangle());
+        let expr = CostExpression::from_single_cq(&cqs[0]);
+        assert_eq!(expr.num_vars(), 3);
+        assert_eq!(expr.terms().len(), 3);
+        assert!(expr.terms().iter().all(|t| t.coefficient == 1.0));
+        // Each term misses exactly one variable.
+        assert!(expr.terms().iter().all(|t| t.missing.len() == 1));
+        // With equal shares b the cost per edge is 3b (the 3b − 2 of Section
+        // 2.2 up to the duplicate-reducer correction the paper itself ignores
+        // in practice: see its footnote 1).
+        let cost = expr.evaluate(&[4.0, 4.0, 4.0]);
+        assert!((cost - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_collection_marks_two_bidirectional_edges() {
+        // Example 4.2: edges (W,X) and (W,Z) are unidirectional, (X,Y) and
+        // (Y,Z) appear in both orientations.
+        let cqs = cqs_for_sample(&catalog::square());
+        let expr = CostExpression::from_cq_collection(&cqs);
+        assert_eq!(expr.terms().len(), 4);
+        assert!(!expr.is_bidirectional(0, 1));
+        assert!(!expr.is_bidirectional(0, 3));
+        assert!(expr.is_bidirectional(1, 2));
+        assert!(expr.is_bidirectional(2, 3));
+    }
+
+    #[test]
+    fn square_expression_matches_example_4_2() {
+        // Cost = yz + 2wz + 2wx + xy  (per unit of e).
+        let cqs = cqs_for_sample(&catalog::square());
+        let expr = CostExpression::from_cq_collection(&cqs);
+        let shares = [3.0, 5.0, 7.0, 11.0]; // w, x, y, z
+        let expected = 7.0 * 11.0 + 2.0 * 3.0 * 11.0 + 2.0 * 3.0 * 5.0 + 5.0 * 7.0;
+        assert!((expr.evaluate(&shares) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixing_variables_and_free_vars() {
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let mut expr = CostExpression::from_single_cq(&cqs[0]);
+        assert_eq!(expr.free_vars().len(), 4);
+        expr.fix_to_one(0);
+        assert_eq!(expr.free_vars(), vec![1, 2, 3]);
+        assert!(expr.fixed_to_one().contains(&0));
+    }
+
+    #[test]
+    fn per_variable_sums_detect_optimality() {
+        // Example 4.1 optimum: w=1, x=30, y=z=5 — the three free sums are equal (=30).
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let first = cqs
+            .iter()
+            .find(|q| {
+                q.subgoals() == [(0, 1), (1, 2), (1, 3), (2, 3)]
+            })
+            .expect("the identity-order CQ exists");
+        let mut expr = CostExpression::from_single_cq(first);
+        expr.fix_to_one(0);
+        let shares = [1.0, 30.0, 5.0, 5.0];
+        let sums = expr.per_variable_sums(&shares);
+        for (_, s) in &sums {
+            assert!((s - 30.0).abs() < 1e-9, "sums not equal: {sums:?}");
+        }
+        assert!((expr.evaluate(&shares) - 65.0).abs() < 1e-9);
+        assert!((expr.num_reducers(&shares) - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_per_term_matches_example_4_1() {
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let first = cqs
+            .iter()
+            .find(|q| q.subgoals() == [(0, 1), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
+        let expr = CostExpression::from_single_cq(first);
+        let shares = [1.0, 30.0, 5.0, 5.0];
+        let reps = expr.replication_per_term(&shares);
+        // E(W,X) → 25, E(X,Y) → 5, E(X,Z) → 5, E(Y,Z) → 30.
+        let lookup = |edge: (Var, Var)| -> f64 {
+            reps.iter().find(|(t, _)| t.edge == edge).unwrap().1
+        };
+        assert!((lookup((0, 1)) - 25.0).abs() < 1e-9);
+        assert!((lookup((1, 2)) - 5.0).abs() < 1e-9);
+        assert!((lookup((1, 3)) - 5.0).abs() < 1e-9);
+        assert!((lookup((2, 3)) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_collection_rejected() {
+        let _ = CostExpression::from_cq_collection(&[]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Social-network motif census — the application driving Section 1.1: the
+//! frequency of small sample graphs (triangles, squares, lollipops, stars)
+//! says something about the stage of evolution of a community.
+//!
+//! A skewed Chung–Lu graph stands in for the social network; the motifs are
+//! counted with the variable-oriented map-reduce strategy (Section 4.3), and
+//! the report shows the communication the optimizer predicted next to what the
+//! engine actually shipped.
+//!
+//! ```text
+//! cargo run --release --example social_motifs
+//! ```
+
+use subgraph_mr::core::enumerate::variable_oriented::{plan, run_with_plan};
+use subgraph_mr::prelude::*;
+
+fn main() {
+    // A 3 000-node power-law "community" with about 15 000 relationships.
+    let network = generators::power_law(3_000, 15_000, 2.3, 99);
+    println!(
+        "community graph: {} members, {} relationships, max degree {}",
+        network.num_nodes(),
+        network.num_edges(),
+        network.max_degree()
+    );
+
+    let reducer_budget = 256;
+    let motifs: Vec<(&str, SampleGraph)> = vec![
+        ("triangle (closed triad)", catalog::triangle()),
+        ("square (4-cycle)", catalog::square()),
+        ("lollipop (triad + follower)", catalog::lollipop()),
+        ("star-4 (broadcast hub)", catalog::star(4)),
+        ("path-4 (chain)", catalog::path(4)),
+    ];
+
+    println!(
+        "\n{:<28} {:>10} {:>14} {:>14} {:>10} {:>9}",
+        "motif", "instances", "kv predicted", "kv shipped", "reducers", "max load"
+    );
+    for (name, motif) in motifs {
+        let job_plan = plan(&motif, reducer_budget);
+        let run = run_with_plan(&network, &job_plan, &EngineConfig::default());
+        let predicted = job_plan.predicted_replication * network.num_edges() as f64;
+        assert_eq!(run.duplicates(), 0, "motif {name} was double counted");
+        println!(
+            "{:<28} {:>10} {:>14} {:>14} {:>10} {:>9}",
+            name,
+            run.count(),
+            format!("{predicted:.0}"),
+            run.metrics.key_value_pairs,
+            run.metrics.reducers_used,
+            run.metrics.max_reducer_input
+        );
+    }
+
+    println!(
+        "\nShares were optimized per motif for a budget of {reducer_budget} reducers \
+         (Section 4.3); the predicted and shipped key-value counts match exactly because \
+         the engine counts precisely what the cost expression models."
+    );
+}

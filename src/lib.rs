@@ -1,0 +1,68 @@
+//! # subgraph-mr
+//!
+//! A Rust reproduction of **“Enumerating Subgraph Instances Using Map-Reduce”**
+//! (Afrati, Fotakis, Ullman — ICDE 2013, arXiv:1208.0615): find *all* instances
+//! of a small sample graph inside a large data graph in a **single round of
+//! map-reduce**, minimizing both the communication cost (edge replication to
+//! reducers) and the computation cost (total reducer work).
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `subgraph-graph` | data graph (CSR + edge index), node orders, generators, I/O |
+//! | [`pattern`] | `subgraph-pattern` | sample graphs, automorphism groups, decompositions, instances |
+//! | [`cq`] | `subgraph-cq` | conjunctive queries with comparisons: generation, merging, cycles, evaluation |
+//! | [`shares`] | `subgraph-shares` | Afrati–Ullman share optimization and reducer-count combinatorics |
+//! | [`mapreduce`] | `subgraph-mapreduce` | instrumented in-process single-round map-reduce engine |
+//! | [`core`] | `subgraph-core` | the paper's algorithms: triangle algorithms (§2), general enumeration (§4), serial/convertible algorithms (§6–7) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use subgraph_mr::graph::generators;
+//! use subgraph_mr::pattern::catalog;
+//! use subgraph_mr::core::enumerate::bucket_oriented_enumerate;
+//! use subgraph_mr::mapreduce::EngineConfig;
+//!
+//! // A random data graph and the "lollipop" sample graph from Figure 4.
+//! let data_graph = generators::gnm(200, 1_000, 42);
+//! let sample = catalog::lollipop();
+//!
+//! // One round of map-reduce with 4 buckets (Section 4.5 processing).
+//! let run = bucket_oriented_enumerate(&sample, &data_graph, 4, &EngineConfig::default());
+//! println!(
+//!     "{} lollipops, {} key-value pairs shipped, {} reducers",
+//!     run.count(),
+//!     run.metrics.key_value_pairs,
+//!     run.metrics.reducers_used,
+//! );
+//! assert_eq!(run.duplicates(), 0); // every instance exactly once
+//! ```
+
+pub use subgraph_core as core;
+pub use subgraph_cq as cq;
+pub use subgraph_graph as graph;
+pub use subgraph_mapreduce as mapreduce;
+pub use subgraph_pattern as pattern;
+pub use subgraph_shares as shares;
+
+/// A convenient prelude for examples and downstream users.
+pub mod prelude {
+    pub use subgraph_core::enumerate::{
+        bucket_oriented_enumerate, cq_oriented_enumerate, variable_oriented_enumerate,
+    };
+    pub use subgraph_core::serial::{
+        enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic,
+        enumerate_odd_cycles, enumerate_triangles_serial,
+    };
+    pub use subgraph_core::triangles::{
+        bucket_ordered_triangles, multiway_triangles, partition_triangles,
+    };
+    pub use subgraph_core::{MapReduceRun, SerialRun};
+    pub use subgraph_cq::{cqs_for_sample, cycle_cqs, evaluate_cqs, merge_by_orientation};
+    pub use subgraph_graph::{generators, DataGraph, GraphBuilder, NodeId};
+    pub use subgraph_mapreduce::EngineConfig;
+    pub use subgraph_pattern::{catalog, Instance, SampleGraph};
+    pub use subgraph_shares::{optimize_shares, CostExpression};
+}

@@ -1,0 +1,87 @@
+//! Property-based integration tests of the paper's central invariant: every
+//! algorithm produces each instance of the sample graph exactly once, for any
+//! sample graph, data graph, bucket count and node order.
+
+use proptest::prelude::*;
+use subgraph_mr::prelude::*;
+
+fn patterns() -> impl Strategy<Value = SampleGraph> {
+    prop_oneof![
+        Just(catalog::triangle()),
+        Just(catalog::square()),
+        Just(catalog::lollipop()),
+        Just(catalog::cycle(5)),
+        Just(catalog::star(4)),
+        Just(catalog::path(4)),
+        Just(catalog::k4()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bucket_oriented_map_reduce_is_exactly_once(
+        sample in patterns(),
+        n in 12usize..28,
+        density in 2usize..5,
+        buckets in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let m = n * density;
+        let graph = generators::gnm(n, m.min(n * (n - 1) / 2), seed);
+        let run = bucket_oriented_enumerate(&sample, &graph, buckets, &EngineConfig::serial());
+        let oracle = enumerate_generic(&sample, &graph);
+        prop_assert_eq!(run.count(), oracle.count());
+        prop_assert_eq!(run.duplicates(), 0);
+    }
+
+    #[test]
+    fn variable_oriented_map_reduce_is_exactly_once(
+        sample in patterns(),
+        n in 12usize..24,
+        seed in 0u64..1000,
+        k in 1usize..80,
+    ) {
+        let m = (n * (n - 1) / 2) / 2;
+        let graph = generators::gnm(n, m, seed);
+        let run = variable_oriented_enumerate(&sample, &graph, k, &EngineConfig::serial());
+        let oracle = enumerate_generic(&sample, &graph);
+        prop_assert_eq!(run.count(), oracle.count());
+        prop_assert_eq!(run.duplicates(), 0);
+    }
+
+    #[test]
+    fn serial_algorithms_are_exactly_once(
+        sample in patterns(),
+        n in 12usize..26,
+        seed in 0u64..1000,
+    ) {
+        let m = (n * (n - 1) / 2) / 3;
+        let graph = generators::gnm(n, m, seed);
+        let oracle = enumerate_generic(&sample, &graph);
+        let decomposition = enumerate_by_decomposition(&sample, &graph);
+        prop_assert_eq!(decomposition.count(), oracle.count());
+        prop_assert_eq!(decomposition.duplicates(), 0);
+        if sample.is_connected() {
+            let bounded = enumerate_bounded_degree(&sample, &graph);
+            prop_assert_eq!(bounded.count(), oracle.count());
+            prop_assert_eq!(bounded.duplicates(), 0);
+        }
+    }
+
+    #[test]
+    fn triangle_map_reduce_is_exactly_once_on_skewed_graphs(
+        n in 40usize..120,
+        buckets in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        // Power-law graphs exercise reducer skew ("the curse of the last reducer").
+        let graph = generators::power_law(n, n * 4, 2.4, seed);
+        let serial = enumerate_triangles_serial(&graph);
+        let run = bucket_ordered_triangles(&graph, buckets, &EngineConfig::serial());
+        prop_assert_eq!(run.count(), serial.count());
+        prop_assert_eq!(run.duplicates(), 0);
+        prop_assert_eq!(run.metrics.key_value_pairs, buckets * graph.num_edges());
+    }
+}
