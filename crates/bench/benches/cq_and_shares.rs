@@ -1,9 +1,12 @@
-//! Criterion benches for the planning layers: CQ generation (Theorem 3.1,
-//! Section 5) and share optimization (Section 4).
+//! Benches for the planning layers: CQ generation (Theorem 3.1, Section 5),
+//! share optimization (Section 4) and the full planner.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_bench::harness::{BenchmarkId, Criterion};
+use subgraph_bench::{criterion_group, criterion_main};
+use subgraph_core::plan::EnumerationRequest;
 use subgraph_cq::{cqs_for_sample, cycle_cqs, merge_by_orientation};
+use subgraph_graph::generators;
 use subgraph_pattern::catalog;
 use subgraph_shares::dominance::single_cq_expression_with_dominance;
 use subgraph_shares::{optimize_shares, CostExpression};
@@ -22,9 +25,11 @@ fn bench_cq_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("theorem_3_1", name), &pattern, |b, p| {
             b.iter(|| cqs_for_sample(p).len())
         });
-        group.bench_with_input(BenchmarkId::new("orientation_merge", name), &pattern, |b, p| {
-            b.iter(|| merge_by_orientation(&cqs_for_sample(p)).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("orientation_merge", name),
+            &pattern,
+            |b, p| b.iter(|| merge_by_orientation(&cqs_for_sample(p)).len()),
+        );
     }
     for p in [5usize, 7, 9] {
         group.bench_with_input(BenchmarkId::new("cycle_run_sequences", p), &p, |b, &p| {
@@ -58,5 +63,31 @@ fn bench_share_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cq_generation, bench_share_solver);
+fn bench_planner(c: &mut Criterion) {
+    let graph = generators::gnm(500, 4_000, 6);
+    let mut group = c.benchmark_group("planner/plan");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for name in ["triangle", "square", "lollipop"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                EnumerationRequest::named(name, &graph)
+                    .unwrap()
+                    .reducers(220)
+                    .plan()
+                    .unwrap()
+                    .strategy()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cq_generation,
+    bench_share_solver,
+    bench_planner
+);
 criterion_main!(benches);

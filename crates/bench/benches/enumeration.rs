@@ -1,40 +1,61 @@
-//! Criterion benches for the three map-reduce processing strategies of
-//! Section 4 on arbitrary sample graphs.
+//! Benches for the three map-reduce processing strategies of Section 4 on
+//! arbitrary sample graphs, driven through the planner.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use subgraph_core::enumerate::{
-    bucket_oriented_enumerate, cq_oriented_enumerate, variable_oriented_enumerate,
-};
-use subgraph_graph::generators;
-use subgraph_mapreduce::EngineConfig;
-use subgraph_pattern::catalog;
+use subgraph_bench::harness::{BenchmarkId, Criterion};
+use subgraph_bench::{criterion_group, criterion_main};
+use subgraph_core::plan::{EnumerationRequest, StrategyKind};
+use subgraph_graph::{generators, DataGraph};
+use subgraph_pattern::{catalog, SampleGraph};
+use subgraph_shares::counting::useful_reducers;
+
+fn count(graph: &DataGraph, sample: &SampleGraph, kind: StrategyKind, budget: usize) -> usize {
+    EnumerationRequest::new(sample.clone(), graph)
+        .reducers(budget)
+        .strategy(kind)
+        .plan()
+        .expect("strategy applies")
+        .execute()
+        .count()
+}
 
 fn bench_enumeration_strategies(c: &mut Criterion) {
     let graph = generators::gnm(200, 1_400, 5);
-    let config = EngineConfig::default();
 
-    for (name, pattern) in [("square", catalog::square()), ("lollipop", catalog::lollipop())] {
+    for (name, pattern) in [
+        ("square", catalog::square()),
+        ("lollipop", catalog::lollipop()),
+    ] {
         let mut group = c.benchmark_group(format!("enumerate/{name}"));
-    group.warm_up_time(Duration::from_secs(1));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+        group.warm_up_time(Duration::from_secs(1));
+        group.measurement_time(Duration::from_secs(2));
         group.sample_size(10);
         group.bench_function("variable_oriented_k64", |b| {
-            b.iter(|| variable_oriented_enumerate(&pattern, &graph, 64, &config).count())
+            b.iter(|| count(&graph, &pattern, StrategyKind::VariableOriented, 64))
         });
         group.bench_function("cq_oriented_k64", |b| {
-            b.iter(|| cq_oriented_enumerate(&pattern, &graph, 64, &config).count())
+            b.iter(|| count(&graph, &pattern, StrategyKind::CqOriented, 64))
         });
         for buckets in [2usize, 4] {
+            let budget = useful_reducers(buckets as u64, pattern.num_nodes() as u64) as usize;
             group.bench_with_input(
                 BenchmarkId::new("bucket_oriented", buckets),
-                &buckets,
-                |b, &buckets| {
-                    b.iter(|| bucket_oriented_enumerate(&pattern, &graph, buckets, &config).count())
+                &budget,
+                |b, &budget| {
+                    b.iter(|| count(&graph, &pattern, StrategyKind::BucketOriented, budget))
                 },
             );
         }
+        group.bench_function("planned_k64", |b| {
+            b.iter(|| {
+                EnumerationRequest::new(pattern.clone(), &graph)
+                    .reducers(64)
+                    .plan()
+                    .unwrap()
+                    .execute()
+                    .count()
+            })
+        });
         group.finish();
     }
 }

@@ -1,9 +1,10 @@
-//! Criterion benches for the serial algorithms of Sections 6–7: the generic
-//! matcher (baseline), the decomposition join (Theorem 7.2), OddCycle
-//! (Algorithm 1) and the bounded-degree algorithm (Theorem 7.3).
+//! Benches for the serial algorithms of Sections 6–7: the generic matcher
+//! (baseline), the decomposition join (Theorem 7.2), OddCycle (Algorithm 1)
+//! and the bounded-degree algorithm (Theorem 7.3).
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
+use subgraph_bench::harness::Criterion;
+use subgraph_bench::{criterion_group, criterion_main};
 use subgraph_core::serial::{
     enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic, enumerate_odd_cycles,
 };
@@ -18,7 +19,6 @@ fn bench_serial_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("serial/square");
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
     group.sample_size(10);
     group.bench_function("generic", |b| {
         b.iter(|| enumerate_generic(&catalog::square(), &random).count())
@@ -35,7 +35,6 @@ fn bench_serial_algorithms(c: &mut Criterion) {
     cycles.warm_up_time(Duration::from_secs(1));
     cycles.measurement_time(Duration::from_secs(2));
     cycles.sample_size(10);
-    cycles.sample_size(10);
     let small = generators::gnm(25, 90, 4);
     cycles.bench_function("odd_cycle_algorithm", |b| {
         b.iter(|| enumerate_odd_cycles(&small, 2).count())
@@ -51,7 +50,6 @@ fn bench_serial_algorithms(c: &mut Criterion) {
     let mut stars = c.benchmark_group("serial/stars_on_tree");
     stars.warm_up_time(Duration::from_secs(1));
     stars.measurement_time(Duration::from_secs(2));
-    stars.sample_size(10);
     stars.sample_size(10);
     stars.bench_function("bounded_degree", |b| {
         b.iter(|| enumerate_bounded_degree(&catalog::star(4), &tree).count())

@@ -1,34 +1,44 @@
-//! Criterion benches for the three single-round triangle algorithms of
-//! Section 2 (the timing counterpart of Figures 1 and 2) plus the serial
-//! baseline.
+//! Benches for the three single-round triangle algorithms of Section 2 (the
+//! timing counterpart of Figures 1 and 2) plus the serial baseline, all driven
+//! through the planner's strategy overrides.
 
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_bench::harness::{BenchmarkId, Criterion};
+use subgraph_bench::{criterion_group, criterion_main};
+use subgraph_core::plan::{EnumerationRequest, StrategyKind};
 use subgraph_core::serial::enumerate_triangles_serial;
-use subgraph_core::triangles::{bucket_ordered_triangles, multiway_triangles, partition_triangles};
-use subgraph_graph::generators;
-use subgraph_mapreduce::EngineConfig;
+use subgraph_graph::{generators, DataGraph};
+use subgraph_pattern::catalog;
+use subgraph_shares::counting::{binomial, useful_reducers};
+
+fn count_triangles(graph: &DataGraph, kind: StrategyKind, budget: usize) -> usize {
+    EnumerationRequest::new(catalog::triangle(), graph)
+        .reducers(budget)
+        .strategy(kind)
+        .plan()
+        .expect("triangle strategy applies")
+        .execute()
+        .count()
+}
 
 fn bench_triangle_algorithms(c: &mut Criterion) {
     let graph = generators::gnm(1_000, 10_000, 1);
-    let config = EngineConfig::default();
 
     let mut group = c.benchmark_group("triangles/figure2");
     group.warm_up_time(Duration::from_secs(1));
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
-    group.sample_size(10);
     group.bench_function("serial_m32", |bencher| {
         bencher.iter(|| enumerate_triangles_serial(&graph).count())
     });
     group.bench_function("partition_b12", |bencher| {
-        bencher.iter(|| partition_triangles(&graph, 12, &config).count())
+        bencher.iter(|| count_triangles(&graph, StrategyKind::PartitionTriangles, 220))
     });
     group.bench_function("multiway_b6", |bencher| {
-        bencher.iter(|| multiway_triangles(&graph, 6, &config).count())
+        bencher.iter(|| count_triangles(&graph, StrategyKind::MultiwayTriangles, 216))
     });
     group.bench_function("bucket_ordered_b10", |bencher| {
-        bencher.iter(|| bucket_ordered_triangles(&graph, 10, &config).count())
+        bencher.iter(|| count_triangles(&graph, StrategyKind::BucketOrderedTriangles, 220))
     });
     group.finish();
 
@@ -38,13 +48,36 @@ fn bench_triangle_algorithms(c: &mut Criterion) {
     sweep.warm_up_time(Duration::from_secs(1));
     sweep.measurement_time(Duration::from_secs(2));
     sweep.sample_size(10);
-    sweep.sample_size(10);
     for b in [2usize, 4, 8, 16] {
-        sweep.bench_with_input(BenchmarkId::from_parameter(b), &b, |bencher, &b| {
-            bencher.iter(|| bucket_ordered_triangles(&graph, b, &config).count())
-        });
+        let budget = useful_reducers(b as u64, 3) as usize;
+        sweep.bench_with_input(
+            BenchmarkId::from_parameter(b),
+            &budget,
+            |bencher, &budget| {
+                bencher
+                    .iter(|| count_triangles(&graph, StrategyKind::BucketOrderedTriangles, budget))
+            },
+        );
     }
     sweep.finish();
+
+    // The planner itself: estimate every strategy and pick (no execution).
+    let mut planning = c.benchmark_group("triangles/planning");
+    planning.warm_up_time(Duration::from_millis(300));
+    planning.measurement_time(Duration::from_secs(1));
+    planning.sample_size(10);
+    for k in [binomial(12, 3) as usize, 1_000] {
+        planning.bench_with_input(BenchmarkId::new("plan", k), &k, |bencher, &k| {
+            bencher.iter(|| {
+                EnumerationRequest::new(catalog::triangle(), &graph)
+                    .reducers(k)
+                    .plan()
+                    .unwrap()
+                    .strategy()
+            })
+        });
+    }
+    planning.finish();
 }
 
 criterion_group!(benches, bench_triangle_algorithms);

@@ -7,7 +7,7 @@
 //!
 //! Run with no arguments to list the available reproductions.
 
-use subgraph_bench::{computation, cq_tables, figures, share_tables};
+use subgraph_bench::{computation, cq_tables, figures, planner_table, share_tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +18,7 @@ fn main() {
     for arg in &args {
         match arg.as_str() {
             "all" => print!("{}", subgraph_bench::run_all()),
+            "planner" => print!("{}", planner_table::planner_choices()),
             "fig1" => print!("{}", figures::figure1()),
             "fig2" => print!("{}", figures::figure2()),
             "cascade" => print!("{}", figures::cascade_comparison()),
@@ -49,6 +50,7 @@ fn print_usage() {
         "usage: reproduce <target> [<target> ...]\n\
          targets:\n  \
          all                   every table and figure\n  \
+         planner               strategy chosen per pattern and reducer budget\n  \
          fig1                  Figure 1  (asymptotic triangle comparison)\n  \
          fig2                  Figure 2  (specific reducer counts)\n  \
          cascade               Section 2 motivation (1-round vs 2-round cascade)\n  \

@@ -3,23 +3,22 @@
 //! and unequal relation sizes (Section 7.4).
 
 use crate::report::{fmt, Table};
+use subgraph_core::plan::{EnumerationRequest, StrategyKind};
 use subgraph_core::relation_join::{case_b_worst_instance, evaluate_case_b, CycleJoinSizes};
 use subgraph_core::serial::{
     enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic, enumerate_odd_cycles,
     enumerate_triangles_serial,
 };
-use subgraph_core::triangles::bucket_ordered_triangles;
 use subgraph_core::{is_convertible, predicted_parallel_work};
 use subgraph_graph::generators;
-use subgraph_mapreduce::EngineConfig;
-use subgraph_pattern::decompose::decompose;
 use subgraph_pattern::catalog;
+use subgraph_pattern::decompose::decompose;
+use subgraph_shares::counting::useful_reducers;
 
 /// Theorem 6.1 / Example 6.1 — total reducer work of the bucket-ordered
 /// triangle algorithm stays within a constant factor of the serial work as the
 /// number of reducers grows.
 pub fn convertibility_table() -> String {
-    let config = EngineConfig::default();
     let graph = generators::gnm(1_500, 18_000, 61);
     let serial = enumerate_triangles_serial(&graph);
     let report = is_convertible(3, 0.0, 1.5);
@@ -34,13 +33,19 @@ pub fn convertibility_table() -> String {
         ],
     );
     for b in [2usize, 4, 8, 16] {
-        let run = bucket_ordered_triangles(&graph, b, &config);
+        let run = EnumerationRequest::new(catalog::triangle(), &graph)
+            .reducers(useful_reducers(b as u64, 3) as usize)
+            .strategy(StrategyKind::BucketOrderedTriangles)
+            .plan()
+            .expect("triangle strategy applies")
+            .execute();
         assert_eq!(run.count(), serial.count());
+        let metrics = run.metrics.as_ref().unwrap();
         table.row(&[
             b.to_string(),
-            run.metrics.reducers_used.to_string(),
-            run.metrics.reducer_work.to_string(),
-            fmt(run.metrics.reducer_work as f64 / serial.work.max(1) as f64),
+            metrics.reducers_used.to_string(),
+            metrics.reducer_work.to_string(),
+            fmt(metrics.reducer_work as f64 / serial.work.max(1) as f64),
             fmt(
                 predicted_parallel_work(b, 3, 0.0, 1.5, graph.num_nodes(), graph.num_edges())
                     / (graph.num_edges() as f64).powf(1.5),
@@ -60,7 +65,14 @@ pub fn convertibility_table() -> String {
 pub fn odd_cycle_table() -> String {
     let mut table = Table::new(
         "Algorithm 1 (OddCycle) — cycles of length 2k+1",
-        &["graph", "cycle", "OddCycle count", "oracle count", "OddCycle work", "m^(p/2) bound"],
+        &[
+            "graph",
+            "cycle",
+            "OddCycle count",
+            "oracle count",
+            "OddCycle work",
+            "m^(p/2) bound",
+        ],
     );
     let configs = [
         ("G(30,120)", generators::gnm(30, 120, 71), 2usize),
@@ -89,7 +101,14 @@ pub fn decomposition_table() -> String {
     let graph = generators::gnm(40, 220, 73);
     let mut table = Table::new(
         "Theorem 7.2 — decomposition-based (q, (p−q)/2)-algorithms",
-        &["pattern", "q (isolated)", "β = (p−q)/2", "instances", "matches oracle", "work"],
+        &[
+            "pattern",
+            "q (isolated)",
+            "β = (p−q)/2",
+            "instances",
+            "matches oracle",
+            "work",
+        ],
     );
     for (name, pattern) in [
         ("triangle", catalog::triangle()),
@@ -119,12 +138,29 @@ pub fn decomposition_table() -> String {
 pub fn bounded_degree_table() -> String {
     let mut table = Table::new(
         "Theorem 7.3 — bounded-degree enumeration, work vs m·Δ^(p−2)",
-        &["graph", "Δ", "pattern", "instances", "work", "m·Δ^(p−2)", "work / bound"],
+        &[
+            "graph",
+            "Δ",
+            "pattern",
+            "instances",
+            "work",
+            "m·Δ^(p−2)",
+            "work / bound",
+        ],
     );
     let cases: Vec<(String, subgraph_graph::DataGraph)> = vec![
-        ("Δ-regular tree (Δ=5)".into(), generators::regular_tree(5, 4)),
-        ("Δ-regular tree (Δ=8)".into(), generators::regular_tree(8, 3)),
-        ("degree-capped G(n,m)".into(), generators::bounded_degree(800, 2_400, 12, 74)),
+        (
+            "Δ-regular tree (Δ=5)".into(),
+            generators::regular_tree(5, 4),
+        ),
+        (
+            "Δ-regular tree (Δ=8)".into(),
+            generators::regular_tree(8, 3),
+        ),
+        (
+            "degree-capped G(n,m)".into(),
+            generators::bounded_degree(800, 2_400, 12, 74),
+        ),
     ];
     for (name, graph) in cases {
         let delta = graph.max_degree();
@@ -150,7 +186,14 @@ pub fn bounded_degree_table() -> String {
 pub fn relation_size_table() -> String {
     let mut table = Table::new(
         "Section 7.4 — 5-cycle joins over relations of unequal sizes",
-        &["sizes n1..n5", "case", "bound", "√(Πn)", "measured output", "measured work"],
+        &[
+            "sizes n1..n5",
+            "case",
+            "bound",
+            "√(Πn)",
+            "measured output",
+            "measured work",
+        ],
     );
     let size_sets: [[f64; 5]; 4] = [
         [100.0, 100.0, 100.0, 100.0, 100.0],
@@ -161,7 +204,8 @@ pub fn relation_size_table() -> String {
     for sizes in size_sets {
         let analysis = CycleJoinSizes::new(sizes);
         let (output, work) = {
-            let relations = case_b_worst_instance(sizes[0] as usize, sizes[2] as usize, sizes[4] as usize);
+            let relations =
+                case_b_worst_instance(sizes[0] as usize, sizes[2] as usize, sizes[4] as usize);
             evaluate_case_b(&relations)
         };
         table.row(&[

@@ -1,24 +1,34 @@
-//! Figures 1 and 2: the three single-round triangle algorithms.
+//! Figures 1 and 2: the three single-round triangle algorithms, driven
+//! through the planner's strategy overrides.
 
 use crate::report::{fmt, Table};
-use subgraph_core::triangles::{
-    bucket_ordered_triangles, cascade_triangles, multiway_triangles, partition_triangles,
-};
-use subgraph_graph::generators;
-use subgraph_mapreduce::EngineConfig;
+use subgraph_core::plan::{EnumerationRequest, RunReport, StrategyKind};
+use subgraph_graph::{generators, DataGraph};
+use subgraph_pattern::catalog;
 use subgraph_shares::counting::{
-    multiway_triangle_replication, ordered_triangle_replication, partition_triangle_replication,
+    binomial, multiway_triangle_replication, ordered_triangle_replication,
+    partition_triangle_replication, useful_reducers,
 };
 
 /// The synthetic data graph used for the measured columns of Figures 1 and 2.
-pub fn figure_graph() -> subgraph_graph::DataGraph {
+pub fn figure_graph() -> DataGraph {
     generators::gnm(1_200, 12_000, 20_130_415)
+}
+
+/// Runs one triangle strategy at the reducer budget that makes the planner
+/// pick exactly the wanted bucket count.
+fn run_triangles(graph: &DataGraph, kind: StrategyKind, budget: usize) -> RunReport {
+    EnumerationRequest::new(catalog::triangle(), graph)
+        .reducers(budget)
+        .strategy(kind)
+        .plan()
+        .expect("triangle strategies apply to the triangle pattern")
+        .execute()
 }
 
 /// Figure 1 — asymptotic comparison of the three algorithms at (approximately)
 /// equal reducer counts `k`, plus measured replication on a synthetic graph.
 pub fn figure1() -> String {
-    let config = EngineConfig::default();
     let graph = figure_graph();
     let k = 220.0f64; // reducer budget used to derive b per algorithm
     let b_partition = (6.0 * k).cbrt().round() as usize; // b = (6k)^{1/3}
@@ -35,29 +45,41 @@ pub fn figure1() -> String {
             "measured (per edge)",
         ],
     );
-    let partition_run = partition_triangles(&graph, b_partition, &config);
+    // Budgets chosen so the planner's bucket selection lands exactly on b.
+    let partition_run = run_triangles(
+        &graph,
+        StrategyKind::PartitionTriangles,
+        binomial(b_partition as u64, 3) as usize,
+    );
+    let partition_metrics = partition_run.metrics.as_ref().unwrap();
     table.row(&[
         "Partition [19]".into(),
         format!("(6k)^1/3 = {b_partition}"),
         "3·(6k)^1/3 / 2  (≈ 3b/2)".into(),
         fmt(partition_triangle_replication(b_partition as u64)),
-        fmt(partition_run.metrics.replication_per_input()),
+        fmt(partition_metrics.replication_per_input()),
     ]);
-    let multiway_run = multiway_triangles(&graph, b_multiway, &config);
+    let multiway_run = run_triangles(&graph, StrategyKind::MultiwayTriangles, b_multiway.pow(3));
+    let multiway_metrics = multiway_run.metrics.as_ref().unwrap();
     table.row(&[
         "Section 2.2 multiway join".into(),
         format!("k^1/3 = {b_multiway}"),
         "3·k^1/3  (3b−2 dedup.)".into(),
         fmt(multiway_triangle_replication(b_multiway as u64)),
-        fmt(multiway_run.metrics.replication_per_input()),
+        fmt(multiway_metrics.replication_per_input()),
     ]);
-    let ordered_run = bucket_ordered_triangles(&graph, b_ordered, &config);
+    let ordered_run = run_triangles(
+        &graph,
+        StrategyKind::BucketOrderedTriangles,
+        useful_reducers(b_ordered as u64, 3) as usize,
+    );
+    let ordered_metrics = ordered_run.metrics.as_ref().unwrap();
     table.row(&[
         "Section 2.3 bucket-ordered".into(),
         format!("(6k)^1/3 = {b_ordered}"),
         "(6k)^1/3  (= b)".into(),
         fmt(ordered_triangle_replication(b_ordered as u64)),
-        fmt(ordered_run.metrics.replication_per_input()),
+        fmt(ordered_metrics.replication_per_input()),
     ]);
     table.note(&format!(
         "data graph: n = {}, m = {}; all three algorithms found {} triangles",
@@ -77,7 +99,6 @@ pub fn figure1() -> String {
 /// Figure 2 — the same comparison at the paper's specific bucket counts
 /// (Partition b = 12, Section 2.2 b = 6, Section 2.3 b = 10).
 pub fn figure2() -> String {
-    let config = EngineConfig::default();
     let graph = figure_graph();
     let mut table = Table::new(
         "Figure 2 — comparison at specific reducer counts",
@@ -90,32 +111,35 @@ pub fn figure2() -> String {
             "measured cost/edge",
         ],
     );
-    let partition_run = partition_triangles(&graph, 12, &config);
+    let partition_run = run_triangles(&graph, StrategyKind::PartitionTriangles, 220);
+    let partition_metrics = partition_run.metrics.as_ref().unwrap();
     table.row(&[
         "Partition [19]".into(),
         "12".into(),
         "C(12,3) = 220".into(),
-        partition_run.metrics.reducers_used.to_string(),
+        partition_metrics.reducers_used.to_string(),
         "13.75".into(),
-        fmt(partition_run.metrics.replication_per_input()),
+        fmt(partition_metrics.replication_per_input()),
     ]);
-    let multiway_run = multiway_triangles(&graph, 6, &config);
+    let multiway_run = run_triangles(&graph, StrategyKind::MultiwayTriangles, 216);
+    let multiway_metrics = multiway_run.metrics.as_ref().unwrap();
     table.row(&[
         "Section 2.2 multiway join".into(),
         "6".into(),
         "6³ = 216".into(),
-        multiway_run.metrics.reducers_used.to_string(),
+        multiway_metrics.reducers_used.to_string(),
         "16".into(),
-        fmt(multiway_run.metrics.replication_per_input()),
+        fmt(multiway_metrics.replication_per_input()),
     ]);
-    let ordered_run = bucket_ordered_triangles(&graph, 10, &config);
+    let ordered_run = run_triangles(&graph, StrategyKind::BucketOrderedTriangles, 220);
+    let ordered_metrics = ordered_run.metrics.as_ref().unwrap();
     table.row(&[
         "Section 2.3 bucket-ordered".into(),
         "10".into(),
         "C(12,3) = 220".into(),
-        ordered_run.metrics.reducers_used.to_string(),
+        ordered_metrics.reducers_used.to_string(),
         "10".into(),
-        fmt(ordered_run.metrics.replication_per_input()),
+        fmt(ordered_metrics.replication_per_input()),
     ]);
     table.note(&format!(
         "triangles found by all three algorithms: {}",
@@ -123,9 +147,9 @@ pub fn figure2() -> String {
     ));
     table.note(&format!(
         "total reducer work (candidate pairs): Partition {}, multiway {}, ordered {}; serial baseline {}",
-        partition_run.metrics.reducer_work,
-        multiway_run.metrics.reducer_work,
-        ordered_run.metrics.reducer_work,
+        partition_run.work,
+        multiway_run.work,
+        ordered_run.work,
         subgraph_core::serial::enumerate_triangles_serial(&graph).work
     ));
     table.render()
@@ -135,27 +159,36 @@ pub fn figure2() -> String {
 /// two-round cascade of two-way joins, on a skewed (power-law) graph where the
 /// intermediate wedge count explodes.
 pub fn cascade_comparison() -> String {
-    let config = EngineConfig::default();
     let graph = generators::power_law(2_000, 12_000, 2.2, 20_130_416);
+    let cascade = run_triangles(&graph, StrategyKind::CascadeTriangles, 220);
+    let ordered = run_triangles(
+        &graph,
+        StrategyKind::BucketOrderedTriangles,
+        useful_reducers(8, 3) as usize,
+    );
+    assert_eq!(cascade.count(), ordered.count());
     let mut table = Table::new(
         "Section 2 motivation — single-round multiway join vs two-round cascade",
-        &["algorithm", "rounds", "kv pairs shipped", "per edge", "triangles"],
+        &[
+            "algorithm",
+            "rounds",
+            "kv pairs shipped",
+            "per edge",
+            "triangles",
+        ],
     );
-    let cascade = cascade_triangles(&graph, &config);
-    let ordered = bucket_ordered_triangles(&graph, 8, &config);
-    assert_eq!(cascade.count(), ordered.count());
     table.row(&[
         "cascade of 2-way joins".into(),
-        "2".into(),
-        cascade.metrics.key_value_pairs.to_string(),
-        fmt(cascade.metrics.key_value_pairs as f64 / graph.num_edges() as f64),
+        cascade.rounds.to_string(),
+        cascade.communication().to_string(),
+        fmt(cascade.communication() as f64 / graph.num_edges() as f64),
         cascade.count().to_string(),
     ]);
     table.row(&[
         "bucket-ordered multiway (b=8)".into(),
-        "1".into(),
-        ordered.metrics.key_value_pairs.to_string(),
-        fmt(ordered.metrics.replication_per_input()),
+        ordered.rounds.to_string(),
+        ordered.communication().to_string(),
+        fmt(ordered.metrics.as_ref().unwrap().replication_per_input()),
         ordered.count().to_string(),
     ]);
     table.note(&format!(

@@ -25,16 +25,25 @@
 //! | Theorem 7.2 (decomposition algorithms) | [`computation::decomposition_table`] |
 //! | Theorem 7.3 (bounded degree) | [`computation::bounded_degree_table`] |
 //! | Section 7.4 (relation sizes) | [`computation::relation_size_table`] |
+//! | strategy choice (Sections 2, 4, 6-7) | [`planner_table::planner_choices`] |
+//!
+//! The measured columns drive every algorithm through the
+//! `EnumerationRequest`/`Planner` API of `subgraph-core`; [`harness`] is the
+//! dependency-free criterion-compatible micro-bench harness the `benches/`
+//! targets run on.
 
 pub mod computation;
 pub mod cq_tables;
 pub mod figures;
+pub mod harness;
+pub mod planner_table;
 pub mod report;
 pub mod share_tables;
 
 /// Runs every reproduction and concatenates the reports (the `all` subcommand).
 pub fn run_all() -> String {
     let mut out = String::new();
+    out.push_str(&planner_table::planner_choices());
     out.push_str(&figures::figure1());
     out.push_str(&figures::figure2());
     out.push_str(&figures::cascade_comparison());

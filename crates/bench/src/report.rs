@@ -109,6 +109,9 @@ mod tests {
         assert_eq!(fmt(3.0), "3");
         assert_eq!(fmt(13.75), "13.750");
         assert_eq!(fmt(60000.0), "60000");
-        assert_eq!(fmt(5e13), "5e13".to_string().replace("e13", "0000000000000"));
+        assert_eq!(
+            fmt(5e13),
+            "5e13".to_string().replace("e13", "0000000000000")
+        );
     }
 }

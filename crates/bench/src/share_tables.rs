@@ -2,14 +2,13 @@
 //! Theorem 4.4.
 
 use crate::report::{fmt, Table};
-use subgraph_core::enumerate::{cq_oriented_enumerate, variable_oriented_enumerate};
+use subgraph_core::plan::{EnumerationRequest, StrategyKind};
 use subgraph_cq::cqs_for_sample;
 use subgraph_graph::generators;
-use subgraph_mapreduce::EngineConfig;
 use subgraph_pattern::catalog;
 use subgraph_shares::counting::{
-    bucket_oriented_replication, generalized_partition_replication, partition_to_bucket_ratio_limit,
-    useful_reducers,
+    bucket_oriented_replication, generalized_partition_replication,
+    partition_to_bucket_ratio_limit, useful_reducers,
 };
 use subgraph_shares::dominance::single_cq_expression_with_dominance;
 use subgraph_shares::{optimize_shares, CostExpression};
@@ -25,7 +24,10 @@ pub fn lollipop_shares() -> String {
         "Example 4.1 — shares for the lollipop CQ E(W,X)&E(X,Y)&E(X,Z)&E(Y,Z)",
         &["reducers k", "w", "x", "y", "z", "cost/edge", "paper"],
     );
-    for (k, paper) in [(750.0, "w=1, x=30, y=z=5, cost 65"), (7_500.0, "x=y²+y, z=y")] {
+    for (k, paper) in [
+        (750.0, "w=1, x=30, y=z=5, cost 65"),
+        (7_500.0, "x=y²+y, z=y"),
+    ] {
         let s = optimize_shares(&expr, k);
         table.row(&[
             fmt(k),
@@ -47,7 +49,15 @@ pub fn square_shares() -> String {
     let expr = CostExpression::from_cq_collection(&cqs);
     let mut table = Table::new(
         "Example 4.2 — variable-oriented shares for the square",
-        &["reducers k", "w", "x", "y", "z", "cost/edge", "paper 4√(2k)"],
+        &[
+            "reducers k",
+            "w",
+            "x",
+            "y",
+            "z",
+            "cost/edge",
+            "paper 4√(2k)",
+        ],
     );
     for k in [128.0, 512.0, 8192.0] {
         let s = optimize_shares(&expr, k);
@@ -74,7 +84,16 @@ pub fn hexagon_shares() -> String {
     let symmetric = subgraph_shares::two_level_shares(6, &[1, 2, 3, 4, 5], &[0], k);
     let mut table = Table::new(
         "Example 4.3 — variable-oriented shares for the hexagon C6, k = 500 000",
-        &["assignment", "X1", "X2", "X3", "X4", "X5", "X6", "cost/edge"],
+        &[
+            "assignment",
+            "X1",
+            "X2",
+            "X3",
+            "X4",
+            "X5",
+            "X6",
+            "cost/edge",
+        ],
     );
     table.row(&[
         "solver".into(),
@@ -108,7 +127,13 @@ pub fn hexagon_shares() -> String {
 pub fn useful_reducer_table() -> String {
     let mut table = Table::new(
         "Theorem 4.2 — reducers that can receive instances (hash-ordered nodes)",
-        &["pattern size p", "buckets b", "all lists b^p", "useful C(b+p−1,p)", "saving factor"],
+        &[
+            "pattern size p",
+            "buckets b",
+            "all lists b^p",
+            "useful C(b+p−1,p)",
+            "saving factor",
+        ],
     );
     for (p, b) in [(3u64, 10u64), (3, 64), (4, 10), (4, 32), (5, 10), (6, 8)] {
         let all = (b as f64).powi(p as i32);
@@ -130,7 +155,14 @@ pub fn useful_reducer_table() -> String {
 pub fn partition_ratio_table() -> String {
     let mut table = Table::new(
         "Section 4.5 — generalized Partition vs bucket-oriented replication per edge",
-        &["p", "b", "Partition", "bucket-oriented", "ratio", "limit 1+1/(p−1)"],
+        &[
+            "p",
+            "b",
+            "Partition",
+            "bucket-oriented",
+            "ratio",
+            "limit 1+1/(p−1)",
+        ],
     );
     for p in 3u64..=7 {
         for b in [20u64, 200, 5_000] {
@@ -155,7 +187,6 @@ pub fn partition_ratio_table() -> String {
 /// Theorem 4.4 — evaluating all CQs in one job never costs more communication
 /// than separate jobs, measured on the engine.
 pub fn combined_vs_separate() -> String {
-    let config = EngineConfig::default();
     let graph = generators::gnm(300, 2_500, 44);
     let mut table = Table::new(
         "Theorem 4.4 — combined (variable-oriented) vs separate (CQ-oriented) evaluation",
@@ -174,15 +205,23 @@ pub fn combined_vs_separate() -> String {
         ("triangle", catalog::triangle()),
     ] {
         let k = 128;
-        let combined = variable_oriented_enumerate(&pattern, &graph, k, &config);
-        let separate = cq_oriented_enumerate(&pattern, &graph, k, &config);
+        let run = |kind: StrategyKind| {
+            EnumerationRequest::new(pattern.clone(), &graph)
+                .reducers(k)
+                .strategy(kind)
+                .plan()
+                .expect("strategy applies")
+                .execute()
+        };
+        let combined = run(StrategyKind::VariableOriented);
+        let separate = run(StrategyKind::CqOriented);
         assert_eq!(combined.count(), separate.count());
         table.row(&[
             name.to_string(),
             k.to_string(),
-            combined.metrics.key_value_pairs.to_string(),
-            separate.metrics.key_value_pairs.to_string(),
-            fmt(separate.metrics.key_value_pairs as f64 / combined.metrics.key_value_pairs as f64),
+            combined.communication().to_string(),
+            separate.communication().to_string(),
+            fmt(separate.communication() as f64 / combined.communication() as f64),
             combined.count().to_string(),
         ]);
     }

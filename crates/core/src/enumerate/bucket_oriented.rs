@@ -18,7 +18,11 @@ use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
 use subgraph_pattern::{Instance, SampleGraph};
 
 /// Runs bucket-oriented enumeration of `sample` over `graph` with `b` buckets.
-pub fn bucket_oriented_enumerate(
+///
+/// This is the internal runner behind
+/// [`crate::plan::StrategyKind::BucketOriented`]; external callers go through
+/// the planner, which also derives `b` from a reducer budget.
+pub(crate) fn run_bucket_oriented(
     sample: &SampleGraph,
     graph: &DataGraph,
     b: usize,
@@ -26,6 +30,20 @@ pub fn bucket_oriented_enumerate(
 ) -> MapReduceRun {
     let cqs = cqs_for_sample(sample);
     bucket_oriented_with_cqs(sample.num_nodes(), &cqs, graph, b, config)
+}
+
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::BucketOriented and call plan()/execute() instead"
+)]
+pub fn bucket_oriented_enumerate(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+) -> MapReduceRun {
+    run_bucket_oriented(sample, graph, b, config)
 }
 
 /// Same, with an explicit CQ collection (the cycle CQs of Section 5 plug in
@@ -93,7 +111,7 @@ mod tests {
     }
 
     fn agree(sample: &SampleGraph, graph: &DataGraph, b: usize) {
-        let run = bucket_oriented_enumerate(sample, graph, b, &config());
+        let run = run_bucket_oriented(sample, graph, b, &config());
         let oracle = enumerate_generic(sample, graph);
         assert_eq!(run.count(), oracle.count(), "pattern {sample:?} b={b}");
         assert_eq!(run.duplicates(), 0, "pattern {sample:?} b={b}");
@@ -119,9 +137,13 @@ mod tests {
     fn replication_matches_the_formula() {
         // Each edge goes to exactly C(b + p − 3, p − 2) reducers.
         let g = generators::gnm(60, 400, 23);
-        for (sample, p) in [(catalog::triangle(), 3usize), (catalog::square(), 4), (catalog::cycle(5), 5)] {
+        for (sample, p) in [
+            (catalog::triangle(), 3usize),
+            (catalog::square(), 4),
+            (catalog::cycle(5), 5),
+        ] {
             for b in [2usize, 4] {
-                let run = bucket_oriented_enumerate(&sample, &g, b, &config());
+                let run = run_bucket_oriented(&sample, &g, b, &config());
                 let expected =
                     bucket_oriented_replication(b as u64, p as u64) as usize * g.num_edges();
                 assert_eq!(run.metrics.key_value_pairs, expected, "p={p} b={b}");
@@ -134,8 +156,7 @@ mod tests {
     #[test]
     fn section_5_cycle_cqs_plug_into_the_same_scheme() {
         let g = generators::gnm(18, 60, 24);
-        let queries: Vec<ConjunctiveQuery> =
-            cycle_cqs(5).into_iter().map(|c| c.query).collect();
+        let queries: Vec<ConjunctiveQuery> = cycle_cqs(5).into_iter().map(|c| c.query).collect();
         let run = bucket_oriented_with_cqs(5, &queries, &g, 3, &config());
         let oracle = enumerate_generic(&catalog::cycle(5), &g);
         assert_eq!(run.count(), oracle.count());
@@ -145,9 +166,12 @@ mod tests {
     #[test]
     fn one_bucket_equals_a_single_reducer() {
         let g = generators::gnm(25, 100, 25);
-        let run = bucket_oriented_enumerate(&catalog::square(), &g, 1, &config());
+        let run = run_bucket_oriented(&catalog::square(), &g, 1, &config());
         assert_eq!(run.metrics.reducers_used, 1);
         assert_eq!(run.metrics.key_value_pairs, g.num_edges());
-        assert_eq!(run.count(), enumerate_generic(&catalog::square(), &g).count());
+        assert_eq!(
+            run.count(),
+            enumerate_generic(&catalog::square(), &g).count()
+        );
     }
 }

@@ -18,7 +18,9 @@ use subgraph_shares::optimize_shares;
 /// reducers, and combines the results. The returned metrics are the sums over
 /// all jobs (communication cost adds up, exactly as in Theorem 4.4's
 /// comparison).
-pub fn cq_oriented_enumerate(
+///
+/// Internal runner behind [`crate::plan::StrategyKind::CqOriented`].
+pub(crate) fn run_cq_oriented(
     sample: &SampleGraph,
     graph: &DataGraph,
     k_per_query: usize,
@@ -33,7 +35,9 @@ pub fn cq_oriented_enumerate(
         combined.input_records += run.metrics.input_records;
         combined.key_value_pairs += run.metrics.key_value_pairs;
         combined.reducers_used += run.metrics.reducers_used;
-        combined.max_reducer_input = combined.max_reducer_input.max(run.metrics.max_reducer_input);
+        combined.max_reducer_input = combined
+            .max_reducer_input
+            .max(run.metrics.max_reducer_input);
         combined.reducer_work += run.metrics.reducer_work;
         combined.outputs += run.metrics.outputs;
         combined.map_time += run.metrics.map_time;
@@ -44,6 +48,20 @@ pub fn cq_oriented_enumerate(
         instances,
         metrics: combined,
     }
+}
+
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::CqOriented and call plan()/execute() instead"
+)]
+pub fn cq_oriented_enumerate(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    k_per_query: usize,
+    config: &EngineConfig,
+) -> MapReduceRun {
+    run_cq_oriented(sample, graph, k_per_query, config)
 }
 
 /// Evaluates a single CQ in one map-reduce job with optimized shares.
@@ -120,7 +138,7 @@ fn emit_free(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::enumerate::variable_oriented::variable_oriented_enumerate;
+    use crate::enumerate::variable_oriented::run_variable_oriented;
     use crate::serial::generic::enumerate_generic;
     use subgraph_graph::generators;
     use subgraph_pattern::catalog;
@@ -132,7 +150,7 @@ mod tests {
     #[test]
     fn squares_match_the_oracle() {
         let g = generators::gnm(30, 140, 8);
-        let run = cq_oriented_enumerate(&catalog::square(), &g, 64, &config());
+        let run = run_cq_oriented(&catalog::square(), &g, 64, &config());
         let oracle = enumerate_generic(&catalog::square(), &g);
         assert_eq!(run.count(), oracle.count());
         assert_eq!(run.duplicates(), 0);
@@ -141,7 +159,7 @@ mod tests {
     #[test]
     fn lollipops_match_the_oracle() {
         let g = generators::gnm(28, 130, 9);
-        let run = cq_oriented_enumerate(&catalog::lollipop(), &g, 60, &config());
+        let run = run_cq_oriented(&catalog::lollipop(), &g, 60, &config());
         let oracle = enumerate_generic(&catalog::lollipop(), &g);
         assert_eq!(run.count(), oracle.count());
         assert_eq!(run.duplicates(), 0);
@@ -169,8 +187,8 @@ mod tests {
         // Theorem 4.4 at equal total reducer budget.
         let g = generators::gnm(60, 320, 11);
         let sample = catalog::square();
-        let combined = variable_oriented_enumerate(&sample, &g, 128, &config());
-        let separate = cq_oriented_enumerate(&sample, &g, 128, &config());
+        let combined = run_variable_oriented(&sample, &g, 128, &config());
+        let separate = run_cq_oriented(&sample, &g, 128, &config());
         assert!(
             separate.metrics.key_value_pairs >= combined.metrics.key_value_pairs,
             "separate {} vs combined {}",

@@ -16,8 +16,11 @@ pub mod bucket_oriented;
 pub mod cq_oriented;
 pub mod variable_oriented;
 
+#[allow(deprecated)]
 pub use bucket_oriented::bucket_oriented_enumerate;
+#[allow(deprecated)]
 pub use cq_oriented::cq_oriented_enumerate;
+#[allow(deprecated)]
 pub use variable_oriented::variable_oriented_enumerate;
 
 use subgraph_graph::NodeId;
@@ -41,20 +44,19 @@ pub(crate) fn variable_bucket(node: NodeId, variable: u8, share: u32) -> u32 {
 /// Rounds the real-valued optimal shares to integers (at least 1 each), the
 /// form the engine needs.
 pub(crate) fn integer_shares(shares: &[f64]) -> Vec<u32> {
-    shares
-        .iter()
-        .map(|&s| s.round().max(1.0) as u32)
-        .collect()
+    shares.iter().map(|&s| s.round().max(1.0) as u32).collect()
 }
 
 /// Enumerates every non-decreasing sequence of `len` bucket numbers in
 /// `0..buckets`, calling `visit` for each.
-pub(crate) fn nondecreasing_sequences(
-    buckets: u32,
-    len: usize,
-    visit: &mut dyn FnMut(&[u32]),
-) {
-    fn recurse(buckets: u32, len: usize, start: u32, prefix: &mut Vec<u32>, visit: &mut dyn FnMut(&[u32])) {
+pub(crate) fn nondecreasing_sequences(buckets: u32, len: usize, visit: &mut dyn FnMut(&[u32])) {
+    fn recurse(
+        buckets: u32,
+        len: usize,
+        start: u32,
+        prefix: &mut Vec<u32>,
+        visit: &mut dyn FnMut(&[u32]),
+    ) {
         if prefix.len() == len {
             visit(prefix);
             return;

@@ -27,11 +27,15 @@ pub struct VariableOrientedPlan {
     pub predicted_replication: f64,
 }
 
-/// Builds the plan: generate the CQs, optimize the shares for `k` reducers,
+/// Builds the plan: generate the CQs, build the combined cost expression with
+/// the dominance rule applied (dominated variables keep share 1, which also
+/// keeps the optimum finite for patterns like the lollipop whose pendant
+/// variable appears in a single term), optimize the shares for `k` reducers,
 /// round them.
 pub fn plan(sample: &SampleGraph, k: usize) -> VariableOrientedPlan {
     let cqs = cqs_for_sample(sample);
-    let expr = CostExpression::from_cq_collection(&cqs);
+    let mut expr = CostExpression::from_cq_collection(&cqs);
+    expr.fix_dominated_to_one();
     let solution = optimize_shares(&expr, (k.max(1)) as f64);
     let shares = integer_shares(&solution.shares);
     let predicted = expr.evaluate(&shares.iter().map(|&s| s as f64).collect::<Vec<_>>());
@@ -45,7 +49,9 @@ pub fn plan(sample: &SampleGraph, k: usize) -> VariableOrientedPlan {
 
 /// Runs variable-oriented enumeration of `sample` over `graph` with a budget
 /// of (approximately) `k` reducers.
-pub fn variable_oriented_enumerate(
+///
+/// Internal runner behind [`crate::plan::StrategyKind::VariableOriented`].
+pub(crate) fn run_variable_oriented(
     sample: &SampleGraph,
     graph: &DataGraph,
     k: usize,
@@ -53,6 +59,20 @@ pub fn variable_oriented_enumerate(
 ) -> MapReduceRun {
     let plan = plan(sample, k);
     run_with_plan(graph, &plan, config)
+}
+
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::VariableOriented and call plan()/execute() instead"
+)]
+pub fn variable_oriented_enumerate(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    k: usize,
+    config: &EngineConfig,
+) -> MapReduceRun {
+    run_variable_oriented(sample, graph, k, config)
 }
 
 /// Runs the job for an explicit plan (exposed for benches that sweep shares).
@@ -148,7 +168,7 @@ mod tests {
     }
 
     fn agree(sample: &SampleGraph, graph: &DataGraph, k: usize) {
-        let run = variable_oriented_enumerate(sample, graph, k, &config());
+        let run = run_variable_oriented(sample, graph, k, &config());
         let oracle = enumerate_generic(sample, graph);
         assert_eq!(run.count(), oracle.count(), "pattern {sample:?} k={k}");
         assert_eq!(run.duplicates(), 0);

@@ -18,13 +18,24 @@
 //!   backtracking matcher used as the correctness oracle. [`convertible`]
 //!   captures the convertibility criterion of Theorem 6.1, and
 //!   [`relation_join`] the unequal-relation-size analysis of Section 7.4.
+//!
+//! The public entry point is the cost-driven planning layer in [`plan`]:
+//! an [`EnumerationRequest`] feeds the [`Planner`], which scores every
+//! applicable strategy on predicted communication and computation cost and
+//! returns an inspectable, executable [`ExecutionPlan`]. The per-algorithm
+//! free functions still exist as deprecated shims.
 
 pub mod convertible;
 pub mod enumerate;
+pub mod plan;
 pub mod relation_join;
 pub mod result;
 pub mod serial;
 pub mod triangles;
 
 pub use convertible::{is_convertible, predicted_parallel_work, ConvertibilityReport};
+pub use plan::{
+    CostEstimate, EnumerationRequest, ExecutionPlan, PlanError, Planner, RunReport, Strategy,
+    StrategyKind,
+};
 pub use result::{MapReduceRun, SerialRun};

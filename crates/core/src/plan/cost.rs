@@ -1,0 +1,107 @@
+//! [`CostEstimate`]: what the planner predicts for one strategy before
+//! anything runs.
+
+use crate::plan::strategy::StrategyKind;
+
+/// The planner's prediction for running one strategy on one request. All
+/// quantities are in the paper's cost model (Section 1.2): communication is
+/// key-value pairs shipped from mappers to reducers, computation is total
+/// reducer work in the serial algorithm's natural unit.
+#[derive(Clone, Debug)]
+pub struct CostEstimate {
+    /// The strategy this estimate is for.
+    pub strategy: StrategyKind,
+    /// Paper section the strategy implements (for `explain()` output).
+    pub paper_section: &'static str,
+    /// Map-reduce rounds the strategy needs (0 = serial).
+    pub rounds: usize,
+    /// Per-variable shares the strategy would use. For bucket schemes every
+    /// variable has the same share `b`; serial strategies have no shares.
+    pub shares: Vec<f64>,
+    /// The single bucket count `b` for hash-ordered schemes, if applicable.
+    pub buckets: Option<usize>,
+    /// Predicted copies of each data edge shipped to reducers (the paper's
+    /// per-edge replication formulas: `b`, `3b - 2`, `C(b+p-3, p-2)`, ...).
+    pub replication_per_edge: f64,
+    /// Predicted total communication cost: `replication_per_edge x m`.
+    pub communication: f64,
+    /// Predicted number of reducers that receive data.
+    pub reducers: f64,
+    /// Predicted total reducer work (Theorem 6.1 accounting via
+    /// [`crate::convertible::predicted_parallel_work`]); for serial strategies
+    /// this is the predicted serial running-time bound.
+    pub reducer_work: f64,
+}
+
+impl CostEstimate {
+    /// The planner's ranking key: communication first (the paper's primary
+    /// cost), predicted computation as the tie-breaker, strategy order as the
+    /// final deterministic tie-breaker.
+    pub fn score(&self) -> (f64, f64) {
+        (self.communication, self.reducer_work)
+    }
+
+    /// One aligned row for [`crate::plan::ExecutionPlan::explain`].
+    pub(crate) fn explain_row(&self, marker: char) -> String {
+        let shares = if self.shares.is_empty() {
+            "-".to_string()
+        } else if let Some(b) = self.buckets {
+            format!("b={b}")
+        } else {
+            let rendered: Vec<String> = self.shares.iter().map(|s| format!("{s:.1}")).collect();
+            format!("[{}]", rendered.join(", "))
+        };
+        format!(
+            "{marker} {:<28} {:<10} {:>12} {:>14} {:>10} {:>14}",
+            format!("{} ({})", self.strategy, self.paper_section),
+            shares,
+            format_value(self.replication_per_edge),
+            format_value(self.communication),
+            format_value(self.reducers),
+            format_value(self.reducer_work),
+        )
+    }
+}
+
+/// Compact numeric rendering for explain tables.
+pub(crate) fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e7 {
+        format!("{v:.2e}")
+    } else if v.fract().abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_orders_by_communication_then_work() {
+        let mk = |comm: f64, work: f64| CostEstimate {
+            strategy: StrategyKind::BucketOriented,
+            paper_section: "4.5",
+            rounds: 1,
+            shares: vec![],
+            buckets: None,
+            replication_per_edge: 0.0,
+            communication: comm,
+            reducers: 0.0,
+            reducer_work: work,
+        };
+        assert!(mk(10.0, 99.0).score() < mk(11.0, 1.0).score());
+        assert!(mk(10.0, 1.0).score() < mk(10.0, 2.0).score());
+    }
+
+    #[test]
+    fn values_format_compactly() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(55.0), "55");
+        assert_eq!(format_value(13.75), "13.75");
+        assert_eq!(format_value(3.2e9), "3.20e9");
+    }
+}

@@ -1,0 +1,117 @@
+//! [`RunReport`]: the unified result type every strategy returns.
+
+use crate::plan::strategy::StrategyKind;
+use crate::result::{MapReduceRun, SerialRun};
+use subgraph_mapreduce::JobMetrics;
+use subgraph_pattern::Instance;
+
+/// Output of executing an [`crate::plan::ExecutionPlan`], subsuming the older
+/// [`MapReduceRun`] / [`SerialRun`] split: serial strategies simply have no
+/// job metrics and zero rounds.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The strategy that produced the result.
+    pub strategy: StrategyKind,
+    /// Number of map-reduce rounds executed (0 for serial strategies, 1 for
+    /// the paper's single-round algorithms, 2 for the cascade baseline).
+    pub rounds: usize,
+    /// Every instance found (exactly once each if the algorithm is correct).
+    pub instances: Vec<Instance>,
+    /// Measured cost metrics of the round(s); `None` for serial strategies.
+    pub metrics: Option<JobMetrics>,
+    /// Total computation cost in the algorithm's natural unit: the summed
+    /// reducer work for map-reduce strategies, the serial `work` counter
+    /// otherwise (the quantity the `O(n^α m^β)` bounds of Sections 6-7
+    /// describe).
+    pub work: u64,
+}
+
+impl RunReport {
+    /// Wraps a map-reduce result.
+    pub fn from_map_reduce(strategy: StrategyKind, rounds: usize, run: MapReduceRun) -> Self {
+        RunReport {
+            strategy,
+            rounds,
+            work: run.metrics.reducer_work,
+            metrics: Some(run.metrics),
+            instances: run.instances,
+        }
+    }
+
+    /// Wraps a serial result.
+    pub fn from_serial(strategy: StrategyKind, run: SerialRun) -> Self {
+        RunReport {
+            strategy,
+            rounds: 0,
+            instances: run.instances,
+            metrics: None,
+            work: run.work,
+        }
+    }
+
+    /// Number of instances found.
+    pub fn count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of *distinct* instances (equals `count()` when the exactly-once
+    /// invariant holds).
+    pub fn distinct(&self) -> usize {
+        let mut sorted = self.instances.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Duplicate discoveries (0 when the exactly-once invariant holds).
+    pub fn duplicates(&self) -> usize {
+        self.count() - self.distinct()
+    }
+
+    /// Measured communication cost (key-value pairs shipped); 0 for serial
+    /// strategies, which ship nothing.
+    pub fn communication(&self) -> usize {
+        self.metrics.as_ref().map_or(0, |m| m.key_value_pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_map_reduce_reports_share_one_shape() {
+        let a = Instance::from_edge_set([(0, 1), (1, 2), (0, 2)]);
+        let serial = RunReport::from_serial(
+            StrategyKind::SerialGeneric,
+            SerialRun {
+                instances: vec![a.clone(), a.clone()],
+                work: 9,
+            },
+        );
+        assert_eq!(serial.count(), 2);
+        assert_eq!(serial.distinct(), 1);
+        assert_eq!(serial.duplicates(), 1);
+        assert_eq!(serial.work, 9);
+        assert_eq!(serial.rounds, 0);
+        assert_eq!(serial.communication(), 0);
+        assert!(serial.metrics.is_none());
+
+        let mr = RunReport::from_map_reduce(
+            StrategyKind::BucketOriented,
+            1,
+            MapReduceRun {
+                instances: vec![a],
+                metrics: JobMetrics {
+                    key_value_pairs: 42,
+                    reducer_work: 7,
+                    ..JobMetrics::default()
+                },
+            },
+        );
+        assert_eq!(mr.count(), 1);
+        assert_eq!(mr.communication(), 42);
+        assert_eq!(mr.work, 7);
+        assert_eq!(mr.rounds, 1);
+    }
+}

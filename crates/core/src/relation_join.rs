@@ -39,7 +39,10 @@ pub struct CycleJoinSizes {
 impl CycleJoinSizes {
     /// Creates the size vector.
     pub fn new(sizes: [f64; 5]) -> Self {
-        assert!(sizes.iter().all(|&s| s >= 1.0), "relation sizes must be ≥ 1");
+        assert!(
+            sizes.iter().all(|&s| s >= 1.0),
+            "relation sizes must be ≥ 1"
+        );
         CycleJoinSizes { sizes }
     }
 
@@ -91,9 +94,7 @@ pub fn case_b_worst_instance(n1: usize, n3: usize, n5: usize) -> [Relation; 5] {
     let r1: Relation = (0..n1 as u32).map(|b| (0, b)).collect();
     let r5: Relation = (0..n5 as u32).map(|e| (e, 0)).collect();
     let side = (n3 as f64).sqrt().ceil() as u32;
-    let r3: Relation = (0..n3 as u32)
-        .map(|i| (i / side, i % side))
-        .collect();
+    let r3: Relation = (0..n3 as u32).map(|i| (i / side, i % side)).collect();
     let r2: Relation = (0..n1 as u32)
         .flat_map(|b| (0..side).map(move |c| (b, c)))
         .collect();
@@ -171,7 +172,10 @@ mod tests {
         let relations = case_b_worst_instance(n1, n3, n5);
         let (results, work) = evaluate_case_b(&relations);
         let bound = (n1 * n3 * n5) as u64;
-        assert!(results as f64 >= bound as f64 * 0.8, "results {results} vs bound {bound}");
+        assert!(
+            results as f64 >= bound as f64 * 0.8,
+            "results {results} vs bound {bound}"
+        );
         assert!(results <= bound.max(work));
         // Work equals |R1 ⋈ R5| · n3 = n1 · n5 · n3 here (one A value).
         assert_eq!(work, bound);
@@ -181,11 +185,11 @@ mod tests {
     fn evaluator_counts_simple_cycles_correctly() {
         // A single 5-cycle across the relations.
         let relations: [Relation; 5] = [
-            vec![(0, 1)],        // R1(A,B)
-            vec![(1, 2)],        // R2(B,C)
-            vec![(2, 3)],        // R3(C,D)
-            vec![(3, 4)],        // R4(D,E)
-            vec![(4, 0)],        // R5(E,A)
+            vec![(0, 1)], // R1(A,B)
+            vec![(1, 2)], // R2(B,C)
+            vec![(2, 3)], // R3(C,D)
+            vec![(3, 4)], // R4(D,E)
+            vec![(4, 0)], // R5(E,A)
         ];
         let (results, _) = evaluate_case_b(&relations);
         assert_eq!(results, 1);

@@ -26,7 +26,10 @@ pub fn enumerate_bounded_degree(sample: &SampleGraph, graph: &DataGraph) -> Seri
         sample.num_nodes() >= 2,
         "Theorem 7.3 applies to patterns with at least two nodes"
     );
-    assert!(sample.is_connected(), "Theorem 7.3 applies to connected patterns");
+    assert!(
+        sample.is_connected(),
+        "Theorem 7.3 applies to connected patterns"
+    );
 
     // Build the removal order: repeatedly strip a non-articulation node,
     // keeping the remainder connected, until two nodes remain.
@@ -80,7 +83,7 @@ pub fn enumerate_bounded_degree(sample: &SampleGraph, graph: &DataGraph) -> Seri
             for &candidate in graph.neighbors(anchor_image) {
                 work += 1;
                 // Injectivity.
-                if assignment.iter().any(|&a| a == Some(candidate)) {
+                if assignment.contains(&Some(candidate)) {
                     continue;
                 }
                 // Every pattern edge from u to an already-placed node must exist.
@@ -164,7 +167,11 @@ mod tests {
         let m = tree.num_edges() as f64;
         let run = enumerate_bounded_degree(&catalog::star(4), &tree);
         let bound = m * (delta as f64).powi(2);
-        assert!(run.work as f64 <= 8.0 * bound, "work {} vs bound {bound}", run.work);
+        assert!(
+            run.work as f64 <= 8.0 * bound,
+            "work {} vs bound {bound}",
+            run.work
+        );
         assert!(run.work as f64 >= bound / 8.0);
     }
 

@@ -205,7 +205,7 @@ fn join_pieces(
         *work += 1;
         // Node-disjointness with previously placed pieces.
         for &node in candidate {
-            if assignment.iter().any(|&a| a == Some(node)) {
+            if assignment.contains(&Some(node)) {
                 continue 'candidates;
             }
         }

@@ -104,7 +104,7 @@ fn extend(
     };
     'next: for node in candidates {
         *work += 1;
-        if assignment.iter().any(|&a| a == Some(node)) {
+        if assignment.contains(&Some(node)) {
             continue;
         }
         for &u in &plan[..depth] {
@@ -113,7 +113,16 @@ fn extend(
             }
         }
         assignment[var as usize] = Some(node);
-        extend(sample, graph, plan, depth + 1, assignment, seen, instances, work);
+        extend(
+            sample,
+            graph,
+            plan,
+            depth + 1,
+            assignment,
+            seen,
+            instances,
+            work,
+        );
         assignment[var as usize] = None;
     }
 }

@@ -54,7 +54,7 @@ pub fn enumerate_odd_cycles(graph: &DataGraph, k: usize) -> SerialRun {
 /// Recursively chooses `remaining` node-disjoint edges (by increasing position
 /// in the edge list so each set is produced once), skipping edges that touch a
 /// forbidden node, already-chosen node, or a node preceding `v1` in the order.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn choose_edge_sets<O: NodeOrder>(
     graph: &DataGraph,
     order: &O,
@@ -76,10 +76,7 @@ fn choose_edge_sets<O: NodeOrder>(
         if forbidden.contains(&a) || forbidden.contains(&b) {
             continue;
         }
-        if chosen
-            .iter()
-            .any(|c| c.is_incident(a) || c.is_incident(b))
-        {
+        if chosen.iter().any(|c| c.is_incident(a) || c.is_incident(b)) {
             continue;
         }
         // v1 must precede every node of the chosen edges (it is the minimal
@@ -137,8 +134,8 @@ fn assemble_cycles(
             // Verify the connecting edges; the pair-internal edges and
             // (v1, v2), (v1, v_last) exist by construction.
             if connecting_edges_exist(graph, &sequence) {
-                let cycle_edges = (0..sequence.len())
-                    .map(|i| (sequence[i], sequence[(i + 1) % sequence.len()]));
+                let cycle_edges =
+                    (0..sequence.len()).map(|i| (sequence[i], sequence[(i + 1) % sequence.len()]));
                 instances.push(Instance::from_edge_set(cycle_edges));
             }
         }

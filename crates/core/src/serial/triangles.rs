@@ -62,7 +62,10 @@ mod tests {
             enumerate_triangles_serial(&generators::complete_bipartite(5, 5)).count(),
             0
         );
-        assert_eq!(enumerate_triangles_serial(&generators::cycle(10)).count(), 0);
+        assert_eq!(
+            enumerate_triangles_serial(&generators::cycle(10)).count(),
+            0
+        );
         assert_eq!(enumerate_triangles_serial(&generators::path(6)).count(), 0);
     }
 

@@ -16,7 +16,9 @@ use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
 use subgraph_pattern::Instance;
 
 /// Runs the Section 2.3 algorithm with `b` buckets.
-pub fn bucket_ordered_triangles(
+///
+/// Internal runner behind [`crate::plan::StrategyKind::BucketOrderedTriangles`].
+pub(crate) fn run_bucket_ordered_triangles(
     graph: &DataGraph,
     b: usize,
     config: &EngineConfig,
@@ -62,6 +64,19 @@ pub fn bucket_ordered_triangles(
     MapReduceRun { instances, metrics }
 }
 
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::BucketOrderedTriangles and call plan()/execute() instead"
+)]
+pub fn bucket_ordered_triangles(
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+) -> MapReduceRun {
+    run_bucket_ordered_triangles(graph, b, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,7 +94,7 @@ mod tests {
             let g = generators::gnm(80, 520, seed);
             let serial = enumerate_triangles_serial(&g);
             for b in [1usize, 3, 6, 10] {
-                let run = bucket_ordered_triangles(&g, b, &config());
+                let run = run_bucket_ordered_triangles(&g, b, &config());
                 assert_eq!(run.count(), serial.count(), "b={b} seed={seed}");
                 assert_eq!(run.duplicates(), 0, "b={b} seed={seed}");
             }
@@ -90,7 +105,7 @@ mod tests {
     fn communication_is_exactly_b_per_edge() {
         let g = generators::gnm(150, 1500, 9);
         for b in [2usize, 5, 10, 16] {
-            let run = bucket_ordered_triangles(&g, b, &config());
+            let run = run_bucket_ordered_triangles(&g, b, &config());
             assert_eq!(run.metrics.key_value_pairs, b * g.num_edges(), "b={b}");
             // Only non-decreasing triples are ever materialized.
             let max = useful_reducers(b as u64, 3);
@@ -104,9 +119,9 @@ mod tests {
         // multiway join (b=6, 216 reducers) ships ≈16m, and this algorithm
         // (b=10) ships 10m.
         let g = generators::gnm(200, 2400, 4);
-        let ordered = bucket_ordered_triangles(&g, 10, &config());
-        let partition = crate::triangles::partition::partition_triangles(&g, 12, &config());
-        let multiway = crate::triangles::multiway::multiway_triangles(&g, 6, &config());
+        let ordered = run_bucket_ordered_triangles(&g, 10, &config());
+        let partition = crate::triangles::partition::run_partition_triangles(&g, 12, &config());
+        let multiway = crate::triangles::multiway::run_multiway_triangles(&g, 6, &config());
         assert!(
             ordered.metrics.key_value_pairs < partition.metrics.key_value_pairs,
             "ordered {} vs partition {}",
@@ -126,7 +141,7 @@ mod tests {
         let g = generators::gnm(300, 2700, 11);
         let serial = enumerate_triangles_serial(&g);
         for b in [2usize, 4, 8] {
-            let run = bucket_ordered_triangles(&g, b, &config());
+            let run = run_bucket_ordered_triangles(&g, b, &config());
             let ratio = run.metrics.reducer_work as f64 / serial.work.max(1) as f64;
             assert!(
                 ratio < 12.0,
@@ -140,7 +155,7 @@ mod tests {
     #[test]
     fn single_bucket_equals_serial() {
         let g = generators::gnm(40, 200, 3);
-        let run = bucket_ordered_triangles(&g, 1, &config());
+        let run = run_bucket_ordered_triangles(&g, 1, &config());
         assert_eq!(run.metrics.reducers_used, 1);
         assert_eq!(run.count(), enumerate_triangles_serial(&g).count());
         assert_eq!(run.metrics.key_value_pairs, g.num_edges());

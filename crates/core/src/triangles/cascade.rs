@@ -42,13 +42,24 @@ enum Round2Value {
 
 /// Runs the two-round cascade and returns the triangles plus the *combined*
 /// metrics of both rounds (communication costs add).
-pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
+///
+/// Internal runner behind [`crate::plan::StrategyKind::CascadeTriangles`].
+pub(crate) fn run_cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
     let (wedges, round1) = wedge_round(graph, config);
     let (instances, round2) = closing_round(graph, &wedges, config);
     MapReduceRun {
         instances,
         metrics: combine(round1, round2),
     }
+}
+
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::CascadeTriangles and call plan()/execute() instead"
+)]
+pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
+    run_cascade_triangles(graph, config)
 }
 
 /// Round 1: every edge is shipped twice (once as `E(X,Y)` keyed by its upper
@@ -103,27 +114,25 @@ fn closing_round(
         .chain(graph.edges().iter().map(|&e| Round2Input::Edge(e)))
         .collect();
 
-    let mapper = |input: &Round2Input, ctx: &mut MapContext<(NodeId, NodeId), Round2Value>| {
-        match input {
+    let mapper =
+        |input: &Round2Input, ctx: &mut MapContext<(NodeId, NodeId), Round2Value>| match input {
             Round2Input::Wedge(w) => ctx.emit((w.x, w.z), Round2Value::MiddleNode(w.y)),
             Round2Input::Edge(e) => ctx.emit(e.endpoints(), Round2Value::ClosingEdge),
-        }
-    };
-    let reducer = |key: &(NodeId, NodeId),
-                   values: &[Round2Value],
-                   ctx: &mut ReduceContext<Instance>| {
-        ctx.add_work(values.len() as u64);
-        let closed = values.iter().any(|v| matches!(v, Round2Value::ClosingEdge));
-        if !closed {
-            return;
-        }
-        let (x, z) = *key;
-        for value in values {
-            if let Round2Value::MiddleNode(y) = value {
-                ctx.emit(Instance::from_edge_set([(x, *y), (*y, z), (x, z)]));
+        };
+    let reducer =
+        |key: &(NodeId, NodeId), values: &[Round2Value], ctx: &mut ReduceContext<Instance>| {
+            ctx.add_work(values.len() as u64);
+            let closed = values.iter().any(|v| matches!(v, Round2Value::ClosingEdge));
+            if !closed {
+                return;
             }
-        }
-    };
+            let (x, z) = *key;
+            for value in values {
+                if let Round2Value::MiddleNode(y) = value {
+                    ctx.emit(Instance::from_edge_set([(x, *y), (*y, z), (x, z)]));
+                }
+            }
+        };
     run_job(&inputs, &mapper, &reducer, config)
 }
 
@@ -145,7 +154,7 @@ fn combine(a: JobMetrics, b: JobMetrics) -> JobMetrics {
 mod tests {
     use super::*;
     use crate::serial::triangles::enumerate_triangles_serial;
-    use crate::triangles::bucket_ordered::bucket_ordered_triangles;
+    use crate::triangles::bucket_ordered::run_bucket_ordered_triangles;
     use subgraph_graph::generators;
 
     fn config() -> EngineConfig {
@@ -157,7 +166,7 @@ mod tests {
         for seed in 0..3 {
             let g = generators::gnm(70, 420, seed);
             let serial = enumerate_triangles_serial(&g);
-            let run = cascade_triangles(&g, &config());
+            let run = run_cascade_triangles(&g, &config());
             assert_eq!(run.count(), serial.count(), "seed {seed}");
             assert_eq!(run.duplicates(), 0);
         }
@@ -179,7 +188,7 @@ mod tests {
     fn communication_cost_is_two_m_plus_wedges_plus_m() {
         let g = generators::gnm(90, 600, 4);
         let (wedges, _) = wedge_round(&g, &config());
-        let run = cascade_triangles(&g, &config());
+        let run = run_cascade_triangles(&g, &config());
         assert_eq!(
             run.metrics.key_value_pairs,
             2 * g.num_edges() + wedges.len() + g.num_edges()
@@ -192,8 +201,8 @@ mod tests {
         // far more data than the one-round bucket-ordered algorithm with a
         // moderate b — the paper's motivation for multiway joins.
         let g = generators::power_law(800, 4_000, 2.2, 9);
-        let cascade = cascade_triangles(&g, &config());
-        let one_round = bucket_ordered_triangles(&g, 8, &config());
+        let cascade = run_cascade_triangles(&g, &config());
+        let one_round = run_bucket_ordered_triangles(&g, 8, &config());
         assert_eq!(cascade.count(), one_round.count());
         assert!(
             cascade.metrics.key_value_pairs > one_round.metrics.key_value_pairs,
@@ -209,7 +218,7 @@ mod tests {
         // interior node of the identifier order has one lower and one upper
         // neighbour), so round 1 does real work and round 2 discards it all.
         let g = generators::cycle(12);
-        let run = cascade_triangles(&g, &config());
+        let run = run_cascade_triangles(&g, &config());
         assert_eq!(run.count(), 0);
         assert!(run.metrics.key_value_pairs > 3 * g.num_edges());
     }
@@ -220,7 +229,7 @@ mod tests {
         // a lower and an upper neighbour, so the wedge round is empty and the
         // cascade ships exactly 3m pairs.
         let g = generators::complete_bipartite(6, 6);
-        let run = cascade_triangles(&g, &config());
+        let run = run_cascade_triangles(&g, &config());
         assert_eq!(run.count(), 0);
         assert_eq!(run.metrics.key_value_pairs, 3 * g.num_edges());
     }

@@ -16,7 +16,11 @@ pub mod cascade;
 pub mod multiway;
 pub mod partition;
 
+#[allow(deprecated)]
 pub use bucket_ordered::bucket_ordered_triangles;
+#[allow(deprecated)]
 pub use cascade::cascade_triangles;
+#[allow(deprecated)]
 pub use multiway::multiway_triangles;
+#[allow(deprecated)]
 pub use partition::partition_triangles;

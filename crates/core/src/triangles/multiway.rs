@@ -25,7 +25,11 @@ enum Role {
 
 /// Runs the Section 2.2 multiway-join triangle algorithm with `b` buckets per
 /// variable (`b³` potential reducers).
-pub fn multiway_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) -> MapReduceRun {
+pub(crate) fn run_multiway_triangles(
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+) -> MapReduceRun {
     assert!(b >= 1, "at least one bucket per variable is required");
     let hash = move |v: NodeId| -> u32 { bucket_hash(v, b) };
 
@@ -40,35 +44,34 @@ pub fn multiway_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) ->
         }
     };
 
-    let reducer = |_key: &[u32; 3],
-                   tuples: &[(Role, NodeId, NodeId)],
-                   ctx: &mut ReduceContext<Instance>| {
-        use std::collections::HashSet;
-        let mut xy: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut xz: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut yz: HashSet<(NodeId, NodeId)> = HashSet::new();
-        for &(role, u, v) in tuples {
-            match role {
-                Role::Xy => xy.push((u, v)),
-                Role::Xz => xz.push((u, v)),
-                Role::Yz => {
-                    yz.insert((u, v));
+    let reducer =
+        |_key: &[u32; 3], tuples: &[(Role, NodeId, NodeId)], ctx: &mut ReduceContext<Instance>| {
+            use std::collections::HashSet;
+            let mut xy: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut xz: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut yz: HashSet<(NodeId, NodeId)> = HashSet::new();
+            for &(role, u, v) in tuples {
+                match role {
+                    Role::Xy => xy.push((u, v)),
+                    Role::Xz => xz.push((u, v)),
+                    Role::Yz => {
+                        yz.insert((u, v));
+                    }
                 }
             }
-        }
-        // Join on X between the XY and XZ tuples, then probe YZ.
-        for &(x1, y) in &xy {
-            for &(x2, z) in &xz {
-                if x1 != x2 {
-                    continue;
-                }
-                ctx.add_work(1);
-                if y < z && yz.contains(&(y, z)) {
-                    ctx.emit(Instance::from_edge_set([(x1, y), (y, z), (x1, z)]));
+            // Join on X between the XY and XZ tuples, then probe YZ.
+            for &(x1, y) in &xy {
+                for &(x2, z) in &xz {
+                    if x1 != x2 {
+                        continue;
+                    }
+                    ctx.add_work(1);
+                    if y < z && yz.contains(&(y, z)) {
+                        ctx.emit(Instance::from_edge_set([(x1, y), (y, z), (x1, z)]));
+                    }
                 }
             }
-        }
-    };
+        };
 
     let (instances, metrics) = run_job(graph.edges(), &mapper, &reducer, config);
     MapReduceRun { instances, metrics }
@@ -80,6 +83,15 @@ fn bucket_hash(v: NodeId, b: usize) -> u32 {
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^= x >> 31;
     (x % b as u64) as u32
+}
+
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::MultiwayTriangles and call plan()/execute() instead"
+)]
+pub fn multiway_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) -> MapReduceRun {
+    run_multiway_triangles(graph, b, config)
 }
 
 #[cfg(test)]
@@ -98,7 +110,7 @@ mod tests {
             let g = generators::gnm(70, 420, seed);
             let serial = enumerate_triangles_serial(&g);
             for b in [1usize, 2, 4, 6] {
-                let run = multiway_triangles(&g, b, &config());
+                let run = run_multiway_triangles(&g, b, &config());
                 assert_eq!(run.count(), serial.count(), "b={b} seed={seed}");
                 assert_eq!(run.duplicates(), 0, "b={b} seed={seed}");
             }
@@ -109,7 +121,7 @@ mod tests {
     fn communication_is_exactly_3b_per_edge() {
         let g = generators::gnm(100, 800, 5);
         for b in [2usize, 5, 8] {
-            let run = multiway_triangles(&g, b, &config());
+            let run = run_multiway_triangles(&g, b, &config());
             assert_eq!(run.metrics.key_value_pairs, 3 * b * g.num_edges());
             assert!(run.metrics.reducers_used <= b * b * b);
         }
@@ -118,7 +130,7 @@ mod tests {
     #[test]
     fn single_bucket_degenerates_to_one_reducer() {
         let g = generators::gnm(30, 120, 2);
-        let run = multiway_triangles(&g, 1, &config());
+        let run = run_multiway_triangles(&g, 1, &config());
         assert_eq!(run.metrics.reducers_used, 1);
         assert_eq!(run.count(), enumerate_triangles_serial(&g).count());
     }
@@ -126,7 +138,7 @@ mod tests {
     #[test]
     fn complete_graph_counts() {
         let g = generators::complete(10);
-        let run = multiway_triangles(&g, 3, &config());
+        let run = run_multiway_triangles(&g, 3, &config());
         assert_eq!(run.count(), 120);
         assert_eq!(run.duplicates(), 0);
     }

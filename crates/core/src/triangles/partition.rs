@@ -18,7 +18,11 @@ use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
 use subgraph_pattern::Instance;
 
 /// Runs the Partition algorithm with `b` node groups.
-pub fn partition_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) -> MapReduceRun {
+pub(crate) fn run_partition_triangles(
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+) -> MapReduceRun {
     assert!(b >= 3, "Partition needs at least 3 groups");
     let num_nodes = graph.num_nodes();
     let group = move |v: NodeId| -> u32 { hash_group(v, b) };
@@ -85,6 +89,15 @@ fn hash_group(v: NodeId, b: usize) -> u32 {
     (x % b as u64) as u32
 }
 
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::PartitionTriangles and call plan()/execute() instead"
+)]
+pub fn partition_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) -> MapReduceRun {
+    run_partition_triangles(graph, b, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,7 +115,7 @@ mod tests {
             let g = generators::gnm(80, 500, seed);
             let serial = enumerate_triangles_serial(&g);
             for b in [3usize, 5, 8] {
-                let run = partition_triangles(&g, b, &config());
+                let run = run_partition_triangles(&g, b, &config());
                 assert_eq!(run.count(), serial.count(), "b={b} seed={seed}");
                 assert_eq!(run.duplicates(), 0, "b={b} seed={seed}");
             }
@@ -115,7 +128,7 @@ mod tests {
         // split of edges into same-group / cross-group.
         let g = generators::gnm(300, 3000, 7);
         for b in [4usize, 6, 10] {
-            let run = partition_triangles(&g, b, &config());
+            let run = run_partition_triangles(&g, b, &config());
             let measured = run.metrics.replication_per_input();
             let expected = partition_triangle_replication(b as u64);
             let tolerance = expected * 0.15 + 0.5;
@@ -124,7 +137,7 @@ mod tests {
                 "b={b}: measured {measured}, formula {expected}"
             );
             // Reducer count is at most C(b,3).
-            let max_reducers = (b * (b - 1) * (b - 2) / 6) as usize;
+            let max_reducers = b * (b - 1) * (b - 2) / 6;
             assert!(run.metrics.reducers_used <= max_reducers);
         }
     }
@@ -132,7 +145,7 @@ mod tests {
     #[test]
     fn triangle_free_graph_yields_nothing_but_still_ships_edges() {
         let g = generators::complete_bipartite(12, 12);
-        let run = partition_triangles(&g, 4, &config());
+        let run = run_partition_triangles(&g, 4, &config());
         assert_eq!(run.count(), 0);
         assert!(run.metrics.key_value_pairs > 0);
     }
@@ -140,6 +153,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn fewer_than_three_groups_rejected() {
-        let _ = partition_triangles(&generators::complete(4), 2, &config());
+        let _ = run_partition_triangles(&generators::complete(4), 2, &config());
     }
 }

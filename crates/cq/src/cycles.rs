@@ -126,14 +126,17 @@ pub fn run_lengths(s: &str) -> Vec<usize> {
 pub fn cq_for_orientation(s: &str) -> ConjunctiveQuery {
     let p = s.len();
     let chars: Vec<char> = s.chars().collect();
-    assert!(p >= 3 && chars[0] == 'u' && chars[p - 1] == 'd', "invalid orientation {s}");
+    assert!(
+        p >= 3 && chars[0] == 'u' && chars[p - 1] == 'd',
+        "invalid orientation {s}"
+    );
 
     let mut subgoals: Vec<(Var, Var)> = Vec::with_capacity(p);
     let mut constraints: Vec<Constraint> = Vec::with_capacity(p + 2);
-    for i in 0..p {
+    for (i, &step) in chars.iter().enumerate() {
         let a = i as Var;
         let b = ((i + 1) % p) as Var;
-        if chars[i] == 'u' {
+        if step == 'u' {
             subgoals.push((a, b));
             constraints.push(Constraint::Lt(a, b));
         } else {
@@ -293,7 +296,10 @@ mod tests {
             .collect();
         // Both {1,1,2,2} orbits (1122-type and 1221-type) are present.
         assert_eq!(
-            orbits.iter().filter(|r| r.as_slice() == [1, 1, 2, 2]).count(),
+            orbits
+                .iter()
+                .filter(|r| r.as_slice() == [1, 1, 2, 2])
+                .count(),
             3,
             "the three distinct orbits with runs {{1,1,2,2}} must all be kept"
         );

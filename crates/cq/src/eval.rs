@@ -110,6 +110,9 @@ pub fn evaluate_cqs<O: NodeOrder>(
     outcome
 }
 
+/// Acceptance predicate over a rank lookup for a fully bound assignment.
+type AcceptFn<'a> = &'a dyn Fn(&dyn Fn(Var) -> u64) -> bool;
+
 /// Shared backtracking engine. `accept` receives a rank lookup for the fully
 /// bound assignment and decides whether the arithmetic conditions hold.
 fn evaluate_internal<O: NodeOrder>(
@@ -117,7 +120,7 @@ fn evaluate_internal<O: NodeOrder>(
     subgoals: &[(Var, Var)],
     graph: &DataGraph,
     order: &O,
-    accept: &dyn Fn(&dyn Fn(Var) -> u64) -> bool,
+    accept: AcceptFn<'_>,
 ) -> EvalOutcome {
     evaluate_internal_filtered(num_vars, subgoals, graph, order, accept, &|_, _| true)
 }
@@ -128,7 +131,7 @@ fn evaluate_internal_filtered<O: NodeOrder>(
     subgoals: &[(Var, Var)],
     graph: &DataGraph,
     order: &O,
-    accept: &dyn Fn(&dyn Fn(Var) -> u64) -> bool,
+    accept: AcceptFn<'_>,
     candidate_filter: &dyn Fn(Var, NodeId) -> bool,
 ) -> EvalOutcome {
     if num_vars == 0 {
@@ -176,10 +179,8 @@ fn plan_variable_order(num_vars: usize, subgoals: &[(Var, Var)]) -> Vec<Var> {
             let candidate = (0..num_vars)
                 .filter(|&v| !placed[v])
                 .map(|v| {
-                    let bound_neighbors = adjacency[v]
-                        .iter()
-                        .filter(|&&u| placed[u as usize])
-                        .count();
+                    let bound_neighbors =
+                        adjacency[v].iter().filter(|&&u| placed[u as usize]).count();
                     (bound_neighbors, v)
                 })
                 .filter(|&(bound, _)| bound > 0)
@@ -204,7 +205,7 @@ fn assign<O: NodeOrder>(
     plan: &[Var],
     depth: usize,
     assignment: &mut Vec<Option<NodeId>>,
-    accept: &dyn Fn(&dyn Fn(Var) -> u64) -> bool,
+    accept: AcceptFn<'_>,
     candidate_filter: &dyn Fn(Var, NodeId) -> bool,
     outcome: &mut EvalOutcome,
 ) {
@@ -248,7 +249,7 @@ fn assign<O: NodeOrder>(
     };
     'candidates: for node in candidates {
         // Per-variable admissibility (reducer bucket filters) and injectivity.
-        if !candidate_filter(var, node) || assignment.iter().any(|&a| a == Some(node)) {
+        if !candidate_filter(var, node) || assignment.contains(&Some(node)) {
             continue;
         }
         // Check every subgoal whose endpoints are now both bound.

@@ -18,10 +18,7 @@ pub fn cq_for_ordering(sample: &SampleGraph, ordering: &NodeOrdering) -> Conjunc
     );
     let mut rank = vec![usize::MAX; sample.num_nodes()];
     for (r, &v) in ordering.iter().enumerate() {
-        assert!(
-            rank[v as usize] == usize::MAX,
-            "ordering repeats node {v}"
-        );
+        assert!(rank[v as usize] == usize::MAX, "ordering repeats node {v}");
         rank[v as usize] = r;
     }
     let subgoals: Vec<(Var, Var)> = sample

@@ -58,6 +58,7 @@ pub fn simplified_constraints(group: &CqGroup) -> Vec<Constraint> {
     }
     let mut lts: Vec<(usize, usize)> = Vec::new();
     let mut neqs: Vec<(usize, usize)> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for a in 0..p {
         for b in (a + 1)..p {
             if always[a][b] {
@@ -120,7 +121,9 @@ pub fn orders_satisfying_simplification(group: &CqGroup) -> usize {
             for (r, &v) in ordering.iter().enumerate() {
                 rank[v as usize] = r as u64;
             }
-            constraints.iter().all(|c| c.holds(&|v: Var| rank[v as usize]))
+            constraints
+                .iter()
+                .all(|c| c.holds(&|v: Var| rank[v as usize]))
         })
         .count()
 }
@@ -203,15 +206,12 @@ mod tests {
         // W<X & X<Y & Y<Z (the chain), i.e. three Lt constraints, no ≠.
         let cqs = cqs_for_sample(&catalog::lollipop());
         let groups = merge_by_orientation(&cqs);
-        let singleton: Vec<&CqGroup> =
-            groups.iter().filter(|g| g.members.len() == 1).collect();
+        let singleton: Vec<&CqGroup> = groups.iter().filter(|g| g.members.len() == 1).collect();
         assert_eq!(singleton.len(), 2);
         for g in singleton {
             let simplified = simplified_constraints(g);
             assert_eq!(simplified.len(), 3);
-            assert!(simplified
-                .iter()
-                .all(|c| matches!(c, Constraint::Lt(_, _))));
+            assert!(simplified.iter().all(|c| matches!(c, Constraint::Lt(_, _))));
         }
     }
 
@@ -220,8 +220,7 @@ mod tests {
         // Figure 7, second query (group {2, 5}): constraints W≠Y & Y<X & X<Z.
         let cqs = cqs_for_sample(&catalog::lollipop());
         let groups = merge_by_orientation(&cqs);
-        let pair_groups: Vec<&CqGroup> =
-            groups.iter().filter(|g| g.members.len() == 2).collect();
+        let pair_groups: Vec<&CqGroup> = groups.iter().filter(|g| g.members.len() == 2).collect();
         assert_eq!(pair_groups.len(), 2);
         for g in pair_groups {
             let simplified = simplified_constraints(g);

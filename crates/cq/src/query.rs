@@ -56,11 +56,7 @@ impl ConjunctiveQuery {
     /// # Panics
     /// Panics if any subgoal or constraint mentions a variable `≥ num_vars`,
     /// or if a subgoal/constraint relates a variable to itself.
-    pub fn new(
-        num_vars: usize,
-        subgoals: Vec<(Var, Var)>,
-        constraints: Vec<Constraint>,
-    ) -> Self {
+    pub fn new(num_vars: usize, subgoals: Vec<(Var, Var)>, constraints: Vec<Constraint>) -> Self {
         for &(a, b) in &subgoals {
             assert!(a != b, "subgoal E({a},{b}) relates a variable to itself");
             assert!((a as usize) < num_vars && (b as usize) < num_vars);
@@ -144,10 +140,7 @@ pub struct CqGroup {
 impl CqGroup {
     /// Number of variables (taken from the first member).
     pub fn num_vars(&self) -> usize {
-        self.members
-            .first()
-            .map(|q| q.num_vars())
-            .unwrap_or(0)
+        self.members.first().map(|q| q.num_vars()).unwrap_or(0)
     }
 
     /// True if the rank assignment satisfies at least one member's conditions.
@@ -208,7 +201,11 @@ mod tests {
         let q = ConjunctiveQuery::new(
             4,
             vec![(0, 1), (1, 2), (2, 3), (0, 3)],
-            vec![Constraint::Lt(0, 1), Constraint::Lt(1, 2), Constraint::Lt(2, 3)],
+            vec![
+                Constraint::Lt(0, 1),
+                Constraint::Lt(1, 2),
+                Constraint::Lt(2, 3),
+            ],
         );
         assert_eq!(
             q.render(),

@@ -8,8 +8,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{DataGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Uniformly random graph with exactly `m` distinct edges over `n` nodes
 /// (the Erdős–Rényi `G(n, m)` model).
@@ -22,7 +21,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> DataGraph {
         m <= max_edges,
         "requested {m} edges but only {max_edges} pairs exist"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m);
     while chosen.len() < m {
         let u = rng.gen_range(0..n) as NodeId;
@@ -42,7 +41,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> DataGraph {
 /// with probability `p` (the `G(n, p)` model).
 pub fn gnp(n: usize, p: f64, seed: u64) -> DataGraph {
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -59,7 +58,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> DataGraph {
 /// This is the stand-in for the skewed social networks motivating Section 1.1.
 pub fn power_law(n: usize, m: usize, gamma: f64, seed: u64) -> DataGraph {
     assert!(gamma > 1.0, "power-law exponent must exceed 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let exponent = -1.0 / (gamma - 1.0);
     let weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
     let total: f64 = weights.iter().sum();
@@ -165,7 +164,7 @@ pub fn regular_tree(delta: usize, levels: usize) -> DataGraph {
 /// `max_degree`; about `m` edges are attempted. Used for the bounded-degree
 /// regime of Theorem 7.3 (e.g. `max_degree = ⌊√m⌋`).
 pub fn bounded_degree(n: usize, m: usize, max_degree: usize, seed: u64) -> DataGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut degree = vec![0usize; n];
     let mut chosen = std::collections::HashSet::new();
     let mut attempts = 0usize;
@@ -184,11 +183,7 @@ pub fn bounded_degree(n: usize, m: usize, max_degree: usize, seed: u64) -> DataG
         }
     }
     let mut b = GraphBuilder::new(n);
-    b.add_edges(
-        chosen
-            .into_iter()
-            .map(|(u, v)| (u as NodeId, v as NodeId)),
-    );
+    b.add_edges(chosen.into_iter().map(|(u, v)| (u as NodeId, v as NodeId)));
     b.build()
 }
 

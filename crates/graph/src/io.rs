@@ -80,7 +80,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DataGraph, EdgeLis
 
 /// Writes the canonical edge list (`lo hi` per line) to any writer.
 pub fn write_edge_list<W: Write>(graph: &DataGraph, mut writer: W) -> io::Result<()> {
-    writeln!(writer, "# nodes={} edges={}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# nodes={} edges={}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for e in graph.edges() {
         writeln!(writer, "{} {}", e.lo(), e.hi())?;
     }

@@ -27,6 +27,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod ordering;
+pub mod rng;
 pub mod stats;
 
 pub use builder::GraphBuilder;

@@ -1,89 +1,109 @@
-//! Property-based tests over the graph substrate.
+//! Property-style tests over the graph substrate: the invariants the original
+//! proptest suite checked, exercised over deterministic seeded sweeps of
+//! random edge lists (the workspace builds offline, so randomness comes from
+//! [`crate::rng`]).
 
 use crate::builder::GraphBuilder;
 use crate::generators;
-use crate::graph::NodeId;
+use crate::graph::{DataGraph, NodeId};
 use crate::ordering::{BucketThenIdOrder, DegreeOrder, IdOrder, NodeOrder};
-use proptest::prelude::*;
+use crate::rng::Rng;
 
-fn arbitrary_edge_list() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
-    prop::collection::vec((0u32..60, 0u32..60), 0..200)
+/// A random multigraph-ish edge list over 60 nodes (duplicates and self-loops
+/// included on purpose — the builder must normalize them away).
+fn arbitrary_edge_list(seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let len = rng.gen_range(0..200);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..60) as NodeId,
+                rng.gen_range(0..60) as NodeId,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn degrees_sum_to_twice_edges(edges in arbitrary_edge_list()) {
-        let mut b = GraphBuilder::new(60);
-        b.add_edges(edges);
-        let g = b.build();
-        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.num_edges());
-    }
+fn build(seed: u64) -> DataGraph {
+    let mut b = GraphBuilder::new(60);
+    b.add_edges(arbitrary_edge_list(seed));
+    b.build()
+}
 
-    #[test]
-    fn has_edge_matches_adjacency(edges in arbitrary_edge_list()) {
-        let mut b = GraphBuilder::new(60);
-        b.add_edges(edges);
-        let g = b.build();
+#[test]
+fn degrees_sum_to_twice_edges() {
+    for seed in 0..32 {
+        let g = build(seed);
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.num_edges(), "seed {seed}");
+    }
+}
+
+#[test]
+fn has_edge_matches_adjacency() {
+    for seed in 32..64 {
+        let g = build(seed);
         for v in g.nodes() {
             for &u in g.neighbors(v) {
-                prop_assert!(g.has_edge(v, u));
-                prop_assert!(g.has_edge(u, v));
+                assert!(g.has_edge(v, u), "seed {seed}");
+                assert!(g.has_edge(u, v), "seed {seed}");
             }
         }
         for e in g.edges() {
-            prop_assert!(g.neighbors(e.lo()).contains(&e.hi()));
+            assert!(g.neighbors(e.lo()).contains(&e.hi()), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn orderings_are_total_and_antisymmetric(
-        edges in arbitrary_edge_list(),
-        buckets in 1usize..8,
-    ) {
-        let mut b = GraphBuilder::new(60);
-        b.add_edges(edges);
-        let g = b.build();
+#[test]
+fn orderings_are_total_and_antisymmetric() {
+    for seed in 64..76 {
+        let g = build(seed);
+        let buckets = 1 + (seed as usize % 7);
         let degree = DegreeOrder::new(&g);
         let bucket = BucketThenIdOrder::new(buckets);
         let id = IdOrder;
         for u in g.nodes() {
             for v in g.nodes() {
                 if u == v {
-                    prop_assert!(!id.precedes(u, v));
-                    prop_assert!(!degree.precedes(u, v));
-                    prop_assert!(!bucket.precedes(u, v));
+                    assert!(!id.precedes(u, v));
+                    assert!(!degree.precedes(u, v));
+                    assert!(!bucket.precedes(u, v));
                 } else {
-                    prop_assert!(id.precedes(u, v) ^ id.precedes(v, u));
-                    prop_assert!(degree.precedes(u, v) ^ degree.precedes(v, u));
-                    prop_assert!(bucket.precedes(u, v) ^ bucket.precedes(v, u));
+                    assert!(id.precedes(u, v) ^ id.precedes(v, u));
+                    assert!(degree.precedes(u, v) ^ degree.precedes(v, u));
+                    assert!(bucket.precedes(u, v) ^ bucket.precedes(v, u));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn gnm_generator_edge_count_and_simplicity(n in 5usize..40, seed in 0u64..20) {
+#[test]
+fn gnm_generator_edge_count_and_simplicity() {
+    for (case, seed) in (0..20u64).enumerate() {
+        let n = 5 + case * 7 % 36;
         let max = n * (n - 1) / 2;
         let m = max / 2;
         let g = generators::gnm(n, m, seed);
-        prop_assert_eq!(g.num_edges(), m);
+        assert_eq!(g.num_edges(), m, "n={n} seed={seed}");
         for e in g.edges() {
-            prop_assert!(e.lo() < e.hi());
-            prop_assert!((e.hi() as usize) < n);
+            assert!(e.lo() < e.hi());
+            assert!((e.hi() as usize) < n);
         }
     }
+}
 
-    #[test]
-    fn filter_edges_is_monotone(edges in arbitrary_edge_list(), threshold in 0u32..60) {
-        let mut b = GraphBuilder::new(60);
-        b.add_edges(edges);
-        let g = b.build();
+#[test]
+fn filter_edges_is_monotone() {
+    for seed in 76..100 {
+        let g = build(seed);
+        let threshold = (seed % 60) as NodeId;
         let sub = g.filter_edges(|e| e.lo() >= threshold);
-        prop_assert!(sub.num_edges() <= g.num_edges());
+        assert!(sub.num_edges() <= g.num_edges());
         for e in sub.edges() {
-            prop_assert!(g.has_edge(e.lo(), e.hi()));
-            prop_assert!(e.lo() >= threshold);
+            assert!(g.has_edge(e.lo(), e.hi()));
+            assert!(e.lo() >= threshold);
         }
     }
 }

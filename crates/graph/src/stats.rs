@@ -45,7 +45,11 @@ pub fn stats(graph: &DataGraph) -> GraphStats {
         num_edges: m,
         max_degree,
         min_degree,
-        avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        },
         high_degree_nodes: high,
     }
 }

@@ -13,11 +13,15 @@ pub struct EngineConfig {
     /// Number of worker threads for both the map and the reduce phase.
     /// Defaults to the number of available CPUs (at least 1).
     pub num_threads: usize,
-    /// If true, the reducer outputs are sorted per shard before being
-    /// concatenated, making the output order deterministic regardless of the
-    /// thread count. Requires `O: Ord`? — sorting is applied only to the shard
-    /// concatenation order (which is already deterministic), so no bound is
-    /// needed; kept for future use.
+    /// If true (the default), every reduce worker sorts its keys before
+    /// invoking the reducer, so reducer invocation order — and therefore the
+    /// concatenated output order — is a pure function of the input and the
+    /// thread count. If false, each shard's keys are visited in hash-map
+    /// iteration order: the *set* of outputs and all [`JobMetrics`] counters
+    /// are unchanged, but the output order varies from run to run (the
+    /// iteration order of `std::collections::HashMap` is randomized), so only
+    /// opt out when the consumer sorts or aggregates the output anyway and
+    /// wants to skip the `O(r log r)` per-shard sort.
     pub deterministic: bool,
 }
 
@@ -109,7 +113,7 @@ where
     let mut shards: Vec<HashMap<K, Vec<V>>> = (0..threads).map(|_| HashMap::new()).collect();
     for pairs in mapped {
         for (key, value) in pairs {
-            let shard = (hash_of(&key) as usize) % threads;
+            let shard = shard_for_hash(hash_of(&key), threads);
             shards[shard].entry(key).or_default().push(value);
         }
     }
@@ -122,15 +126,18 @@ where
         .unwrap_or(0);
 
     // ---- Reduce phase -----------------------------------------------------
+    let deterministic = config.deterministic;
     let reduce_start = Instant::now();
     let reduced: Vec<(Vec<O>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
             .map(|shard| {
                 scope.spawn(move || {
-                    // Sort keys for deterministic per-shard iteration order.
                     let mut groups: Vec<(K, Vec<V>)> = shard.into_iter().collect();
-                    groups.sort_by(|a, b| a.0.cmp(&b.0));
+                    if deterministic {
+                        // Sort keys for deterministic per-shard iteration order.
+                        groups.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
                     let mut outputs = Vec::new();
                     let mut work = 0u64;
                     for (key, values) in groups {
@@ -166,6 +173,15 @@ fn hash_of<K: Hash>(key: &K) -> u64 {
     hasher.finish()
 }
 
+/// Maps a 64-bit key hash onto `[0, shards)` with the multiply-shift
+/// ("fastrange") reduction `(hash * shards) >> 64`. Unlike `hash % shards`,
+/// this uses the hash's high bits, is division-free, and keeps shard loads
+/// balanced even when the hashes are clustered in a sub-range.
+pub fn shard_for_hash(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (((hash as u128) * (shards as u128)) >> 64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +194,12 @@ mod tests {
             ctx.add_work(vs.len() as u64);
             ctx.emit((*k, vs.len()));
         };
-        run_job(inputs, &mapper, &reducer, &EngineConfig::with_threads(threads))
+        run_job(
+            inputs,
+            &mapper,
+            &reducer,
+            &EngineConfig::with_threads(threads),
+        )
     }
 
     #[test]
@@ -215,8 +236,7 @@ mod tests {
                 ctx.emit(x + i, *x);
             }
         };
-        let reducer =
-            |_k: &u64, vs: &[u64], ctx: &mut ReduceContext<usize>| ctx.emit(vs.len());
+        let reducer = |_k: &u64, vs: &[u64], ctx: &mut ReduceContext<usize>| ctx.emit(vs.len());
         let inputs: Vec<u64> = (0..50).collect();
         let (_, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::serial());
         assert_eq!(metrics.key_value_pairs, 150);
@@ -237,13 +257,74 @@ mod tests {
     #[test]
     fn mapper_emitting_nothing_is_fine() {
         let mapper = |_x: &u64, _ctx: &mut MapContext<u64, u64>| {};
-        let reducer =
-            |_k: &u64, _vs: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(1);
+        let reducer = |_k: &u64, _vs: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(1);
         let inputs: Vec<u64> = (0..10).collect();
         let (outputs, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::default());
         assert!(outputs.is_empty());
         assert_eq!(metrics.key_value_pairs, 0);
         assert_eq!(metrics.reducers_used, 0);
+    }
+
+    #[test]
+    fn shard_assignment_is_balanced_for_sequential_keys() {
+        // Sequential integer keys are the common case for the paper's bucket
+        // keys; the multiply-shift reduction must spread their hashes evenly.
+        for threads in [2usize, 3, 7, 8] {
+            let mut loads = vec![0usize; threads];
+            let n = 10_000usize;
+            for key in 0..n as u64 {
+                loads[shard_for_hash(hash_of(&key), threads)] += 1;
+            }
+            let mean = n as f64 / threads as f64;
+            let max = *loads.iter().max().unwrap() as f64;
+            let min = *loads.iter().min().unwrap() as f64;
+            assert!(
+                max < mean * 1.15 && min > mean * 0.85,
+                "threads={threads}: loads {loads:?} deviate from mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_for_hash_covers_the_full_range() {
+        // The reduction must be able to reach every shard, including the last.
+        let shards = 5;
+        let mut seen = vec![false; shards];
+        for hash in (0..u64::MAX).step_by(u64::MAX as usize / 64) {
+            seen[shard_for_hash(hash, shards)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unreached shards: {seen:?}");
+        assert_eq!(shard_for_hash(u64::MAX, shards), shards - 1);
+        assert_eq!(shard_for_hash(0, shards), 0);
+    }
+
+    #[test]
+    fn deterministic_flag_controls_output_order_not_content() {
+        let inputs: Vec<u64> = (0..300).map(|i| i * 13 % 97).collect();
+        let run = |deterministic: bool| {
+            let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 16, *x);
+            let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, usize)>| {
+                ctx.emit((*k, vs.len()));
+            };
+            let config = EngineConfig {
+                num_threads: 3,
+                deterministic,
+            };
+            run_job(&inputs, &mapper, &reducer, &config)
+        };
+        // Deterministic runs repeat exactly, in order.
+        let (first, metrics_a) = run(true);
+        let (second, metrics_b) = run(true);
+        assert_eq!(first, second);
+        // A non-deterministic run produces the same output *set* and metrics.
+        let (mut relaxed, metrics_c) = run(false);
+        let mut sorted_first = first.clone();
+        sorted_first.sort_unstable();
+        relaxed.sort_unstable();
+        assert_eq!(sorted_first, relaxed);
+        assert_eq!(metrics_a.key_value_pairs, metrics_c.key_value_pairs);
+        assert_eq!(metrics_a.reducers_used, metrics_c.reducers_used);
+        assert_eq!(metrics_b.outputs, metrics_c.outputs);
     }
 
     #[test]
@@ -256,7 +337,8 @@ mod tests {
             ctx.emit((k.clone(), vs.len()));
         };
         let inputs: Vec<u64> = (0..150).collect();
-        let (outputs, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(3));
+        let (outputs, metrics) =
+            run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(3));
         assert_eq!(metrics.reducers_used, 15);
         assert_eq!(outputs.len(), 15);
         assert!(outputs.iter().all(|(_, c)| *c == 10));

@@ -23,7 +23,7 @@ pub mod engine;
 pub mod metrics;
 pub mod task;
 
-pub use engine::{run_job, EngineConfig};
+pub use engine::{run_job, shard_for_hash, EngineConfig};
 pub use metrics::JobMetrics;
 pub use task::{MapContext, Mapper, ReduceContext, Reducer};
 

@@ -1,26 +1,45 @@
-//! Property-based tests for the map-reduce engine.
+//! Property-style tests for the map-reduce engine, exercised over
+//! deterministic seeded sweeps of random inputs (a tiny SplitMix64 keeps this
+//! crate free of dependencies).
 
 use crate::engine::{run_job, EngineConfig};
 use crate::task::{MapContext, ReduceContext};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// SplitMix64 — enough randomness for input generation.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
-    /// Grouping semantics: the engine delivers every value to exactly one
-    /// reducer invocation, keyed correctly, regardless of thread count.
-    #[test]
-    fn grouping_matches_a_hashmap_reference(
-        inputs in prop::collection::vec(0u64..200, 0..300),
-        threads in 1usize..8,
-    ) {
+fn random_inputs(seed: u64, max_len: usize, value_range: u64) -> Vec<u64> {
+    let mut state = seed;
+    let len = (splitmix(&mut state) as usize) % max_len;
+    (0..len)
+        .map(|_| splitmix(&mut state) % value_range)
+        .collect()
+}
+
+/// Grouping semantics: the engine delivers every value to exactly one reducer
+/// invocation, keyed correctly, regardless of thread count.
+#[test]
+fn grouping_matches_a_hashmap_reference() {
+    for seed in 0..24 {
+        let inputs = random_inputs(seed, 300, 200);
+        let threads = 1 + (seed as usize) % 7;
         let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 17, *x);
         let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, usize)>| {
             ctx.emit((*k, vs.iter().sum(), vs.len()));
         };
-        let (outputs, metrics) =
-            run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(threads));
+        let (outputs, metrics) = run_job(
+            &inputs,
+            &mapper,
+            &reducer,
+            &EngineConfig::with_threads(threads),
+        );
 
         let mut reference: HashMap<u64, (u64, usize)> = HashMap::new();
         for x in &inputs {
@@ -28,23 +47,24 @@ proptest! {
             entry.0 += x;
             entry.1 += 1;
         }
-        prop_assert_eq!(outputs.len(), reference.len());
-        prop_assert_eq!(metrics.reducers_used, reference.len());
-        prop_assert_eq!(metrics.key_value_pairs, inputs.len());
+        assert_eq!(outputs.len(), reference.len(), "seed {seed}");
+        assert_eq!(metrics.reducers_used, reference.len(), "seed {seed}");
+        assert_eq!(metrics.key_value_pairs, inputs.len(), "seed {seed}");
         for (k, sum, count) in outputs {
             let expected = reference.get(&k).copied().unwrap_or((0, 0));
-            prop_assert_eq!((sum, count), expected);
+            assert_eq!((sum, count), expected, "seed {seed} key {k}");
         }
     }
+}
 
-    /// Communication cost equals the number of emissions, independent of the
-    /// number of reducers or threads.
-    #[test]
-    fn communication_cost_counts_every_emission(
-        inputs in prop::collection::vec(0u64..100, 0..200),
-        replication in 1usize..6,
-        threads in 1usize..6,
-    ) {
+/// Communication cost equals the number of emissions, independent of the
+/// number of reducers or threads.
+#[test]
+fn communication_cost_counts_every_emission() {
+    for seed in 24..48 {
+        let inputs = random_inputs(seed, 200, 100);
+        let replication = 1 + (seed as usize) % 5;
+        let threads = 1 + (seed as usize) % 5;
         let mapper = move |x: &u64, ctx: &mut MapContext<u64, u64>| {
             for i in 0..replication {
                 ctx.emit(x.wrapping_add(i as u64 * 31), *x);
@@ -54,32 +74,49 @@ proptest! {
             ctx.add_work(vs.len() as u64);
             ctx.emit(vs.len());
         };
-        let (_, metrics) =
-            run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(threads));
-        prop_assert_eq!(metrics.key_value_pairs, inputs.len() * replication);
+        let (_, metrics) = run_job(
+            &inputs,
+            &mapper,
+            &reducer,
+            &EngineConfig::with_threads(threads),
+        );
+        assert_eq!(
+            metrics.key_value_pairs,
+            inputs.len() * replication,
+            "seed {seed}"
+        );
         // Every shipped pair reaches exactly one reducer, so the reducer-side
         // work (which counts received values) equals the communication cost.
-        prop_assert_eq!(metrics.reducer_work as usize, inputs.len() * replication);
-        prop_assert!(metrics.max_reducer_input <= metrics.key_value_pairs);
+        assert_eq!(
+            metrics.reducer_work as usize,
+            inputs.len() * replication,
+            "seed {seed}"
+        );
+        assert!(metrics.max_reducer_input <= metrics.key_value_pairs);
     }
+}
 
-    /// Thread count never changes the multiset of outputs.
-    #[test]
-    fn outputs_are_thread_count_invariant(
-        inputs in prop::collection::vec(0u64..500, 0..250),
-    ) {
+/// Thread count never changes the multiset of outputs.
+#[test]
+fn outputs_are_thread_count_invariant() {
+    for seed in 48..64 {
+        let inputs = random_inputs(seed, 250, 500);
         let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 23, x * x);
         let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
             ctx.emit((*k, vs.iter().copied().max().unwrap_or(0)));
         };
         let mut baseline: Option<Vec<(u64, u64)>> = None;
         for threads in [1usize, 2, 5] {
-            let (mut outputs, _) =
-                run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(threads));
+            let (mut outputs, _) = run_job(
+                &inputs,
+                &mapper,
+                &reducer,
+                &EngineConfig::with_threads(threads),
+            );
             outputs.sort_unstable();
             match &baseline {
                 None => baseline = Some(outputs),
-                Some(expected) => prop_assert_eq!(&outputs, expected),
+                Some(expected) => assert_eq!(&outputs, expected, "seed {seed}"),
             }
         }
     }

@@ -8,7 +8,9 @@ pub struct MapContext<K, V> {
 
 impl<K, V> MapContext<K, V> {
     pub(crate) fn new() -> Self {
-        MapContext { emitted: Vec::new() }
+        MapContext {
+            emitted: Vec::new(),
+        }
     }
 
     /// Emits one key-value pair towards the reducers.

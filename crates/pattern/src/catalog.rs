@@ -86,15 +86,62 @@ pub fn pentagon_with_chord() -> SampleGraph {
 /// Two triangles sharing no node, joined by a single bridge edge — an example
 /// of a decomposable sample graph for Theorem 7.2.
 pub fn bowtie_bridge() -> SampleGraph {
-    SampleGraph::from_edges(
-        6,
-        &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-    )
+    SampleGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
 }
 
 /// The 4-clique `K_4` (used in decomposition and share examples).
 pub fn k4() -> SampleGraph {
     clique(4)
+}
+
+/// Looks a catalog pattern up by name, the form the planner's request builder
+/// accepts. Fixed names: `triangle`, `square`, `lollipop`,
+/// `pentagon-with-chord`, `bowtie-bridge`. Parameterized families: `cN` or
+/// `cycleN` (cycle), `kN` or `cliqueN` (clique), `starN`, `pathN`,
+/// `hypercubeD` — e.g. `c5`, `k4`, `star6`.
+pub fn by_name(name: &str) -> Option<SampleGraph> {
+    let fixed = match name {
+        "triangle" => Some(triangle()),
+        "square" => Some(square()),
+        "lollipop" => Some(lollipop()),
+        "pentagon-with-chord" => Some(pentagon_with_chord()),
+        "bowtie-bridge" => Some(bowtie_bridge()),
+        _ => None,
+    };
+    if fixed.is_some() {
+        return fixed;
+    }
+    type Family = (&'static str, fn(usize) -> SampleGraph, usize);
+    let parameterized: &[Family] = &[
+        ("cycle", cycle, 3),
+        ("c", cycle, 3),
+        ("clique", clique, 2),
+        ("k", clique, 2),
+        ("star", star, 2),
+        ("path", path, 2),
+        ("hypercube", hypercube, 1),
+    ];
+    for &(prefix, build, min) in parameterized {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            if let Ok(p) = rest.parse::<usize>() {
+                // Every family parameter is bounded by the pattern-node limit
+                // (a hypercube dimension even more tightly), so reject huge
+                // parameters before computing 2^p — `1 << p` would overflow.
+                if p > crate::sample::MAX_PATTERN_NODES {
+                    continue;
+                }
+                let nodes = if prefix == "hypercube" {
+                    1usize << p
+                } else {
+                    p
+                };
+                if p >= min && nodes <= crate::sample::MAX_PATTERN_NODES {
+                    return Some(build(p));
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -144,6 +191,23 @@ mod tests {
             assert!(cycle(p).find_hamilton_cycle().is_some());
         }
         assert!(path(5).find_hamilton_cycle().is_none());
+    }
+
+    #[test]
+    fn by_name_resolves_fixed_and_parameterized_patterns() {
+        assert_eq!(by_name("triangle"), Some(triangle()));
+        assert_eq!(by_name("lollipop"), Some(lollipop()));
+        assert_eq!(by_name("c5"), Some(cycle(5)));
+        assert_eq!(by_name("cycle6"), Some(cycle(6)));
+        assert_eq!(by_name("k4"), Some(clique(4)));
+        assert_eq!(by_name("star5"), Some(star(5)));
+        assert_eq!(by_name("path4"), Some(path(4)));
+        assert_eq!(by_name("hypercube3"), Some(hypercube(3)));
+        assert_eq!(by_name("c2"), None); // below the family minimum
+        assert_eq!(by_name("hypercube9"), None); // exceeds MAX_PATTERN_NODES
+        assert_eq!(by_name("hypercube64"), None); // must not overflow the shift
+        assert_eq!(by_name("hypercube9999"), None);
+        assert_eq!(by_name("nonsense"), None);
     }
 
     #[test]

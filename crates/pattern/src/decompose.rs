@@ -128,7 +128,7 @@ fn search(
     let r = remaining.len();
     for mask in 0u32..(1 << r) {
         let subset_size = mask.count_ones() as usize + 1;
-        if subset_size < 3 || subset_size % 2 == 0 {
+        if subset_size < 3 || subset_size.is_multiple_of(2) {
             continue;
         }
         let mut subset = vec![v];
@@ -139,8 +139,7 @@ fn search(
         }
         let (induced, map) = sample.induced_subgraph(&subset);
         if let Some(cycle) = induced.find_hamilton_cycle() {
-            let cycle_nodes: Vec<PatternNode> =
-                cycle.iter().map(|&i| map[i as usize]).collect();
+            let cycle_nodes: Vec<PatternNode> = cycle.iter().map(|&i| map[i as usize]).collect();
             let mut new_used = used;
             for &u in &subset {
                 new_used |= 1 << u;

@@ -34,7 +34,10 @@ impl Instance {
         let mut nodes = assignment.to_vec();
         nodes.sort_unstable();
         for pair in nodes.windows(2) {
-            assert_ne!(pair[0], pair[1], "instances must map pattern nodes injectively");
+            assert_ne!(
+                pair[0], pair[1],
+                "instances must map pattern nodes injectively"
+            );
         }
         let mut edges: Vec<(NodeId, NodeId)> = sample
             .edges()

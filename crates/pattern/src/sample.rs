@@ -207,7 +207,11 @@ impl SampleGraph {
 
 impl fmt::Debug for SampleGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SampleGraph(p={}, edges={:?})", self.num_nodes, self.edges)
+        write!(
+            f,
+            "SampleGraph(p={}, edges={:?})",
+            self.num_nodes, self.edges
+        )
     }
 }
 

@@ -122,8 +122,8 @@ mod tests {
     fn partition_ratio_approaches_the_section_4_5_limit() {
         for p in 3..=8u64 {
             let b = 50_000u64;
-            let ratio = generalized_partition_replication(b, p)
-                / bucket_oriented_replication(b, p) as f64;
+            let ratio =
+                generalized_partition_replication(b, p) / bucket_oriented_replication(b, p) as f64;
             let limit = partition_to_bucket_ratio_limit(p);
             assert!(
                 (ratio - limit).abs() < 0.01,

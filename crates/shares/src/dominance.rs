@@ -36,15 +36,11 @@ pub fn dominated_variables(cq: &ConjunctiveQuery) -> Vec<Var> {
             if x == y {
                 return false;
             }
-            let x_in_y = occurrence[x]
-                .iter()
-                .all(|i| occurrence[y].contains(i));
+            let x_in_y = occurrence[x].iter().all(|i| occurrence[y].contains(i));
             if !x_in_y {
                 return false;
             }
-            let mutually = occurrence[y]
-                .iter()
-                .all(|i| occurrence[x].contains(i));
+            let mutually = occurrence[y].iter().all(|i| occurrence[x].contains(i));
             // Strictly dominated, or mutually dominated with the smaller index kept free.
             !mutually || y < x
         });

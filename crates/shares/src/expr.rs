@@ -113,12 +113,66 @@ impl CostExpression {
             .collect()
     }
 
+    /// Applies the dominance rule at the expression level: a variable `v` is
+    /// dominated by `u` when every term edge containing `v` also contains
+    /// `u`, and a dominated variable's share may be pinned to 1 without
+    /// increasing the optimal cost (the Afrati-Ullman rule of Example 4.1,
+    /// lifted from a single CQ to any expression).
+    ///
+    /// Without this, expressions whose dominated variable appears in a single
+    /// term have no finite optimum — e.g. the lollipop collection's
+    /// `yz + 2wz + 2wy + 2wx` lets `w → 0, x → ∞` at constant product, and
+    /// the solver chases that ray to astronomically lopsided shares. Mutually
+    /// dominating pairs keep the smaller-indexed variable free.
+    pub fn fix_dominated_to_one(&mut self) {
+        let edges: Vec<(Var, Var)> = self.terms.iter().map(|t| t.edge).collect();
+        let incident = |v: Var| -> Vec<(Var, Var)> {
+            edges
+                .iter()
+                .copied()
+                .filter(|&(a, b)| a == v || b == v)
+                .collect()
+        };
+        let mut pinned: Vec<Var> = Vec::new();
+        for v in 0..self.num_vars as Var {
+            let edges_v = incident(v);
+            if edges_v.is_empty() {
+                // A variable in no term contributes nothing; pin it.
+                pinned.push(v);
+                continue;
+            }
+            let dominated = (0..self.num_vars as Var).any(|u| {
+                if u == v {
+                    return false;
+                }
+                let v_in_u = edges_v.iter().all(|&(a, b)| a == u || b == u);
+                if !v_in_u {
+                    return false;
+                }
+                let mutually = incident(u).iter().all(|&(a, b)| a == v || b == v);
+                !mutually || u < v
+            });
+            if dominated {
+                pinned.push(v);
+            }
+        }
+        for v in pinned {
+            self.fix_to_one(v);
+        }
+    }
+
     /// Evaluates the per-edge cost `Σ coeff · Π shares(missing)` for concrete shares.
     pub fn evaluate(&self, shares: &[f64]) -> f64 {
         assert_eq!(shares.len(), self.num_vars);
         self.terms
             .iter()
-            .map(|t| t.coefficient * t.missing.iter().map(|&v| shares[v as usize]).product::<f64>())
+            .map(|t| {
+                t.coefficient
+                    * t.missing
+                        .iter()
+                        .map(|&v| shares[v as usize])
+                        .product::<f64>()
+            })
             .sum()
     }
 
@@ -129,7 +183,10 @@ impl CostExpression {
             .iter()
             .map(|t| {
                 let reps = t.coefficient
-                    * t.missing.iter().map(|&v| shares[v as usize]).product::<f64>();
+                    * t.missing
+                        .iter()
+                        .map(|&v| shares[v as usize])
+                        .product::<f64>();
                 (t.clone(), reps)
             })
             .collect()
@@ -148,7 +205,10 @@ impl CostExpression {
                     .filter(|t| t.missing.contains(&v))
                     .map(|t| {
                         t.coefficient
-                            * t.missing.iter().map(|&u| shares[u as usize]).product::<f64>()
+                            * t.missing
+                                .iter()
+                                .map(|&u| shares[u as usize])
+                                .product::<f64>()
                     })
                     .sum();
                 (v, sum)
@@ -231,9 +291,7 @@ mod tests {
         let cqs = cqs_for_sample(&catalog::lollipop());
         let first = cqs
             .iter()
-            .find(|q| {
-                q.subgoals() == [(0, 1), (1, 2), (1, 3), (2, 3)]
-            })
+            .find(|q| q.subgoals() == [(0, 1), (1, 2), (1, 3), (2, 3)])
             .expect("the identity-order CQ exists");
         let mut expr = CostExpression::from_single_cq(first);
         expr.fix_to_one(0);
@@ -257,9 +315,8 @@ mod tests {
         let shares = [1.0, 30.0, 5.0, 5.0];
         let reps = expr.replication_per_term(&shares);
         // E(W,X) → 25, E(X,Y) → 5, E(X,Z) → 5, E(Y,Z) → 30.
-        let lookup = |edge: (Var, Var)| -> f64 {
-            reps.iter().find(|(t, _)| t.edge == edge).unwrap().1
-        };
+        let lookup =
+            |edge: (Var, Var)| -> f64 { reps.iter().find(|(t, _)| t.edge == edge).unwrap().1 };
         assert!((lookup((0, 1)) - 25.0).abs() < 1e-9);
         assert!((lookup((1, 2)) - 5.0).abs() < 1e-9);
         assert!((lookup((1, 3)) - 5.0).abs() < 1e-9);
@@ -270,5 +327,44 @@ mod tests {
     #[should_panic]
     fn empty_collection_rejected() {
         let _ = CostExpression::from_cq_collection(&[]);
+    }
+
+    #[test]
+    fn expression_level_dominance_pins_the_lollipop_pendant() {
+        // W touches only the edge {W, X}, so it is dominated by X; the other
+        // three variables are free.
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let mut expr = CostExpression::from_cq_collection(&cqs);
+        expr.fix_dominated_to_one();
+        assert_eq!(expr.free_vars(), vec![1, 2, 3]);
+
+        // The square has no dominated variables.
+        let cqs = cqs_for_sample(&catalog::square());
+        let mut expr = CostExpression::from_cq_collection(&cqs);
+        expr.fix_dominated_to_one();
+        assert_eq!(expr.free_vars().len(), 4);
+
+        // Star leaves are all dominated by the centre.
+        let cqs = cqs_for_sample(&catalog::star(4));
+        let mut expr = CostExpression::from_cq_collection(&cqs);
+        expr.fix_dominated_to_one();
+        assert_eq!(expr.free_vars(), vec![0]);
+    }
+
+    #[test]
+    fn dominance_keeps_the_lollipop_optimum_finite() {
+        // Without the rule the solver chases w -> 0, x -> infinity; with it the
+        // optimum is finite and far cheaper than the divergent rounding.
+        let cqs = cqs_for_sample(&catalog::lollipop());
+        let mut expr = CostExpression::from_cq_collection(&cqs);
+        expr.fix_dominated_to_one();
+        let solution = crate::solver::optimize_shares(&expr, 750.0);
+        assert!((solution.shares[0] - 1.0).abs() < 1e-9);
+        assert!(solution.shares.iter().all(|&s| s < 750.0));
+        assert!(
+            solution.cost_per_edge < 200.0,
+            "cost {}",
+            solution.cost_per_edge
+        );
     }
 }

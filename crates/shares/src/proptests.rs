@@ -1,4 +1,5 @@
-//! Property-based tests for the share optimizer.
+//! Property-style tests for the share optimizer, exercised over deterministic
+//! sweeps of catalog patterns and reducer budgets.
 
 use crate::counting::{
     bucket_oriented_replication, generalized_partition_replication, useful_reducers,
@@ -6,91 +7,105 @@ use crate::counting::{
 use crate::dominance::single_cq_expression_with_dominance;
 use crate::expr::CostExpression;
 use crate::solver::optimize_shares;
-use proptest::prelude::*;
 use subgraph_cq::cqs_for_sample;
 use subgraph_pattern::catalog;
 use subgraph_pattern::SampleGraph;
 
-fn patterns() -> impl Strategy<Value = SampleGraph> {
-    prop_oneof![
-        Just(catalog::triangle()),
-        Just(catalog::square()),
-        Just(catalog::lollipop()),
-        Just(catalog::cycle(5)),
-        Just(catalog::k4()),
-        Just(catalog::path(4)),
+fn patterns() -> Vec<SampleGraph> {
+    vec![
+        catalog::triangle(),
+        catalog::square(),
+        catalog::lollipop(),
+        catalog::cycle(5),
+        catalog::k4(),
+        catalog::path(4),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The numeric optimum satisfies the constraint and beats (or matches)
-    /// the naive equal-share assignment.
-    #[test]
-    fn solver_respects_constraint_and_beats_equal_shares(
-        sample in patterns(),
-        k_exp in 4u32..14,
-    ) {
-        let k = 2f64.powi(k_exp as i32);
-        let cqs = cqs_for_sample(&sample);
-        let expr = single_cq_expression_with_dominance(&cqs[0]);
-        let solution = optimize_shares(&expr, k);
-        // Product of free shares = k (dominated shares are 1).
-        let product: f64 = solution.shares.iter().product();
-        prop_assert!((product - k).abs() / k < 1e-6);
-        // Compare against equal shares over the free variables.
-        let free = expr.free_vars();
-        let equal = k.powf(1.0 / free.len() as f64);
-        let mut equal_shares = vec![1.0; expr.num_vars()];
-        for &v in &free {
-            equal_shares[v as usize] = equal;
-        }
-        let equal_cost = expr.evaluate(&equal_shares);
-        prop_assert!(solution.cost_per_edge <= equal_cost * (1.0 + 1e-6),
-            "optimized {} worse than equal {}", solution.cost_per_edge, equal_cost);
-        prop_assert!(solution.optimality_gap < 0.05);
-    }
-
-    /// Variable-oriented processing of the whole CQ collection never costs more
-    /// than twice the single-CQ optimum (the key inequality in Theorem 4.4:
-    /// OPT_all ≤ 2 · OPT_single).
-    #[test]
-    fn combined_evaluation_at_most_twice_single_query_cost(
-        sample in patterns(),
-        k_exp in 4u32..12,
-    ) {
-        let k = 2f64.powi(k_exp as i32);
-        let cqs = cqs_for_sample(&sample);
-        let single = CostExpression::from_single_cq(&cqs[0]);
-        let combined = CostExpression::from_cq_collection(&cqs);
-        let single_cost = optimize_shares(&single, k).cost_per_edge;
-        let combined_cost = optimize_shares(&combined, k).cost_per_edge;
-        prop_assert!(combined_cost <= 2.0 * single_cost * (1.0 + 0.02),
-            "combined {} vs single {}", combined_cost, single_cost);
-        // And evaluating them together is of course at least as expensive as
-        // one copy alone.
-        prop_assert!(combined_cost >= single_cost * (1.0 - 0.02));
-    }
-
-    /// Counting identities: useful reducers C(b+p−1, p) equals the number of
-    /// non-decreasing bucket lists (Theorem 4.2), and for large b the
-    /// generalized Partition replication exceeds the bucket-oriented one
-    /// (Section 4.5) — the advantage is asymptotic, so it is checked at b ≫ p.
-    #[test]
-    fn reducer_counting_identities(b in 1u64..25, p in 2u64..7) {
-        // Count non-decreasing sequences of length p over 1..=b directly.
-        fn count(b: u64, p: u64, min: u64) -> u128 {
-            if p == 0 {
-                return 1;
+/// The numeric optimum satisfies the constraint and beats (or matches) the
+/// naive equal-share assignment.
+#[test]
+fn solver_respects_constraint_and_beats_equal_shares() {
+    for sample in patterns() {
+        for k_exp in [4i32, 8, 13] {
+            let k = 2f64.powi(k_exp);
+            let cqs = cqs_for_sample(&sample);
+            let expr = single_cq_expression_with_dominance(&cqs[0]);
+            let solution = optimize_shares(&expr, k);
+            // Product of free shares = k (dominated shares are 1).
+            let product: f64 = solution.shares.iter().product();
+            assert!(
+                (product - k).abs() / k < 1e-6,
+                "{sample:?} k={k}: product {product}"
+            );
+            // Compare against equal shares over the free variables.
+            let free = expr.free_vars();
+            let equal = k.powf(1.0 / free.len() as f64);
+            let mut equal_shares = vec![1.0; expr.num_vars()];
+            for &v in &free {
+                equal_shares[v as usize] = equal;
             }
-            (min..=b).map(|next| count(b, p - 1, next)).sum()
+            let equal_cost = expr.evaluate(&equal_shares);
+            assert!(
+                solution.cost_per_edge <= equal_cost * (1.0 + 1e-6),
+                "{sample:?} k={k}: optimized {} worse than equal {equal_cost}",
+                solution.cost_per_edge
+            );
+            assert!(solution.optimality_gap < 0.05, "{sample:?} k={k}");
         }
-        prop_assert_eq!(useful_reducers(b, p), count(b, p, 1));
-        let large_b = 1000 + b;
-        let bucket = bucket_oriented_replication(large_b, p) as f64;
-        let partition = generalized_partition_replication(large_b, p);
-        prop_assert!(partition > bucket,
-            "partition {} should exceed bucket-oriented {} at b = {}", partition, bucket, large_b);
+    }
+}
+
+/// Variable-oriented processing of the whole CQ collection never costs more
+/// than twice the single-CQ optimum (the key inequality in Theorem 4.4:
+/// OPT_all <= 2 * OPT_single).
+#[test]
+fn combined_evaluation_at_most_twice_single_query_cost() {
+    for sample in patterns() {
+        for k_exp in [4i32, 7, 11] {
+            let k = 2f64.powi(k_exp);
+            let cqs = cqs_for_sample(&sample);
+            let single = CostExpression::from_single_cq(&cqs[0]);
+            let combined = CostExpression::from_cq_collection(&cqs);
+            let single_cost = optimize_shares(&single, k).cost_per_edge;
+            let combined_cost = optimize_shares(&combined, k).cost_per_edge;
+            assert!(
+                combined_cost <= 2.0 * single_cost * (1.0 + 0.02),
+                "{sample:?} k={k}: combined {combined_cost} vs single {single_cost}"
+            );
+            // And evaluating them together is of course at least as expensive
+            // as one copy alone.
+            assert!(
+                combined_cost >= single_cost * (1.0 - 0.02),
+                "{sample:?} k={k}: combined {combined_cost} vs single {single_cost}"
+            );
+        }
+    }
+}
+
+/// Counting identities: useful reducers C(b+p-1, p) equals the number of
+/// non-decreasing bucket lists (Theorem 4.2), and for large b the generalized
+/// Partition replication exceeds the bucket-oriented one (Section 4.5) — the
+/// advantage is asymptotic, so it is checked at b >> p.
+#[test]
+fn reducer_counting_identities() {
+    // Count non-decreasing sequences of length p over 1..=b directly.
+    fn count(b: u64, p: u64, min: u64) -> u128 {
+        if p == 0 {
+            return 1;
+        }
+        (min..=b).map(|next| count(b, p - 1, next)).sum()
+    }
+    for b in 1u64..25 {
+        for p in 2u64..7 {
+            assert_eq!(useful_reducers(b, p), count(b, p, 1), "b={b} p={p}");
+            let large_b = 1000 + b;
+            let bucket = bucket_oriented_replication(large_b, p) as f64;
+            let partition = generalized_partition_replication(large_b, p);
+            assert!(
+                partition > bucket,
+                "partition {partition} should exceed bucket-oriented {bucket} at b = {large_b}"
+            );
+        }
     }
 }

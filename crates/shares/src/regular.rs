@@ -93,7 +93,12 @@ mod tests {
 
     #[test]
     fn theorem_4_1_shares_satisfy_the_optimality_conditions() {
-        for sample in [catalog::triangle(), catalog::square(), catalog::k4(), catalog::cycle(5)] {
+        for sample in [
+            catalog::triangle(),
+            catalog::square(),
+            catalog::k4(),
+            catalog::cycle(5),
+        ] {
             let cq = &cqs_for_sample(&sample)[0];
             let expr = CostExpression::from_single_cq(cq);
             let shares = regular_equal_shares(&sample, 4096.0).unwrap();
@@ -123,8 +128,8 @@ mod tests {
         let s2: Vec<Var> = vec![0];
         let shares = two_level_shares(6, &s1, &s2, 500_000.0);
         assert!((shares[0] - 5.0).abs() < 1e-9);
-        for v in 1..6 {
-            assert!((shares[v] - 10.0).abs() < 1e-9);
+        for share in &shares[1..6] {
+            assert!((share - 10.0).abs() < 1e-9);
         }
         let product: f64 = shares.iter().product();
         assert!((product - 500_000.0).abs() / 500_000.0 < 1e-9);

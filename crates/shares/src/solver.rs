@@ -193,7 +193,11 @@ mod tests {
         let k = 729.0;
         let s = optimize_shares(&expr, k);
         for v in 0..3 {
-            assert!((s.shares[v] - 9.0).abs() < 0.05, "share {v} = {}", s.shares[v]);
+            assert!(
+                (s.shares[v] - 9.0).abs() < 0.05,
+                "share {v} = {}",
+                s.shares[v]
+            );
         }
         assert!((s.cost_per_edge - 27.0).abs() < 0.2);
     }
@@ -211,7 +215,10 @@ mod tests {
         assert!(!expr.is_bidirectional(0, 1));
         assert!(!expr.is_bidirectional(0, 5));
         for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 5)] {
-            assert!(expr.is_bidirectional(a, b), "({a},{b}) should be bidirectional");
+            assert!(
+                expr.is_bidirectional(a, b),
+                "({a},{b}) should be bidirectional"
+            );
         }
         let s = optimize_shares(&expr, 500_000.0);
         // Like Example 4.2, the optimum is a one-parameter family (scaling the
@@ -225,7 +232,11 @@ mod tests {
         assert!((s.shares[1] - s.shares[3]).abs() / s.shares[1] < 0.03);
         assert!((s.shares[3] - s.shares[5]).abs() / s.shares[3] < 0.03);
         assert!((s.shares[2] - 2.0 * a).abs() / s.shares[2] < 0.03);
-        assert!((a * s.shares[1] - 50.0).abs() / 50.0 < 0.03, "a·b = {}", a * s.shares[1]);
+        assert!(
+            (a * s.shares[1] - 50.0).abs() / 50.0 < 0.03,
+            "a·b = {}",
+            a * s.shares[1]
+        );
         assert!(
             (s.cost_per_edge - 60_000.0).abs() / 60_000.0 < 0.01,
             "cost {}",

@@ -1,48 +1,46 @@
 //! Communication planner — given a sample graph and a reducer budget, print
-//! the optimal shares, per-subgoal replication, predicted communication cost
-//! and reducer count, exactly the planning the paper's Section 4 performs
-//! before a job is launched (Examples 4.1–4.3).
+//! the full execution plan: every applicable strategy's predicted shares,
+//! replication, communication and reducer work, exactly the planning the
+//! paper's Section 4 performs before a job is launched (Examples 4.1–4.3).
 //!
 //! ```text
 //! cargo run --release --example communication_planner -- lollipop 750
 //! cargo run --release --example communication_planner -- c6 500000
 //! ```
 
-use subgraph_mr::cq::cqs_for_sample;
-use subgraph_mr::pattern::catalog;
-use subgraph_mr::pattern::SampleGraph;
-use subgraph_mr::shares::dominance::dominated_variables;
-use subgraph_mr::shares::{optimize_shares, CostExpression};
-
-fn pattern_by_name(name: &str) -> Option<SampleGraph> {
-    Some(match name {
-        "triangle" => catalog::triangle(),
-        "square" => catalog::square(),
-        "lollipop" => catalog::lollipop(),
-        "k4" => catalog::k4(),
-        "star4" => catalog::star(4),
-        "c5" => catalog::cycle(5),
-        "c6" => catalog::cycle(6),
-        "c7" => catalog::cycle(7),
-        _ => return None,
-    })
-}
+use subgraph_mr::prelude::*;
+use subgraph_mr::shares::dominance::single_cq_expression_with_dominance;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("lollipop");
-    let budget: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(750.0);
-    let sample = match pattern_by_name(name) {
-        Some(s) => s,
-        None => {
-            eprintln!("unknown pattern {name:?}; try triangle|square|lollipop|k4|star4|c5|c6|c7");
+    let budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(750);
+
+    // The planner needs a data-graph handle for its absolute cost columns; a
+    // synthetic stand-in with a round edge count keeps them easy to read.
+    let stand_in = generators::gnm(10_000, 100_000, 1);
+
+    let plan = match EnumerationRequest::named(name, &stand_in) {
+        Ok(request) => request.reducers(budget).plan(),
+        Err(err) => {
+            eprintln!("{err}; try triangle|square|lollipop|k4|star4|c5|c6|c7");
+            std::process::exit(1);
+        }
+    };
+    let plan = match plan {
+        Ok(plan) => plan,
+        Err(err) => {
+            eprintln!("planning failed: {err}");
             std::process::exit(1);
         }
     };
 
+    // The chosen strategy plus the ranked candidate table.
+    println!("{}", plan.explain());
+
+    // The share-optimization details behind the variable-oriented candidate
+    // (Section 4.3), as in Examples 4.1-4.3.
+    let sample = plan.request().sample().clone();
     let cqs = cqs_for_sample(&sample);
     println!(
         "pattern {name:?}: {} nodes, {} edges, {} conjunctive queries (Theorem 3.1)",
@@ -51,14 +49,10 @@ fn main() {
         cqs.len()
     );
 
-    // --- Per-query planning (CQ-oriented, Section 4.1) ---------------------
     println!("\nPer-query optimization (Section 4.1), budget {budget} reducers per query:");
     for (i, cq) in cqs.iter().enumerate().take(3) {
-        let mut expr = CostExpression::from_single_cq(cq);
-        for v in dominated_variables(cq) {
-            expr.fix_to_one(v);
-        }
-        let solution = optimize_shares(&expr, budget);
+        let expr = single_cq_expression_with_dominance(cq);
+        let solution = optimize_shares(&expr, budget as f64);
         println!(
             "  CQ {:>2}: shares {:?}  cost/edge {:.2}",
             i + 1,
@@ -74,9 +68,8 @@ fn main() {
         println!("  … ({} more queries)", cqs.len() - 3);
     }
 
-    // --- Combined planning (variable-oriented, Section 4.3) ----------------
     let expr = CostExpression::from_cq_collection(&cqs);
-    let solution = optimize_shares(&expr, budget);
+    let solution = optimize_shares(&expr, budget as f64);
     println!("\nCombined evaluation of all CQs (Section 4.3), budget {budget} reducers:");
     println!(
         "  shares: {:?}",
@@ -86,20 +79,30 @@ fn main() {
             .map(|s| (s * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
-    println!("  communication cost per data edge: {:.2}", solution.cost_per_edge);
-    println!("  optimality gap (max spread of Lagrangian sums): {:.4}", solution.optimality_gap);
+    println!(
+        "  communication cost per data edge: {:.2}",
+        solution.cost_per_edge
+    );
+    println!(
+        "  optimality gap (max spread of Lagrangian sums): {:.4}",
+        solution.optimality_gap
+    );
     println!("\nPer-subgoal replication at the optimum:");
     for (term, replication) in expr.replication_per_term(&solution.shares) {
         println!(
             "  edge ({}, {})  {}  -> {:.1} copies of each data edge",
             term.edge.0,
             term.edge.1,
-            if term.coefficient >= 2.0 { "both orientations" } else { "one orientation " },
+            if term.coefficient >= 2.0 {
+                "both orientations"
+            } else {
+                "one orientation "
+            },
             replication
         );
     }
     println!(
-        "\nFor a data graph with 10^9 edges this plan ships {:.3e} key-value pairs in total.",
-        solution.cost_per_edge * 1e9
+        "\nFor a data graph with 10^9 edges the chosen plan ships {:.3e} key-value pairs in total.",
+        plan.predicted_replication() * 1e9
     );
 }

@@ -1,5 +1,6 @@
-//! Quickstart: find every triangle and every "lollipop" of a random data graph
-//! in one round of map-reduce, and check the result against the serial oracle.
+//! Quickstart: plan and run triangle and "lollipop" enumeration over a random
+//! data graph with the cost-driven planner, and check the results against the
+//! serial oracle.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -17,16 +18,22 @@ fn main() {
         data_graph.max_degree()
     );
 
-    // 2. Triangles with the paper's best one-round algorithm (Section 2.3):
-    //    nodes ordered by hash bucket, b buckets, communication b per edge.
-    let buckets = 8;
-    let triangles = bucket_ordered_triangles(&data_graph, buckets, &EngineConfig::default());
+    // 2. Triangles: the planner compares Partition (Section 2.1), the plain
+    //    multiway join (Section 2.2), the bucket-ordered join (Section 2.3)
+    //    and the two-round cascade, then runs the cheapest.
+    let plan = EnumerationRequest::named("triangle", &data_graph)
+        .unwrap()
+        .reducers(220)
+        .plan()
+        .unwrap();
+    println!("\n{}", plan.explain());
+    let triangles = plan.execute();
     println!(
-        "\n[triangles]   found {:6}   kv pairs shipped {:8} ({} per edge)   reducers {}",
+        "[triangles]   strategy {}   found {:6}   kv pairs shipped {:8}   reducers used {}",
+        triangles.strategy,
         triangles.count(),
-        triangles.metrics.key_value_pairs,
-        triangles.metrics.replication_per_input(),
-        triangles.metrics.reducers_used
+        triangles.communication(),
+        triangles.metrics.as_ref().map_or(0, |m| m.reducers_used),
     );
     let serial = enumerate_triangles_serial(&data_graph);
     assert_eq!(triangles.count(), serial.count());
@@ -34,27 +41,35 @@ fn main() {
     println!(
         "              serial O(m^1.5) baseline agrees: {} triangles, reducer work {} vs serial {}",
         serial.count(),
-        triangles.metrics.reducer_work,
+        triangles.work,
         serial.work
     );
 
-    // 3. An arbitrary sample graph: the lollipop of Figure 4, via
-    //    bucket-oriented processing (Section 4.5).
-    let sample = catalog::lollipop();
-    let run = bucket_oriented_enumerate(&sample, &data_graph, 4, &EngineConfig::default());
+    // 3. An arbitrary sample graph: the lollipop of Figure 4. The planner
+    //    weighs CQ-oriented (Section 4.1), variable-oriented (Section 4.3)
+    //    and bucket-oriented (Section 4.5) processing by predicted
+    //    communication — Theorem 4.4's comparison, performed automatically.
+    let plan = EnumerationRequest::named("lollipop", &data_graph)
+        .unwrap()
+        .reducers(750)
+        .plan()
+        .unwrap();
+    println!("\n{}", plan.explain());
+    let run = plan.execute();
     println!(
-        "\n[lollipops]   found {:6}   kv pairs shipped {:8}   reducers {}   max reducer input {}",
+        "[lollipops]   strategy {}   found {:6}   kv pairs shipped {:8} (predicted {})",
+        run.strategy,
         run.count(),
-        run.metrics.key_value_pairs,
-        run.metrics.reducers_used,
-        run.metrics.max_reducer_input
+        run.communication(),
+        plan.predicted_communication(),
     );
-    let oracle = enumerate_generic(&sample, &data_graph);
+    let oracle = enumerate_generic(plan.request().sample(), &data_graph);
     assert_eq!(run.count(), oracle.count());
     assert_eq!(run.duplicates(), 0);
     println!("              oracle agrees; every instance was produced exactly once");
 
     // 4. The conjunctive queries behind the scenes (Theorem 3.1 + Section 3.3).
+    let sample = catalog::lollipop();
     let cqs = cqs_for_sample(&sample);
     let groups = merge_by_orientation(&cqs);
     println!(

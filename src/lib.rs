@@ -15,30 +15,64 @@
 //! | [`cq`] | `subgraph-cq` | conjunctive queries with comparisons: generation, merging, cycles, evaluation |
 //! | [`shares`] | `subgraph-shares` | Afrati–Ullman share optimization and reducer-count combinatorics |
 //! | [`mapreduce`] | `subgraph-mapreduce` | instrumented in-process single-round map-reduce engine |
-//! | [`core`] | `subgraph-core` | the paper's algorithms: triangle algorithms (§2), general enumeration (§4), serial/convertible algorithms (§6–7) |
+//! | [`core`] | `subgraph-core` | the paper's algorithms behind the cost-driven `Planner`/`ExecutionPlan` API |
 //!
 //! ## Quick start
 //!
+//! Everything goes through one entry point: build an
+//! [`EnumerationRequest`](prelude::EnumerationRequest), let the
+//! [`Planner`](prelude::Planner) pick the cheapest strategy (it scores every
+//! applicable algorithm on the paper's two cost measures), inspect the
+//! [`ExecutionPlan`](prelude::ExecutionPlan), and execute it:
+//!
 //! ```
-//! use subgraph_mr::graph::generators;
-//! use subgraph_mr::pattern::catalog;
-//! use subgraph_mr::core::enumerate::bucket_oriented_enumerate;
-//! use subgraph_mr::mapreduce::EngineConfig;
+//! use subgraph_mr::prelude::*;
 //!
 //! // A random data graph and the "lollipop" sample graph from Figure 4.
 //! let data_graph = generators::gnm(200, 1_000, 42);
-//! let sample = catalog::lollipop();
 //!
-//! // One round of map-reduce with 4 buckets (Section 4.5 processing).
-//! let run = bucket_oriented_enumerate(&sample, &data_graph, 4, &EngineConfig::default());
+//! // Plan for a budget of 750 reducers. The planner compares CQ-oriented,
+//! // variable-oriented and bucket-oriented processing (Section 4) and picks
+//! // the cheapest — here the bucket-oriented scheme (Theorem 4.4 ordering).
+//! let plan = EnumerationRequest::named("lollipop", &data_graph)
+//!     .unwrap()
+//!     .reducers(750)
+//!     .plan()
+//!     .unwrap();
+//! assert_eq!(plan.strategy(), StrategyKind::BucketOriented);
+//! println!("{}", plan.explain()); // shares, predicted replication & work
+//!
+//! // One round of map-reduce; the report unifies serial and parallel runs.
+//! let report = plan.execute();
 //! println!(
-//!     "{} lollipops, {} key-value pairs shipped, {} reducers",
-//!     run.count(),
-//!     run.metrics.key_value_pairs,
-//!     run.metrics.reducers_used,
+//!     "{} lollipops, {} key-value pairs shipped ({} predicted)",
+//!     report.count(),
+//!     report.communication(),
+//!     plan.predicted_communication(),
 //! );
-//! assert_eq!(run.duplicates(), 0); // every instance exactly once
+//! assert_eq!(report.duplicates(), 0); // every instance exactly once
 //! ```
+//!
+//! Need a specific algorithm (for comparisons or tests)? Force it:
+//!
+//! ```
+//! use subgraph_mr::prelude::*;
+//!
+//! let data_graph = generators::gnm(100, 400, 7);
+//! let forced = EnumerationRequest::named("triangle", &data_graph)
+//!     .unwrap()
+//!     .reducers(220)
+//!     .strategy(StrategyKind::PartitionTriangles)
+//!     .plan()
+//!     .unwrap();
+//! let report = forced.execute();
+//! assert_eq!(report.duplicates(), 0);
+//! ```
+//!
+//! A reducer budget of 1 means "no cluster": the planner then chooses among
+//! the convertible serial algorithms of Sections 6–7 instead.
+//!
+//! See `docs/PLANNER.md` for the strategy-to-paper-section map.
 
 pub use subgraph_core as core;
 pub use subgraph_cq as cq;
@@ -49,15 +83,14 @@ pub use subgraph_shares as shares;
 
 /// A convenient prelude for examples and downstream users.
 pub mod prelude {
-    pub use subgraph_core::enumerate::{
-        bucket_oriented_enumerate, cq_oriented_enumerate, variable_oriented_enumerate,
+    /// The planner API — the primary entry point.
+    pub use subgraph_core::plan::{
+        CostEstimate, EnumerationRequest, ExecutionPlan, PlanError, Planner, RunReport, Strategy,
+        StrategyKind,
     };
     pub use subgraph_core::serial::{
         enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic,
         enumerate_odd_cycles, enumerate_triangles_serial,
-    };
-    pub use subgraph_core::triangles::{
-        bucket_ordered_triangles, multiway_triangles, partition_triangles,
     };
     pub use subgraph_core::{MapReduceRun, SerialRun};
     pub use subgraph_cq::{cqs_for_sample, cycle_cqs, evaluate_cqs, merge_by_orientation};
@@ -65,4 +98,15 @@ pub mod prelude {
     pub use subgraph_mapreduce::EngineConfig;
     pub use subgraph_pattern::{catalog, Instance, SampleGraph};
     pub use subgraph_shares::{optimize_shares, CostExpression};
+
+    // Deprecated shims, re-exported so existing downstream code keeps
+    // compiling (with a deprecation warning at the call site).
+    #[allow(deprecated)]
+    pub use subgraph_core::enumerate::{
+        bucket_oriented_enumerate, cq_oriented_enumerate, variable_oriented_enumerate,
+    };
+    #[allow(deprecated)]
+    pub use subgraph_core::triangles::{
+        bucket_ordered_triangles, multiway_triangles, partition_triangles,
+    };
 }

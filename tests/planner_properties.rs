@@ -1,0 +1,121 @@
+//! Property-style tests of the planner (deterministic seeded sweeps):
+//!
+//! 1. `ExecutionPlan::execute()` matches the serial oracle
+//!    (`enumerate_generic`) on random G(n, m) graphs for every catalog
+//!    pattern, whatever strategy the planner picks.
+//! 2. The planner's predicted replication stays within a constant factor of
+//!    the measured `JobMetrics::key_value_pairs`.
+
+use subgraph_mr::prelude::*;
+
+fn catalog_patterns() -> Vec<(&'static str, SampleGraph)> {
+    vec![
+        ("triangle", catalog::triangle()),
+        ("square", catalog::square()),
+        ("lollipop", catalog::lollipop()),
+        ("c5", catalog::cycle(5)),
+        ("star4", catalog::star(4)),
+        ("path4", catalog::path(4)),
+        ("k4", catalog::k4()),
+    ]
+}
+
+#[test]
+fn planned_execution_matches_the_serial_oracle_on_random_graphs() {
+    for (case, (name, sample)) in catalog_patterns().into_iter().enumerate() {
+        for (round, &k) in [1usize, 24, 96].iter().enumerate() {
+            let n = 14 + 2 * case + round;
+            let m = (n * 3).min(n * (n - 1) / 2);
+            let graph = generators::gnm(n, m, 7_000 + (case * 10 + round) as u64);
+            let plan = EnumerationRequest::new(sample.clone(), &graph)
+                .reducers(k)
+                .engine(EngineConfig::serial())
+                .plan()
+                .unwrap_or_else(|e| panic!("{name} k={k}: {e}"));
+            let report = plan.execute();
+            let oracle = enumerate_generic(&sample, &graph);
+            assert_eq!(
+                report.count(),
+                oracle.count(),
+                "{name} k={k} strategy={}",
+                plan.strategy()
+            );
+            assert_eq!(report.duplicates(), 0, "{name} k={k}");
+            // Budget 1 plans serial, larger budgets plan map-reduce.
+            assert_eq!(plan.strategy().is_serial(), k <= 1, "{name} k={k}");
+        }
+    }
+}
+
+#[test]
+fn predicted_replication_is_within_a_constant_factor_of_measured() {
+    // The bucket-oriented prediction is exact; the share-based ones are exact
+    // up to integer rounding of the shares. A factor-3 band catches any
+    // regression in either direction without flaking on rounding.
+    for (case, (name, sample)) in catalog_patterns().into_iter().enumerate() {
+        let n = 40 + 4 * case;
+        let m = n * 5;
+        let graph = generators::gnm(n, m, 9_000 + case as u64);
+        for (kind, k) in [
+            (StrategyKind::BucketOriented, 70),
+            (StrategyKind::VariableOriented, 64),
+            (StrategyKind::CqOriented, 32),
+        ] {
+            let plan = EnumerationRequest::new(sample.clone(), &graph)
+                .reducers(k)
+                .engine(EngineConfig::serial())
+                .strategy(kind)
+                .plan()
+                .unwrap();
+            let report = plan.execute();
+            let predicted = plan.predicted_communication();
+            let measured = report.communication() as f64;
+            assert!(
+                measured <= predicted * 3.0 && measured >= predicted / 3.0,
+                "{name} {kind}: measured {measured} vs predicted {predicted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_oriented_prediction_is_exact() {
+    // Section 4.5: every edge goes to exactly C(b + p - 3, p - 2) reducers,
+    // so the planner's communication prediction must match to the pair.
+    for (name, sample) in catalog_patterns() {
+        let graph = generators::gnm(50, 250, 11_000);
+        let plan = EnumerationRequest::new(sample, &graph)
+            .reducers(50)
+            .engine(EngineConfig::serial())
+            .strategy(StrategyKind::BucketOriented)
+            .plan()
+            .unwrap();
+        let report = plan.execute();
+        assert_eq!(
+            report.communication() as f64,
+            plan.predicted_communication(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn variable_oriented_prediction_is_exact() {
+    // Section 4.3: the engine counts exactly what the cost expression models
+    // (at the integer shares), so prediction and measurement agree exactly.
+    for (name, sample) in catalog_patterns() {
+        let graph = generators::gnm(60, 360, 12_000);
+        let plan = EnumerationRequest::new(sample, &graph)
+            .reducers(128)
+            .engine(EngineConfig::serial())
+            .strategy(StrategyKind::VariableOriented)
+            .plan()
+            .unwrap();
+        let report = plan.execute();
+        assert_eq!(
+            report.communication() as f64,
+            plan.predicted_communication(),
+            "{name}"
+        );
+    }
+}
