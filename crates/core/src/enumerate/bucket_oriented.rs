@@ -14,8 +14,15 @@ use super::nondecreasing_sequences;
 use crate::result::MapReduceRun;
 use subgraph_cq::{cqs_for_sample, evaluate_cqs, ConjunctiveQuery};
 use subgraph_graph::{BucketThenIdOrder, DataGraph, Edge};
-use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
+use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::{Instance, SampleGraph};
+
+/// Bytes one shuffled record occupies for a `p`-variable bucket-multiset key
+/// plus an edge value — shared by the engine weigher and the planner's byte
+/// prediction, so predicted and measured `shuffle_bytes` agree exactly.
+pub(crate) fn vec_key_record_bytes(p: usize) -> usize {
+    p * std::mem::size_of::<u32>() + std::mem::size_of::<Edge>()
+}
 
 /// Runs bucket-oriented enumeration of `sample` over `graph` with `b` buckets.
 ///
@@ -93,8 +100,13 @@ pub fn bucket_oriented_with_cqs(
         }
     };
 
-    let (instances, metrics) = run_job(graph.edges(), &mapper, &reducer, config);
-    MapReduceRun { instances, metrics }
+    let (instances, report) = Pipeline::new()
+        .round(
+            Round::new("bucket-oriented", mapper, reducer)
+                .record_bytes(|key: &Vec<u32>, _edge: &Edge| vec_key_record_bytes(key.len())),
+        )
+        .run(graph.edges().to_vec(), config);
+    MapReduceRun::from_pipeline(instances, report)
 }
 
 #[cfg(test)]

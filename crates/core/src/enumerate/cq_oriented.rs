@@ -6,10 +6,13 @@
 //! variable-oriented processing against.
 
 use super::{integer_shares, variable_bucket};
+use crate::enumerate::bucket_oriented::vec_key_record_bytes;
 use crate::result::MapReduceRun;
 use subgraph_cq::{cqs_for_sample, evaluate_cq_filtered, ConjunctiveQuery, Var};
 use subgraph_graph::{DataGraph, Edge, IdOrder};
-use subgraph_mapreduce::{run_job, EngineConfig, JobMetrics, MapContext, ReduceContext};
+use subgraph_mapreduce::{
+    EngineConfig, JobMetrics, MapContext, Pipeline, ReduceContext, Round, RoundMetrics,
+};
 use subgraph_pattern::{Instance, SampleGraph};
 use subgraph_shares::dominance::single_cq_expression_with_dominance;
 use subgraph_shares::optimize_shares;
@@ -17,7 +20,8 @@ use subgraph_shares::optimize_shares;
 /// Runs one map-reduce job per CQ, each with a budget of `k_per_query`
 /// reducers, and combines the results. The returned metrics are the sums over
 /// all jobs (communication cost adds up, exactly as in Theorem 4.4's
-/// comparison).
+/// comparison); the per-job breakdown lands in `round_metrics` (the jobs are
+/// independent, not chained rounds, but share the same reporting shape).
 ///
 /// Internal runner behind [`crate::plan::StrategyKind::CqOriented`].
 pub(crate) fn run_cq_oriented(
@@ -29,24 +33,20 @@ pub(crate) fn run_cq_oriented(
     let cqs = cqs_for_sample(sample);
     let mut instances = Vec::new();
     let mut combined = JobMetrics::default();
-    for cq in &cqs {
+    let mut per_job = Vec::new();
+    for (job, cq) in cqs.iter().enumerate() {
         let run = single_cq_job(cq, graph, k_per_query, config);
         instances.extend(run.instances);
-        combined.input_records += run.metrics.input_records;
-        combined.key_value_pairs += run.metrics.key_value_pairs;
-        combined.reducers_used += run.metrics.reducers_used;
-        combined.max_reducer_input = combined
-            .max_reducer_input
-            .max(run.metrics.max_reducer_input);
-        combined.reducer_work += run.metrics.reducer_work;
-        combined.outputs += run.metrics.outputs;
-        combined.map_time += run.metrics.map_time;
-        combined.shuffle_time += run.metrics.shuffle_time;
-        combined.reduce_time += run.metrics.reduce_time;
+        combined.absorb(&run.metrics);
+        per_job.push(RoundMetrics {
+            name: format!("cq-job-{job}"),
+            metrics: run.metrics,
+        });
     }
     MapReduceRun {
         instances,
         metrics: combined,
+        round_metrics: per_job,
     }
 }
 
@@ -108,8 +108,13 @@ pub fn single_cq_job(
         }
     };
 
-    let (instances, metrics) = run_job(graph.edges(), &mapper, &reducer, config);
-    MapReduceRun { instances, metrics }
+    let (instances, report) = Pipeline::new()
+        .round(
+            Round::new("cq-job", mapper, reducer)
+                .record_bytes(|key: &Vec<u32>, _edge: &Edge| vec_key_record_bytes(key.len())),
+        )
+        .run(graph.edges().to_vec(), config);
+    MapReduceRun::from_pipeline(instances, report)
 }
 
 fn emit_free(

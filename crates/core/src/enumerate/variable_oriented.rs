@@ -3,11 +3,12 @@
 //! one bucket number per variable.
 
 use super::{integer_shares, variable_bucket};
+use crate::enumerate::bucket_oriented::vec_key_record_bytes;
 use crate::result::MapReduceRun;
 use std::collections::BTreeSet;
 use subgraph_cq::{cqs_for_sample, evaluate_cq_filtered, ConjunctiveQuery, Var};
 use subgraph_graph::{DataGraph, Edge, IdOrder};
-use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
+use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::{Instance, SampleGraph};
 use subgraph_shares::{optimize_shares, CostExpression};
 
@@ -127,8 +128,13 @@ pub fn run_with_plan(
         }
     };
 
-    let (instances, metrics) = run_job(graph.edges(), &mapper, &reducer, config);
-    MapReduceRun { instances, metrics }
+    let (instances, report) = Pipeline::new()
+        .round(
+            Round::new("variable-oriented", mapper, reducer)
+                .record_bytes(|key: &Vec<u32>, _edge: &Edge| vec_key_record_bytes(key.len())),
+        )
+        .run(graph.edges().to_vec(), config);
+    MapReduceRun::from_pipeline(instances, report)
 }
 
 /// Emits one key per combination of buckets for the variables other than `a`

@@ -3,6 +3,56 @@
 
 use crate::plan::strategy::StrategyKind;
 
+/// The planner's per-round communication prediction: what the mappers emit,
+/// what actually crosses the shuffle after map-side combining, and the
+/// shuffled payload in bytes.
+#[derive(Clone, Debug)]
+pub struct RoundCost {
+    /// Round (or, for CQ-oriented processing, parallel job) name.
+    pub name: String,
+    /// Predicted key-value pairs emitted by the round's mappers.
+    pub emitted: f64,
+    /// Predicted key-value pairs shipped through the shuffle — equals
+    /// `emitted` for rounds without a combiner, less with one (e.g. the
+    /// multiway join's `3b − 2` vs the naive `3b`).
+    pub shuffled: f64,
+    /// Predicted shuffled payload bytes (`shuffled` × per-record bytes, with
+    /// the same record weigher the engine uses).
+    pub shuffle_bytes: f64,
+}
+
+impl RoundCost {
+    /// A round without a combiner: everything emitted is shipped, at
+    /// `bytes_per_record` bytes each.
+    pub fn without_combiner(
+        name: impl Into<String>,
+        records: f64,
+        bytes_per_record: usize,
+    ) -> Self {
+        RoundCost {
+            name: name.into(),
+            emitted: records,
+            shuffled: records,
+            shuffle_bytes: records * bytes_per_record as f64,
+        }
+    }
+
+    /// A round whose combiner discounts the emitted pairs down to `shuffled`.
+    pub fn with_combiner(
+        name: impl Into<String>,
+        emitted: f64,
+        shuffled: f64,
+        bytes_per_record: usize,
+    ) -> Self {
+        RoundCost {
+            name: name.into(),
+            emitted,
+            shuffled,
+            shuffle_bytes: shuffled * bytes_per_record as f64,
+        }
+    }
+}
+
 /// The planner's prediction for running one strategy on one request. All
 /// quantities are in the paper's cost model (Section 1.2): communication is
 /// key-value pairs shipped from mappers to reducers, computation is total
@@ -20,10 +70,15 @@ pub struct CostEstimate {
     pub shares: Vec<f64>,
     /// The single bucket count `b` for hash-ordered schemes, if applicable.
     pub buckets: Option<usize>,
-    /// Predicted copies of each data edge shipped to reducers (the paper's
-    /// per-edge replication formulas: `b`, `3b - 2`, `C(b+p-3, p-2)`, ...).
+    /// Per-round communication predictions (one entry per round, or per
+    /// parallel job for CQ-oriented processing; empty for serial strategies).
+    pub round_costs: Vec<RoundCost>,
+    /// Predicted copies of each data edge shipped to reducers after combiner
+    /// discounts (the paper's per-edge replication formulas: `b`, `3b − 2`,
+    /// `C(b+p-3, p-2)`, ...).
     pub replication_per_edge: f64,
-    /// Predicted total communication cost: `replication_per_edge x m`.
+    /// Predicted total communication cost: the sum of the per-round shipped
+    /// pairs (`replication_per_edge x m`).
     pub communication: f64,
     /// Predicted number of reducers that receive data.
     pub reducers: f64,
@@ -34,6 +89,22 @@ pub struct CostEstimate {
 }
 
 impl CostEstimate {
+    /// Predicted key-value pairs emitted by the mappers across all rounds
+    /// (before combiner discounts).
+    pub fn emitted_communication(&self) -> f64 {
+        self.round_costs.iter().map(|r| r.emitted).sum()
+    }
+
+    /// Predicted shuffled payload bytes across all rounds.
+    pub fn predicted_shuffle_bytes(&self) -> f64 {
+        self.round_costs.iter().map(|r| r.shuffle_bytes).sum()
+    }
+
+    /// True when a map-side combiner is predicted to remove pairs before the
+    /// shuffle.
+    pub fn has_combiner_discount(&self) -> bool {
+        self.round_costs.iter().any(|r| r.shuffled < r.emitted)
+    }
     /// The planner's ranking key: communication first (the paper's primary
     /// cost), predicted computation as the tie-breaker, strategy order as the
     /// final deterministic tie-breaker.
@@ -88,6 +159,7 @@ mod tests {
             rounds: 1,
             shares: vec![],
             buckets: None,
+            round_costs: vec![],
             replication_per_edge: 0.0,
             communication: comm,
             reducers: 0.0,
@@ -95,6 +167,31 @@ mod tests {
         };
         assert!(mk(10.0, 99.0).score() < mk(11.0, 1.0).score());
         assert!(mk(10.0, 1.0).score() < mk(10.0, 2.0).score());
+    }
+
+    #[test]
+    fn round_costs_expose_combiner_discounts_and_byte_totals() {
+        let estimate = CostEstimate {
+            strategy: StrategyKind::MultiwayTriangles,
+            paper_section: "2.2",
+            rounds: 1,
+            shares: vec![],
+            buckets: Some(6),
+            round_costs: vec![
+                RoundCost::with_combiner("multiway", 1800.0, 1600.0, 24),
+                RoundCost::without_combiner("extra", 100.0, 16),
+            ],
+            replication_per_edge: 17.0,
+            communication: 1700.0,
+            reducers: 216.0,
+            reducer_work: 0.0,
+        };
+        assert_eq!(estimate.emitted_communication(), 1900.0);
+        assert_eq!(estimate.predicted_shuffle_bytes(), 1600.0 * 24.0 + 1600.0);
+        assert!(estimate.has_combiner_discount());
+        let plain = RoundCost::without_combiner("r", 10.0, 8);
+        assert_eq!(plain.emitted, plain.shuffled);
+        assert_eq!(plain.shuffle_bytes, 80.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::plan::strategy::StrategyKind;
 use crate::result::{MapReduceRun, SerialRun};
-use subgraph_mapreduce::JobMetrics;
+use subgraph_mapreduce::{JobMetrics, RoundMetrics};
 use subgraph_pattern::Instance;
 
 /// Output of executing an [`crate::plan::ExecutionPlan`], subsuming the older
@@ -14,11 +14,17 @@ pub struct RunReport {
     pub strategy: StrategyKind,
     /// Number of map-reduce rounds executed (0 for serial strategies, 1 for
     /// the paper's single-round algorithms, 2 for the cascade baseline).
+    /// CQ-oriented processing counts as 1 round even though it runs one
+    /// parallel job per query — see `round_metrics` for the breakdown.
     pub rounds: usize,
     /// Every instance found (exactly once each if the algorithm is correct).
     pub instances: Vec<Instance>,
-    /// Measured cost metrics of the round(s); `None` for serial strategies.
+    /// Measured cost metrics combined over all round(s); `None` for serial
+    /// strategies.
     pub metrics: Option<JobMetrics>,
+    /// Measured metrics per round (per parallel job for CQ-oriented
+    /// processing); empty for serial strategies.
+    pub round_metrics: Vec<RoundMetrics>,
     /// Total computation cost in the algorithm's natural unit: the summed
     /// reducer work for map-reduce strategies, the serial `work` counter
     /// otherwise (the quantity the `O(n^α m^β)` bounds of Sections 6-7
@@ -27,13 +33,15 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Wraps a map-reduce result.
+    /// Wraps a map-reduce result. `rounds` is the strategy's logical round
+    /// count (CQ-oriented passes 1 even with several parallel jobs).
     pub fn from_map_reduce(strategy: StrategyKind, rounds: usize, run: MapReduceRun) -> Self {
         RunReport {
             strategy,
             rounds,
             work: run.metrics.reducer_work,
             metrics: Some(run.metrics),
+            round_metrics: run.round_metrics,
             instances: run.instances,
         }
     }
@@ -45,6 +53,7 @@ impl RunReport {
             rounds: 0,
             instances: run.instances,
             metrics: None,
+            round_metrics: Vec::new(),
             work: run.work,
         }
     }
@@ -68,10 +77,22 @@ impl RunReport {
         self.count() - self.distinct()
     }
 
-    /// Measured communication cost (key-value pairs shipped); 0 for serial
-    /// strategies, which ship nothing.
+    /// Measured communication cost: key-value pairs actually shipped through
+    /// the shuffle(s), i.e. after map-side combining. 0 for serial strategies,
+    /// which ship nothing; identical to [`RunReport::emitted_communication`]
+    /// for strategies without a combiner.
     pub fn communication(&self) -> usize {
+        self.metrics.as_ref().map_or(0, |m| m.shuffle_records)
+    }
+
+    /// Key-value pairs emitted by the mappers before any combining.
+    pub fn emitted_communication(&self) -> usize {
         self.metrics.as_ref().map_or(0, |m| m.key_value_pairs)
+    }
+
+    /// Measured shuffled payload bytes across all rounds.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.metrics.as_ref().map_or(0, |m| m.shuffle_bytes)
     }
 }
 
@@ -96,22 +117,32 @@ mod tests {
         assert_eq!(serial.rounds, 0);
         assert_eq!(serial.communication(), 0);
         assert!(serial.metrics.is_none());
+        assert!(serial.round_metrics.is_empty());
 
         let mr = RunReport::from_map_reduce(
             StrategyKind::BucketOriented,
             1,
-            MapReduceRun {
-                instances: vec![a],
-                metrics: JobMetrics {
-                    key_value_pairs: 42,
+            MapReduceRun::single_round(
+                vec![a],
+                "bucket-oriented",
+                JobMetrics {
+                    key_value_pairs: 45,
+                    combiner_input_records: 45,
+                    combiner_output_records: 42,
+                    shuffle_records: 42,
+                    shuffle_bytes: 840,
                     reducer_work: 7,
                     ..JobMetrics::default()
                 },
-            },
+            ),
         );
         assert_eq!(mr.count(), 1);
         assert_eq!(mr.communication(), 42);
+        assert_eq!(mr.emitted_communication(), 45);
+        assert_eq!(mr.shuffle_bytes(), 840);
         assert_eq!(mr.work, 7);
         assert_eq!(mr.rounds, 1);
+        assert_eq!(mr.round_metrics.len(), 1);
+        assert_eq!(mr.round_metrics[0].name, "bucket-oriented");
     }
 }

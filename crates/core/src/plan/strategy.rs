@@ -7,16 +7,16 @@
 //! runs.
 
 use crate::convertible::predicted_parallel_work;
-use crate::enumerate::bucket_oriented::run_bucket_oriented;
+use crate::enumerate::bucket_oriented::{run_bucket_oriented, vec_key_record_bytes};
 use crate::enumerate::cq_oriented::run_cq_oriented;
 use crate::enumerate::variable_oriented;
-use crate::plan::cost::CostEstimate;
+use crate::plan::cost::{CostEstimate, RoundCost};
 use crate::plan::report::RunReport;
 use crate::plan::request::EnumerationRequest;
 use crate::serial::{enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic};
-use crate::triangles::bucket_ordered::run_bucket_ordered_triangles;
-use crate::triangles::cascade::run_cascade_triangles;
-use crate::triangles::multiway::run_multiway_triangles;
+use crate::triangles::bucket_ordered::{run_bucket_ordered_triangles, triple_key_record_bytes};
+use crate::triangles::cascade::{cascade_record_bytes, run_cascade_triangles};
+use crate::triangles::multiway::{multiway_record_bytes, run_multiway_triangles};
 use crate::triangles::partition::run_partition_triangles;
 use std::fmt;
 use subgraph_cq::cqs_for_sample;
@@ -213,7 +213,10 @@ fn wedge_bound(request: &EnumerationRequest<'_>) -> f64 {
         .sum()
 }
 
-/// The common part of every map-reduce estimate.
+/// The common part of every map-reduce estimate: total communication and the
+/// per-edge replication are derived from the per-round shipped-pair
+/// predictions, so combiner discounts automatically propagate into the
+/// planner's ranking.
 #[allow(clippy::too_many_arguments)]
 fn mr_estimate(
     kind: StrategyKind,
@@ -221,19 +224,25 @@ fn mr_estimate(
     rounds: usize,
     shares: Vec<f64>,
     buckets: Option<usize>,
-    replication_per_edge: f64,
+    round_costs: Vec<RoundCost>,
     reducers: f64,
     reducer_work: f64,
     m: usize,
 ) -> CostEstimate {
+    let communication: f64 = round_costs.iter().map(|r| r.shuffled).sum();
     CostEstimate {
         strategy: kind,
         paper_section,
         rounds,
         shares,
         buckets,
-        replication_per_edge,
-        communication: replication_per_edge * m as f64,
+        round_costs,
+        replication_per_edge: if m == 0 {
+            0.0
+        } else {
+            communication / m as f64
+        },
+        communication,
         reducers,
         reducer_work,
     }
@@ -259,21 +268,22 @@ impl Strategy for BucketOriented {
     fn estimate(&self, request: &EnumerationRequest<'_>) -> CostEstimate {
         let p = request.sample().num_nodes();
         let b = buckets_for_budget(p, request.reducer_budget());
+        let m = request.graph().num_edges();
+        let records = bucket_oriented_replication(b as u64, p as u64) as f64 * m as f64;
         mr_estimate(
             self.kind(),
             "§4.5",
             1,
             vec![b as f64; p],
             Some(b),
-            bucket_oriented_replication(b as u64, p as u64) as f64,
+            vec![RoundCost::without_combiner(
+                "bucket-oriented",
+                records,
+                vec_key_record_bytes(p),
+            )],
             useful_reducers(b as u64, p as u64) as f64,
-            decomposition_work(
-                request.sample(),
-                request.graph().num_nodes(),
-                request.graph().num_edges(),
-                b as f64,
-            ),
-            request.graph().num_edges(),
+            decomposition_work(request.sample(), request.graph().num_nodes(), m, b as f64),
+            m,
         )
     }
 
@@ -304,6 +314,7 @@ impl Strategy for VariableOriented {
     fn estimate(&self, request: &EnumerationRequest<'_>) -> CostEstimate {
         let plan = variable_oriented::plan(request.sample(), request.reducer_budget());
         let p = request.sample().num_nodes();
+        let m = request.graph().num_edges();
         let reducers: f64 = plan.shares.iter().map(|&s| s as f64).product();
         let effective_share = reducers.powf(1.0 / p as f64);
         mr_estimate(
@@ -312,15 +323,19 @@ impl Strategy for VariableOriented {
             1,
             plan.shares.iter().map(|&s| s as f64).collect(),
             None,
-            plan.predicted_replication,
+            vec![RoundCost::without_combiner(
+                "variable-oriented",
+                plan.predicted_replication * m as f64,
+                vec_key_record_bytes(p),
+            )],
             reducers,
             decomposition_work(
                 request.sample(),
                 request.graph().num_nodes(),
-                request.graph().num_edges(),
+                m,
                 effective_share,
             ),
-            request.graph().num_edges(),
+            m,
         )
     }
 
@@ -376,11 +391,17 @@ impl Strategy for CqOriented {
         let k = request.reducer_budget().max(1) as f64;
         let cqs = cqs_for_sample(request.sample());
         let p = request.sample().num_nodes();
-        let mut replication = 0.0;
-        for cq in &cqs {
+        let m = request.graph().num_edges();
+        // One RoundCost per parallel job: each CQ optimizes its own shares.
+        let mut round_costs = Vec::with_capacity(cqs.len());
+        for (job, cq) in cqs.iter().enumerate() {
             let expr = single_cq_expression_with_dominance(cq);
             let solution = optimize_shares(&expr, k);
-            replication += solution.cost_per_edge;
+            round_costs.push(RoundCost::without_combiner(
+                format!("cq-job-{job}"),
+                solution.cost_per_edge * m as f64,
+                vec_key_record_bytes(p),
+            ));
         }
         let per_job_share = k.powf(1.0 / p as f64);
         mr_estimate(
@@ -391,16 +412,16 @@ impl Strategy for CqOriented {
             // describes the strategy; explain() renders this as "-".
             Vec::new(),
             None,
-            replication,
+            round_costs,
             cqs.len() as f64 * k,
             cqs.len() as f64
                 * decomposition_work(
                     request.sample(),
                     request.graph().num_nodes(),
-                    request.graph().num_edges(),
+                    m,
                     per_job_share,
                 ),
-            request.graph().num_edges(),
+            m,
         )
     }
 
@@ -442,7 +463,11 @@ impl Strategy for BucketOrderedTriangles {
             1,
             vec![b as f64; 3],
             Some(b),
-            b as f64,
+            vec![RoundCost::without_combiner(
+                "bucket-ordered",
+                b as f64 * m as f64,
+                triple_key_record_bytes(),
+            )],
             useful_reducers(b as u64, 3) as f64,
             predicted_parallel_work(b, 3, 0.0, 1.5, n, m),
             m,
@@ -483,7 +508,11 @@ impl Strategy for PartitionTriangles {
             1,
             vec![b as f64; 3],
             Some(b),
-            partition_triangle_replication(b as u64),
+            vec![RoundCost::without_combiner(
+                "partition",
+                partition_triangle_replication(b as u64) * m as f64,
+                triple_key_record_bytes(),
+            )],
             binomial(b as u64, 3) as f64,
             predicted_parallel_work(b, 3, 0.0, 1.5, n, m),
             m,
@@ -521,13 +550,27 @@ impl Strategy for MultiwayTriangles {
         // The reducer-side join examines |XY| x |XZ| candidate pairs per
         // reducer: about (m/b^2)^2 over b^3 reducers, i.e. m^2 / b.
         let join_work = (m as f64).powi(2) / b as f64;
+        // Mappers emit all 3b copies per edge (footnote 1); the map-side
+        // combiner merges an edge's coinciding role emissions, shipping the
+        // paper's 3b − 2 — unless combiners are disabled in the engine config.
+        let emitted = 3.0 * b as f64 * m as f64;
+        let shuffled = if request.config().use_combiners {
+            multiway_triangle_replication(b as u64) * m as f64
+        } else {
+            emitted
+        };
         mr_estimate(
             self.kind(),
             "§2.2",
             1,
             vec![b as f64; 3],
             Some(b),
-            multiway_triangle_replication(b as u64) + 2.0, // mappers ship all 3b (footnote 1)
+            vec![RoundCost::with_combiner(
+                "multiway",
+                emitted,
+                shuffled,
+                multiway_record_bytes(),
+            )],
             (b as f64).powi(3),
             join_work,
             m,
@@ -562,15 +605,18 @@ impl Strategy for CascadeTriangles {
     fn estimate(&self, request: &EnumerationRequest<'_>) -> CostEstimate {
         let m = request.graph().num_edges();
         let wedges = wedge_bound(request);
+        let (wedge_bytes, closing_bytes) = cascade_record_bytes();
         // Round 1 ships 2m; round 2 ships every wedge plus every edge.
-        let replication = if m == 0 { 0.0 } else { 3.0 + wedges / m as f64 };
         mr_estimate(
             self.kind(),
             "§2 (2-round)",
             2,
             Vec::new(),
             None,
-            replication,
+            vec![
+                RoundCost::without_combiner("wedge", 2.0 * m as f64, wedge_bytes),
+                RoundCost::without_combiner("closing", m as f64 + wedges, closing_bytes),
+            ],
             request.graph().num_nodes() as f64 + wedges.min(m as f64 * m as f64),
             2.0 * m as f64 + 2.0 * wedges,
             m,
@@ -597,6 +643,7 @@ fn serial_estimate(
         rounds: 0,
         shares: Vec::new(),
         buckets: None,
+        round_costs: Vec::new(),
         replication_per_edge: 0.0,
         communication: 0.0,
         reducers: 0.0,
@@ -753,12 +800,46 @@ mod tests {
         let partition = PartitionTriangles.estimate(&request);
         assert_eq!(partition.buckets, Some(12));
         assert!((partition.replication_per_edge - 13.75).abs() < 1e-12);
+        // With combiners on (the default), multiway ships the paper's 3b − 2
+        // per edge even though its mappers emit 3b (footnote 1).
         let multiway = MultiwayTriangles.estimate(&request);
         assert_eq!(multiway.buckets, Some(6));
-        assert!((multiway.replication_per_edge - 18.0).abs() < 1e-12);
+        assert!((multiway.replication_per_edge - 16.0).abs() < 1e-12);
+        assert!((multiway.emitted_communication() - 18.0 * 600.0).abs() < 1e-9);
+        assert!(multiway.has_combiner_discount());
         // Figure 2's ordering at ~220 reducers.
         assert!(ordered.communication < partition.communication);
         assert!(partition.communication < multiway.communication);
+    }
+
+    #[test]
+    fn combiner_discount_respects_the_engine_config() {
+        let g = generators::gnm(100, 600, 5);
+        let naive = EnumerationRequest::new(catalog::triangle(), &g)
+            .reducers(220)
+            .engine(subgraph_mapreduce::EngineConfig::default().combiners(false));
+        let multiway = MultiwayTriangles.estimate(&naive);
+        assert!((multiway.replication_per_edge - 18.0).abs() < 1e-12);
+        assert!(!multiway.has_combiner_discount());
+    }
+
+    #[test]
+    fn cascade_estimate_predicts_both_rounds() {
+        let g = generators::gnm(100, 600, 5);
+        let request = EnumerationRequest::new(catalog::triangle(), &g).reducers(220);
+        let cascade = CascadeTriangles.estimate(&request);
+        assert_eq!(cascade.rounds, 2);
+        assert_eq!(cascade.round_costs.len(), 2);
+        assert_eq!(cascade.round_costs[0].name, "wedge");
+        assert_eq!(cascade.round_costs[1].name, "closing");
+        assert!((cascade.round_costs[0].shuffled - 2.0 * 600.0).abs() < 1e-9);
+        assert!(
+            (cascade.communication
+                - (cascade.round_costs[0].shuffled + cascade.round_costs[1].shuffled))
+                .abs()
+                < 1e-9
+        );
+        assert!(cascade.predicted_shuffle_bytes() > 0.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Result types shared by the serial and map-reduce enumeration algorithms.
 
-use subgraph_mapreduce::JobMetrics;
+use subgraph_mapreduce::{JobMetrics, PipelineReport, RoundMetrics};
 use subgraph_pattern::Instance;
 
 /// Output of a serial enumeration algorithm.
@@ -35,17 +35,42 @@ impl SerialRun {
     }
 }
 
-/// Output of a single-round map-reduce enumeration algorithm.
+/// Output of a map-reduce enumeration algorithm (one pipeline of one or more
+/// rounds, or — for CQ-oriented processing — several parallel jobs).
 #[derive(Clone, Debug)]
 pub struct MapReduceRun {
-    /// Every instance emitted by the reducers.
+    /// Every instance emitted by the final reducers.
     pub instances: Vec<Instance>,
-    /// Cost metrics of the round (communication cost, reducers used, reducer
-    /// work, skew, timings).
+    /// Combined cost metrics over all rounds (communication cost, reducers
+    /// used, reducer work, combiner savings, skew, timings).
     pub metrics: JobMetrics,
+    /// Per-round (or, for CQ-oriented processing, per-job) metrics in
+    /// execution order. Never empty for a run that executed the engine.
+    pub round_metrics: Vec<RoundMetrics>,
 }
 
 impl MapReduceRun {
+    /// Wraps the outcome of a [`subgraph_mapreduce::Pipeline`] run.
+    pub fn from_pipeline(instances: Vec<Instance>, report: PipelineReport) -> Self {
+        MapReduceRun {
+            instances,
+            metrics: report.combined(),
+            round_metrics: report.rounds,
+        }
+    }
+
+    /// Wraps a single round's result (named for the per-round breakdown).
+    pub fn single_round(instances: Vec<Instance>, name: &str, metrics: JobMetrics) -> Self {
+        MapReduceRun {
+            instances,
+            round_metrics: vec![RoundMetrics {
+                name: name.to_string(),
+                metrics: metrics.clone(),
+            }],
+            metrics,
+        }
+    }
+
     /// Number of instances found.
     pub fn count(&self) -> usize {
         self.instances.len()
@@ -87,5 +112,20 @@ mod tests {
         let run = SerialRun::default();
         assert_eq!(run.count(), 0);
         assert_eq!(run.duplicates(), 0);
+    }
+
+    #[test]
+    fn single_round_runs_carry_one_round_entry() {
+        let a = Instance::from_edge_set([(0, 1), (1, 2), (0, 2)]);
+        let metrics = JobMetrics {
+            key_value_pairs: 9,
+            shuffle_records: 9,
+            ..JobMetrics::default()
+        };
+        let run = MapReduceRun::single_round(vec![a], "demo", metrics.clone());
+        assert_eq!(run.round_metrics.len(), 1);
+        assert_eq!(run.round_metrics[0].name, "demo");
+        assert_eq!(run.metrics, metrics);
+        assert_eq!(run.count(), 1);
     }
 }

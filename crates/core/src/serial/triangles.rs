@@ -1,5 +1,5 @@
 //! The `O(m^{3/2})` serial triangle enumeration used as the baseline in
-//! Section 2 (it is the algorithm of Schank's thesis [18] that both Partition
+//! Section 2 (it is the algorithm of Schank's thesis \[18\] that both Partition
 //! and the multiway-join algorithms compare against).
 //!
 //! The algorithm orders nodes by non-decreasing degree and, for every node

@@ -12,10 +12,18 @@
 use crate::result::MapReduceRun;
 use crate::serial::triangles::enumerate_triangles_with_order;
 use subgraph_graph::{BucketThenIdOrder, DataGraph, Edge};
-use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
+use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::Instance;
 
-/// Runs the Section 2.3 algorithm with `b` buckets.
+/// Bytes one shuffled record of this round occupies (bucket-triple key plus
+/// an edge value) — used by both the engine weigher and the planner's byte
+/// prediction, so predicted and measured `shuffle_bytes` agree exactly.
+pub(crate) fn triple_key_record_bytes() -> usize {
+    std::mem::size_of::<[u32; 3]>() + std::mem::size_of::<Edge>()
+}
+
+/// Runs the Section 2.3 algorithm with `b` buckets as a declarative
+/// single-round [`Pipeline`].
 ///
 /// Internal runner behind [`crate::plan::StrategyKind::BucketOrderedTriangles`].
 pub(crate) fn run_bucket_ordered_triangles(
@@ -60,8 +68,10 @@ pub(crate) fn run_bucket_ordered_triangles(
         }
     };
 
-    let (instances, metrics) = run_job(graph.edges(), &mapper, &reducer, config);
-    MapReduceRun { instances, metrics }
+    let (instances, report) = Pipeline::new()
+        .round(Round::new("bucket-ordered", mapper, reducer))
+        .run(graph.edges().to_vec(), config);
+    MapReduceRun::from_pipeline(instances, report)
 }
 
 /// Deprecated shim over the planner API.

@@ -10,6 +10,11 @@
 //! * **Round 2** joins the wedges with `E(X,Z)` on `(X, Z)`, keeping the
 //!   wedges whose endpoints are adjacent.
 //!
+//! The cascade runs as a true two-round [`Pipeline`]: the wedge round's
+//! reducer outputs flow through a [`Pipeline::prepare`] stage (which mixes in
+//! the closing edges) into the second round, and the returned
+//! [`MapReduceRun`] carries per-round metrics for both rounds.
+//!
 //! Its communication cost is `2m` in round 1 plus `m +` (number of wedges) in
 //! round 2; on skewed graphs the wedge count is far larger than the `O(bm)`
 //! the one-round algorithms ship, which is exactly the paper's argument for
@@ -18,7 +23,7 @@
 
 use crate::result::MapReduceRun;
 use subgraph_graph::{DataGraph, Edge, NodeId};
-use subgraph_mapreduce::{run_job, EngineConfig, JobMetrics, MapContext, ReduceContext};
+use subgraph_mapreduce::{EngineConfig, JobMetrics, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::Instance;
 
 /// A wedge `x − y − z` with `x < y < z` produced by the first round.
@@ -32,6 +37,12 @@ pub struct Wedge {
     pub z: NodeId,
 }
 
+/// Input type of the second round: a wedge from round 1 or a closing edge.
+enum Round2Input {
+    Wedge(Wedge),
+    Edge(Edge),
+}
+
 /// Value type of the second round: either a wedge waiting for its closing edge
 /// or the closing edge itself.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,37 +51,28 @@ enum Round2Value {
     ClosingEdge,
 }
 
-/// Runs the two-round cascade and returns the triangles plus the *combined*
-/// metrics of both rounds (communication costs add).
-///
-/// Internal runner behind [`crate::plan::StrategyKind::CascadeTriangles`].
-pub(crate) fn run_cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
-    let (wedges, round1) = wedge_round(graph, config);
-    let (instances, round2) = closing_round(graph, &wedges, config);
-    MapReduceRun {
-        instances,
-        metrics: combine(round1, round2),
-    }
+/// Bytes per shuffled record of the wedge round (node key + side-tagged
+/// neighbour) and of the closing round (node-pair key + tagged middle node) —
+/// shared with the planner's per-round byte prediction.
+pub(crate) fn cascade_record_bytes() -> (usize, usize) {
+    (
+        std::mem::size_of::<NodeId>() + std::mem::size_of::<Side>(),
+        std::mem::size_of::<(NodeId, NodeId)>() + std::mem::size_of::<Round2Value>(),
+    )
 }
 
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::CascadeTriangles and call plan()/execute() instead"
-)]
-pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
-    run_cascade_triangles(graph, config)
+/// Which side of its reducer's centre node an edge endpoint lies on.
+#[derive(Clone, Copy)]
+enum Side {
+    Lower(NodeId),
+    Upper(NodeId),
 }
 
-/// Round 1: every edge is shipped twice (once as `E(X,Y)` keyed by its upper
-/// endpoint, once as `E(Y,Z)` keyed by its lower endpoint); the reducer for
-/// node `y` pairs its lower neighbours with its upper neighbours.
-pub fn wedge_round(graph: &DataGraph, config: &EngineConfig) -> (Vec<Wedge>, JobMetrics) {
-    #[derive(Clone, Copy)]
-    enum Side {
-        Lower(NodeId),
-        Upper(NodeId),
-    }
+/// The wedge round as a declarative [`Round`]: every edge is shipped twice
+/// (once as `E(X,Y)` keyed by its upper endpoint, once as `E(Y,Z)` keyed by
+/// its lower endpoint); the reducer for node `y` pairs its lower neighbours
+/// with its upper neighbours.
+fn wedge_round_spec() -> Round<'static, Edge, NodeId, Side, Wedge> {
     let mapper = |edge: &Edge, ctx: &mut MapContext<NodeId, Side>| {
         // E(X,Y) with Y = hi: contributes a lower neighbour to hi.
         ctx.emit(edge.hi(), Side::Lower(edge.lo()));
@@ -93,27 +95,13 @@ pub fn wedge_round(graph: &DataGraph, config: &EngineConfig) -> (Vec<Wedge>, Job
             }
         }
     };
-    run_job(graph.edges(), &mapper, &reducer, config)
+    Round::new("wedge", mapper, reducer)
 }
 
-/// Round 2: wedges and edges are keyed by the endpoint pair `(x, z)`; a wedge
-/// becomes a triangle when the closing edge shares its key.
-fn closing_round(
-    graph: &DataGraph,
-    wedges: &[Wedge],
-    config: &EngineConfig,
-) -> (Vec<Instance>, JobMetrics) {
-    // Inputs of the second round: all wedges then all edges.
-    enum Round2Input {
-        Wedge(Wedge),
-        Edge(Edge),
-    }
-    let inputs: Vec<Round2Input> = wedges
-        .iter()
-        .map(|&w| Round2Input::Wedge(w))
-        .chain(graph.edges().iter().map(|&e| Round2Input::Edge(e)))
-        .collect();
-
+/// The closing round as a declarative [`Round`]: wedges and edges are keyed by
+/// the endpoint pair `(x, z)`; a wedge becomes a triangle when the closing
+/// edge shares its key.
+fn closing_round_spec() -> Round<'static, Round2Input, (NodeId, NodeId), Round2Value, Instance> {
     let mapper =
         |input: &Round2Input, ctx: &mut MapContext<(NodeId, NodeId), Round2Value>| match input {
             Round2Input::Wedge(w) => ctx.emit((w.x, w.z), Round2Value::MiddleNode(w.y)),
@@ -133,21 +121,48 @@ fn closing_round(
                 }
             }
         };
-    run_job(&inputs, &mapper, &reducer, config)
+    Round::new("closing", mapper, reducer)
 }
 
-fn combine(a: JobMetrics, b: JobMetrics) -> JobMetrics {
-    JobMetrics {
-        input_records: a.input_records + b.input_records,
-        key_value_pairs: a.key_value_pairs + b.key_value_pairs,
-        reducers_used: a.reducers_used + b.reducers_used,
-        max_reducer_input: a.max_reducer_input.max(b.max_reducer_input),
-        reducer_work: a.reducer_work + b.reducer_work,
-        outputs: b.outputs,
-        map_time: a.map_time + b.map_time,
-        shuffle_time: a.shuffle_time + b.shuffle_time,
-        reduce_time: a.reduce_time + b.reduce_time,
-    }
+/// Runs the two-round cascade pipeline and returns the triangles plus the
+/// per-round and combined metrics (communication costs add).
+///
+/// Internal runner behind [`crate::plan::StrategyKind::CascadeTriangles`].
+pub(crate) fn run_cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
+    let closing_edges: Vec<Edge> = graph.edges().to_vec();
+    let (instances, report) = Pipeline::new()
+        .round(wedge_round_spec())
+        .prepare(move |wedges: Vec<Wedge>| {
+            // The second round joins the wedge stream with the edge relation:
+            // feed it both, tagged by origin.
+            wedges
+                .into_iter()
+                .map(Round2Input::Wedge)
+                .chain(closing_edges.into_iter().map(Round2Input::Edge))
+                .collect()
+        })
+        .round(closing_round_spec())
+        .run(graph.edges().to_vec(), config);
+    MapReduceRun::from_pipeline(instances, report)
+}
+
+/// Deprecated shim over the planner API.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an EnumerationRequest with StrategyKind::CascadeTriangles and call plan()/execute() instead"
+)]
+pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
+    run_cascade_triangles(graph, config)
+}
+
+/// Runs only the first (wedge) round — exposed for tests and experiments that
+/// inspect the intermediate wedge stream.
+pub fn wedge_round(graph: &DataGraph, config: &EngineConfig) -> (Vec<Wedge>, JobMetrics) {
+    let (wedges, report) = Pipeline::new()
+        .round(wedge_round_spec())
+        .run(graph.edges().to_vec(), config);
+    let metrics = report.rounds.into_iter().next().expect("one round").metrics;
+    (wedges, metrics)
 }
 
 #[cfg(test)]
@@ -170,6 +185,42 @@ mod tests {
             assert_eq!(run.count(), serial.count(), "seed {seed}");
             assert_eq!(run.duplicates(), 0);
         }
+    }
+
+    #[test]
+    fn runs_as_a_two_round_pipeline_with_per_round_metrics() {
+        let g = generators::gnm(60, 360, 8);
+        let run = run_cascade_triangles(&g, &config());
+        assert_eq!(run.round_metrics.len(), 2);
+        assert_eq!(run.round_metrics[0].name, "wedge");
+        assert_eq!(run.round_metrics[1].name, "closing");
+        // Round 1 maps the m edges and ships two pairs per edge.
+        assert_eq!(run.round_metrics[0].metrics.input_records, g.num_edges());
+        assert_eq!(
+            run.round_metrics[0].metrics.key_value_pairs,
+            2 * g.num_edges()
+        );
+        // Round 2 maps every wedge plus every edge, one pair each.
+        let wedges = run.round_metrics[0].metrics.outputs;
+        assert_eq!(
+            run.round_metrics[1].metrics.input_records,
+            wedges + g.num_edges()
+        );
+        // No combiner: shipped equals emitted, and bytes follow the weigher.
+        let (r1_bytes, r2_bytes) = cascade_record_bytes();
+        for (round, bytes) in run.round_metrics.iter().zip([r1_bytes, r2_bytes]) {
+            assert_eq!(round.metrics.shuffle_records, round.metrics.key_value_pairs);
+            assert_eq!(
+                round.metrics.shuffle_bytes,
+                (round.metrics.shuffle_records * bytes) as u64
+            );
+        }
+        // The combined metrics add the rounds.
+        assert_eq!(
+            run.metrics.key_value_pairs,
+            run.round_metrics[0].metrics.key_value_pairs
+                + run.round_metrics[1].metrics.key_value_pairs
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! | algorithm | reducers | communication / edge |
 //! |---|---|---|
-//! | [`partition`] (Suri–Vassilvitskii [19]) | `C(b, 3) ≈ b³/6` | `(3/2)(b−1)(b−2)/b ≈ 3b/2` |
+//! | [`partition`] (Suri–Vassilvitskii \[19\]) | `C(b, 3) ≈ b³/6` | `(3/2)(b−1)(b−2)/b ≈ 3b/2` |
 //! | [`multiway`] (Section 2.2, plain Afrati–Ullman join) | `b³` | `3b − 2` |
 //! | [`bucket_ordered`] (Section 2.3, hash-ordered nodes) | `C(b+2, 3) ≈ b³/6` | `b` |
 //!

@@ -6,7 +6,7 @@
 //! reducer runs the serial triangle algorithm on its subgraph.
 //!
 //! Triangles whose nodes span fewer than three distinct groups would be found
-//! by several reducers; as in [19], extra care de-duplicates them — here a
+//! by several reducers; as in \[19\], extra care de-duplicates them — here a
 //! reducer emits such a triangle only if its triple is the *canonical* triple
 //! for that triangle (the group multiset completed with the smallest unused
 //! group numbers), which costs the same extra bookkeeping the paper mentions.
@@ -14,10 +14,11 @@
 use crate::result::MapReduceRun;
 use crate::serial::triangles::enumerate_triangles_with_order;
 use subgraph_graph::{DataGraph, Edge, IdOrder, NodeId};
-use subgraph_mapreduce::{run_job, EngineConfig, MapContext, ReduceContext};
+use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::Instance;
 
-/// Runs the Partition algorithm with `b` node groups.
+/// Runs the Partition algorithm with `b` node groups as a declarative
+/// single-round [`Pipeline`].
 pub(crate) fn run_partition_triangles(
     graph: &DataGraph,
     b: usize,
@@ -56,8 +57,10 @@ pub(crate) fn run_partition_triangles(
         }
     };
 
-    let (instances, metrics) = run_job(graph.edges(), &mapper, &reducer, config);
-    MapReduceRun { instances, metrics }
+    let (instances, report) = Pipeline::new()
+        .round(Round::new("partition", mapper, reducer))
+        .run(graph.edges().to_vec(), config);
+    MapReduceRun::from_pipeline(instances, report)
 }
 
 /// The canonical reducer triple for a triangle whose nodes fall into `groups`:

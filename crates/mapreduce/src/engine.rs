@@ -1,11 +1,10 @@
-//! Execution of one map-reduce round on worker threads.
+//! Engine configuration, shard assignment, and the deprecated single-round
+//! [`run_job`] entry point (now a shim over [`crate::pipeline`]).
 
 use crate::metrics::JobMetrics;
+use crate::pipeline::{execute_round, Round};
 use crate::task::{MapContext, Mapper, ReduceContext, Reducer};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::time::Instant;
+use std::hash::Hash;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -23,6 +22,12 @@ pub struct EngineConfig {
     /// opt out when the consumer sorts or aggregates the output anyway and
     /// wants to skip the `O(r log r)` per-shard sort.
     pub deterministic: bool,
+    /// If true (the default), rounds with an attached
+    /// [`crate::Combiner`] pre-aggregate their map output per shard before the
+    /// shuffle. Disable to measure the raw communication cost of a pipeline;
+    /// the reducer outputs are identical either way (that is the combiner
+    /// contract, and the property tests pin it).
+    pub use_combiners: bool,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +37,7 @@ impl Default for EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             deterministic: true,
+            use_combiners: true,
         }
     }
 }
@@ -41,7 +47,7 @@ impl EngineConfig {
     pub fn serial() -> Self {
         EngineConfig {
             num_threads: 1,
-            deterministic: true,
+            ..EngineConfig::default()
         }
     }
 
@@ -49,8 +55,14 @@ impl EngineConfig {
     pub fn with_threads(num_threads: usize) -> Self {
         EngineConfig {
             num_threads: num_threads.max(1),
-            deterministic: true,
+            ..EngineConfig::default()
         }
+    }
+
+    /// Enables or disables map-side combiners (enabled by default).
+    pub fn combiners(mut self, enabled: bool) -> Self {
+        self.use_combiners = enabled;
+        self
     }
 }
 
@@ -60,6 +72,11 @@ impl EngineConfig {
 /// The dataflow is exactly the paper's single round: every input record is
 /// mapped independently, the emitted pairs are grouped by key, and the reducer
 /// is invoked once per distinct key with all values for that key.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a pipeline::Round (optionally with a combiner) and run it through \
+            Pipeline::new().round(..).run(..) instead"
+)]
 pub fn run_job<I, K, V, O, M, R>(
     inputs: &[I],
     mapper: &M,
@@ -74,103 +91,12 @@ where
     M: Mapper<I, K, V>,
     R: Reducer<K, V, O>,
 {
-    let threads = config.num_threads.max(1);
-    let mut metrics = JobMetrics {
-        input_records: inputs.len(),
-        ..JobMetrics::default()
-    };
-
-    // ---- Map phase -------------------------------------------------------
-    let map_start = Instant::now();
-    let chunk_size = inputs.len().div_ceil(threads).max(1);
-    let mapped: Vec<Vec<(K, V)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut pairs = Vec::new();
-                    for record in chunk {
-                        let mut ctx = MapContext::new();
-                        mapper.map(record, &mut ctx);
-                        pairs.extend(ctx.into_pairs());
-                    }
-                    pairs
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map worker panicked"))
-            .collect()
-    });
-    metrics.map_time = map_start.elapsed();
-    metrics.key_value_pairs = mapped.iter().map(|v| v.len()).sum();
-
-    // ---- Shuffle phase ----------------------------------------------------
-    // Pairs are sharded by key hash so that each reduce worker owns a disjoint
-    // set of keys; grouping within a shard uses a hash map keyed by K.
-    let shuffle_start = Instant::now();
-    let mut shards: Vec<HashMap<K, Vec<V>>> = (0..threads).map(|_| HashMap::new()).collect();
-    for pairs in mapped {
-        for (key, value) in pairs {
-            let shard = shard_for_hash(hash_of(&key), threads);
-            shards[shard].entry(key).or_default().push(value);
-        }
-    }
-    metrics.shuffle_time = shuffle_start.elapsed();
-    metrics.reducers_used = shards.iter().map(|s| s.len()).sum();
-    metrics.max_reducer_input = shards
-        .iter()
-        .flat_map(|s| s.values().map(|v| v.len()))
-        .max()
-        .unwrap_or(0);
-
-    // ---- Reduce phase -----------------------------------------------------
-    let deterministic = config.deterministic;
-    let reduce_start = Instant::now();
-    let reduced: Vec<(Vec<O>, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .map(|shard| {
-                scope.spawn(move || {
-                    let mut groups: Vec<(K, Vec<V>)> = shard.into_iter().collect();
-                    if deterministic {
-                        // Sort keys for deterministic per-shard iteration order.
-                        groups.sort_by(|a, b| a.0.cmp(&b.0));
-                    }
-                    let mut outputs = Vec::new();
-                    let mut work = 0u64;
-                    for (key, values) in groups {
-                        let mut ctx = ReduceContext::new();
-                        reducer.reduce(&key, &values, &mut ctx);
-                        let (out, w) = ctx.into_parts();
-                        outputs.extend(out);
-                        work += w;
-                    }
-                    (outputs, work)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce worker panicked"))
-            .collect()
-    });
-    metrics.reduce_time = reduce_start.elapsed();
-
-    let mut outputs = Vec::new();
-    for (out, work) in reduced {
-        metrics.reducer_work += work;
-        outputs.extend(out);
-    }
-    metrics.outputs = outputs.len();
-    (outputs, metrics)
-}
-
-fn hash_of<K: Hash>(key: &K) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    key.hash(&mut hasher);
-    hasher.finish()
+    let round = Round::new(
+        "job",
+        |input: &I, ctx: &mut MapContext<K, V>| mapper.map(input, ctx),
+        |key: &K, values: &[V], ctx: &mut ReduceContext<O>| reducer.reduce(key, values, ctx),
+    );
+    execute_round(inputs, &round, config)
 }
 
 /// Maps a 64-bit key hash onto `[0, shards)` with the multiply-shift
@@ -183,9 +109,19 @@ pub fn shard_for_hash(hash: u64, shards: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // run_job is kept as a shim; these tests pin its parity.
 mod tests {
     use super::*;
+    use crate::pipeline::Pipeline;
     use crate::task::{MapContext, ReduceContext};
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+
+    fn hash_of<K: Hash>(key: &K) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
 
     /// Word-count style job: count occurrences of each number modulo 10.
     fn modulo_count(inputs: &[u64], threads: usize) -> (Vec<(u64, usize)>, JobMetrics) {
@@ -211,11 +147,45 @@ mod tests {
         assert!(outputs.iter().all(|&(_, c)| c == 100));
         assert_eq!(metrics.input_records, 1000);
         assert_eq!(metrics.key_value_pairs, 1000);
+        assert_eq!(metrics.shuffle_records, 1000);
         assert_eq!(metrics.reducers_used, 10);
         assert_eq!(metrics.max_reducer_input, 100);
         assert_eq!(metrics.reducer_work, 1000);
         assert_eq!(metrics.outputs, 10);
         assert!((metrics.replication_per_input() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_job_shim_matches_a_single_round_pipeline() {
+        // Satellite of the pipeline refactor: the deprecated shim and the
+        // pipeline path must agree on outputs and metrics, pair for pair.
+        let inputs: Vec<u64> = (0..600).map(|i| i * 11 % 203).collect();
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 13, x * 2);
+        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+            ctx.add_work(vs.len() as u64);
+            ctx.emit((*k, vs.iter().sum()));
+        };
+        for threads in [1usize, 4] {
+            let config = EngineConfig::with_threads(threads);
+            let (shim_out, shim_metrics) = run_job(&inputs, &mapper, &reducer, &config);
+            let (pipe_out, report) = Pipeline::new()
+                .round(Round::new("job", mapper, reducer))
+                .run(inputs.clone(), &config);
+            assert_eq!(shim_out, pipe_out, "threads={threads}");
+            assert_eq!(report.num_rounds(), 1);
+            let pipe_metrics = &report.rounds[0].metrics;
+            assert_eq!(shim_metrics.input_records, pipe_metrics.input_records);
+            assert_eq!(shim_metrics.key_value_pairs, pipe_metrics.key_value_pairs);
+            assert_eq!(shim_metrics.shuffle_records, pipe_metrics.shuffle_records);
+            assert_eq!(shim_metrics.shuffle_bytes, pipe_metrics.shuffle_bytes);
+            assert_eq!(shim_metrics.reducers_used, pipe_metrics.reducers_used);
+            assert_eq!(
+                shim_metrics.max_reducer_input,
+                pipe_metrics.max_reducer_input
+            );
+            assert_eq!(shim_metrics.reducer_work, pipe_metrics.reducer_work);
+            assert_eq!(shim_metrics.outputs, pipe_metrics.outputs);
+        }
     }
 
     #[test]
@@ -250,6 +220,8 @@ mod tests {
         let (outputs, metrics) = modulo_count(&inputs, 4);
         assert!(outputs.is_empty());
         assert_eq!(metrics.key_value_pairs, 0);
+        assert_eq!(metrics.shuffle_records, 0);
+        assert_eq!(metrics.shuffle_bytes, 0);
         assert_eq!(metrics.reducers_used, 0);
         assert_eq!(metrics.max_reducer_input, 0);
     }
@@ -309,6 +281,7 @@ mod tests {
             let config = EngineConfig {
                 num_threads: 3,
                 deterministic,
+                use_combiners: true,
             };
             run_job(&inputs, &mapper, &reducer, &config)
         };

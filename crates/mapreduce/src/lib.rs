@@ -1,4 +1,5 @@
-//! An in-process, single-round map-reduce engine with cost instrumentation.
+//! An in-process map-reduce engine with multi-round pipelines, map-side
+//! combiners, and cost instrumentation.
 //!
 //! The paper analyses its algorithms on two cost measures (Section 1.2):
 //!
@@ -14,6 +15,15 @@
 //! counts rather than against estimates. Reducer keys in the paper are lists
 //! of bucket numbers; the engine is generic over any hashable key type.
 //!
+//! Multi-round algorithms (the paper's Section 2 cascade baseline and any
+//! future iterative workloads) are expressed as a [`Pipeline`] of [`Round`]s:
+//! the reducer outputs of round *k* feed the mappers of round *k + 1*, and a
+//! [`PipelineReport`] collects every round's [`JobMetrics`]. A round may
+//! attach a map-side [`Combiner`] that pre-aggregates pairs per map shard
+//! before the shuffle; the metrics then separate what the mappers *emitted*
+//! (`key_value_pairs`) from what was actually *shipped* (`shuffle_records`,
+//! `shuffle_bytes`).
+//!
 //! The engine runs mappers and reducers on a configurable number of threads
 //! (`std::thread::scope` workers fed through simple sharding); it intentionally
 //! does not model network transfer, spilling, or fault tolerance — none of
@@ -21,11 +31,15 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod pipeline;
 pub mod task;
 
-pub use engine::{run_job, shard_for_hash, EngineConfig};
+#[allow(deprecated)] // run_job stays exported so downstream shims keep working.
+pub use engine::run_job;
+pub use engine::{shard_for_hash, EngineConfig};
 pub use metrics::JobMetrics;
-pub use task::{MapContext, Mapper, ReduceContext, Reducer};
+pub use pipeline::{Pipeline, PipelineReport, Round, RoundMetrics};
+pub use task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,601 @@
+//! Multi-round map-reduce pipelines with map-side combiners.
+//!
+//! A [`Round`] couples a [`Mapper`] and a [`Reducer`] with an optional
+//! associative [`Combiner`] that pre-aggregates map output *per map shard*
+//! before the shuffle, plus a record weigher that prices each shuffled pair in
+//! bytes. A [`Pipeline`] chains rounds: the reducer outputs of round *k*
+//! become the mapper inputs of round *k + 1* (optionally via a
+//! [`Pipeline::prepare`] stage that reshapes them), and every round's measured
+//! [`JobMetrics`] accumulates into a [`PipelineReport`].
+//!
+//! The dataflow of one round is exactly the paper's (Section 1.2): map every
+//! input record to a multiset of `(key, value)` pairs, optionally combine the
+//! pairs each map shard produced, group by key, run one reducer invocation per
+//! distinct key. The combiner never changes what is computed — only how many
+//! records (and bytes) cross the shuffle — and can be disabled globally with
+//! [`EngineConfig::combiners`] to measure its effect.
+//!
+//! ```
+//! use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
+//!
+//! // Two rounds: count word lengths, then histogram the counts.
+//! let words = vec!["map", "reduce", "combine", "shuffle", "sort"];
+//! let count_round = Round::new(
+//!     "count",
+//!     |w: &&str, ctx: &mut MapContext<usize, u64>| ctx.emit(w.len(), 1),
+//!     |len: &usize, ones: &[u64], ctx: &mut ReduceContext<(usize, u64)>| {
+//!         ctx.emit((*len, ones.iter().sum()))
+//!     },
+//! )
+//! .combiner(|_len: &usize, ones: Vec<u64>| vec![ones.iter().sum()]);
+//! let histogram_round = Round::new(
+//!     "histogram",
+//!     |&(_, count): &(usize, u64), ctx: &mut MapContext<u64, u64>| ctx.emit(count, 1),
+//!     |count: &u64, ones: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+//!         ctx.emit((*count, ones.iter().sum()))
+//!     },
+//! );
+//! let (histogram, report) = Pipeline::new()
+//!     .round(count_round)
+//!     .round(histogram_round)
+//!     .run(words, &EngineConfig::serial());
+//! assert_eq!(report.num_rounds(), 2);
+//! assert!(!histogram.is_empty());
+//! ```
+
+use crate::engine::{shard_for_hash, EngineConfig};
+use crate::metrics::JobMetrics;
+use crate::task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::mem::size_of;
+use std::time::Instant;
+
+/// A boxed per-record byte weigher (key + value → shuffled payload bytes).
+type RecordWeigher<'a, K, V> = Box<dyn Fn(&K, &V) -> usize + Sync + 'a>;
+
+/// One map-reduce round of a [`Pipeline`]: mapper, reducer, optional map-side
+/// combiner, and the weigher that prices one shuffled record in bytes.
+pub struct Round<'a, I, K, V, O> {
+    name: String,
+    mapper: Box<dyn Mapper<I, K, V> + 'a>,
+    reducer: Box<dyn Reducer<K, V, O> + 'a>,
+    combiner: Option<Box<dyn Combiner<K, V> + 'a>>,
+    record_bytes: RecordWeigher<'a, K, V>,
+}
+
+impl<'a, I, K, V, O> Round<'a, I, K, V, O>
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+{
+    /// A round with no combiner and the default record weigher
+    /// (`size_of::<K>() + size_of::<V>()` — exact for fixed-size keys and
+    /// values; override with [`Round::record_bytes`] for heap-backed keys).
+    pub fn new(
+        name: impl Into<String>,
+        mapper: impl Mapper<I, K, V> + 'a,
+        reducer: impl Reducer<K, V, O> + 'a,
+    ) -> Self {
+        Round {
+            name: name.into(),
+            mapper: Box::new(mapper),
+            reducer: Box::new(reducer),
+            combiner: None,
+            record_bytes: Box::new(|_k, _v| size_of::<K>() + size_of::<V>()),
+        }
+    }
+
+    /// Attaches a map-side combiner (see [`Combiner`] for the contract).
+    pub fn combiner(mut self, combiner: impl Combiner<K, V> + 'a) -> Self {
+        self.combiner = Some(Box::new(combiner));
+        self
+    }
+
+    /// Overrides the per-record byte weigher used for
+    /// [`JobMetrics::shuffle_bytes`].
+    pub fn record_bytes(mut self, weigher: impl Fn(&K, &V) -> usize + Sync + 'a) -> Self {
+        self.record_bytes = Box::new(weigher);
+        self
+    }
+
+    /// The round's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when a combiner is attached (it still only runs if
+    /// [`EngineConfig::use_combiners`] is set).
+    pub fn has_combiner(&self) -> bool {
+        self.combiner.is_some()
+    }
+}
+
+/// Measured metrics of one executed pipeline round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundMetrics {
+    /// The round's name (as given to [`Round::new`]).
+    pub name: String,
+    /// The round's measured cost metrics.
+    pub metrics: JobMetrics,
+}
+
+/// Per-round metrics accumulated by [`Pipeline::run`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineReport {
+    /// One entry per executed round, in execution order.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl PipelineReport {
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The pipeline-wide totals: record counts, bytes, work and timings add
+    /// across rounds, the skew indicator keeps the per-round maximum, and
+    /// `outputs` is the *final* round's output count (intermediate outputs are
+    /// inputs of the next round, not results).
+    pub fn combined(&self) -> JobMetrics {
+        let mut total = JobMetrics::default();
+        for round in &self.rounds {
+            total.absorb(&round.metrics);
+        }
+        if let Some(last) = self.rounds.last() {
+            total.outputs = last.metrics.outputs;
+        }
+        total
+    }
+
+    /// Total key-value pairs shipped through all shuffles (post-combiner).
+    pub fn total_shuffle_records(&self) -> usize {
+        self.rounds.iter().map(|r| r.metrics.shuffle_records).sum()
+    }
+
+    /// Total shuffled payload bytes across all rounds.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.metrics.shuffle_bytes).sum()
+    }
+}
+
+/// A chain of map-reduce rounds from inputs of type `I` to outputs of type
+/// `O`. Build with [`Pipeline::new`], add stages with [`Pipeline::round`] and
+/// [`Pipeline::prepare`], execute with [`Pipeline::run`].
+pub struct Pipeline<'a, I, O> {
+    #[allow(clippy::type_complexity)]
+    stages: Box<dyn FnOnce(Vec<I>, &EngineConfig, &mut PipelineReport) -> Vec<O> + 'a>,
+    num_rounds: usize,
+}
+
+impl<'a, I: 'a> Pipeline<'a, I, I> {
+    /// The empty pipeline (zero rounds): inputs pass through unchanged.
+    pub fn new() -> Self {
+        Pipeline {
+            stages: Box::new(|inputs, _, _| inputs),
+            num_rounds: 0,
+        }
+    }
+}
+
+impl<'a, I: 'a> Default for Pipeline<'a, I, I> {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
+    /// Appends a map-reduce round: the current stage outputs become the
+    /// round's mapper inputs.
+    pub fn round<K, V, O>(self, round: Round<'a, T, K, V, O>) -> Pipeline<'a, I, O>
+    where
+        T: Sync,
+        K: Hash + Eq + Ord + Send + 'a,
+        V: Send + 'a,
+        O: Send + 'a,
+    {
+        let prev = self.stages;
+        Pipeline {
+            stages: Box::new(move |inputs, config, report| {
+                let intermediate = prev(inputs, config, report);
+                let (outputs, metrics) = execute_round(&intermediate, &round, config);
+                report.rounds.push(RoundMetrics {
+                    name: round.name.clone(),
+                    metrics,
+                });
+                outputs
+            }),
+            num_rounds: self.num_rounds + 1,
+        }
+    }
+
+    /// Appends a free inter-round transformation (no shuffle, no metrics):
+    /// reshape round *k*'s outputs into round *k + 1*'s inputs, e.g. to mix
+    /// them with a side input the next round also needs.
+    pub fn prepare<O>(self, f: impl FnOnce(Vec<T>) -> Vec<O> + 'a) -> Pipeline<'a, I, O> {
+        let prev = self.stages;
+        Pipeline {
+            stages: Box::new(move |inputs, config, report| f(prev(inputs, config, report))),
+            num_rounds: self.num_rounds,
+        }
+    }
+
+    /// Number of map-reduce rounds added so far.
+    pub fn num_rounds(&self) -> usize {
+        self.num_rounds
+    }
+
+    /// Executes every round in order and returns the final outputs together
+    /// with the per-round metrics.
+    pub fn run(self, inputs: Vec<I>, config: &EngineConfig) -> (Vec<T>, PipelineReport) {
+        let mut report = PipelineReport::default();
+        let outputs = (self.stages)(inputs, config, &mut report);
+        (outputs, report)
+    }
+}
+
+/// What one map worker hands to the shuffle: raw pairs, or pairs grouped by
+/// key and pre-aggregated by the combiner.
+enum MappedShard<K, V> {
+    Flat(Vec<(K, V)>),
+    Combined(Vec<(K, Vec<V>)>),
+}
+
+/// Executes one round over `inputs` and returns the reducer outputs with the
+/// measured [`JobMetrics`]. This is the engine behind both [`Pipeline::run`]
+/// and the deprecated single-round [`crate::run_job`] shim.
+pub(crate) fn execute_round<I, K, V, O>(
+    inputs: &[I],
+    round: &Round<'_, I, K, V, O>,
+    config: &EngineConfig,
+) -> (Vec<O>, JobMetrics)
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send,
+{
+    let threads = config.num_threads.max(1);
+    let combine = config.use_combiners;
+    let mut metrics = JobMetrics {
+        input_records: inputs.len(),
+        ..JobMetrics::default()
+    };
+
+    // ---- Map (+ combine) phase --------------------------------------------
+    let map_start = Instant::now();
+    let chunk_size = inputs.len().div_ceil(threads).max(1);
+    let mapper = &*round.mapper;
+    let combiner = if combine {
+        round.combiner.as_deref()
+    } else {
+        None
+    };
+    type ShardOutcome<K, V> = (MappedShard<K, V>, usize, usize);
+    let mapped: Vec<ShardOutcome<K, V>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut pairs = Vec::new();
+                    for record in chunk {
+                        let mut ctx = MapContext::new();
+                        mapper.map(record, &mut ctx);
+                        pairs.extend(ctx.into_pairs());
+                    }
+                    let emitted = pairs.len();
+                    match combiner {
+                        None => (MappedShard::Flat(pairs), emitted, 0),
+                        Some(combiner) => {
+                            // Group this shard's pairs by key (per-key value
+                            // order is emission order) and combine each group.
+                            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                            for (key, value) in pairs {
+                                groups.entry(key).or_default().push(value);
+                            }
+                            let combined: Vec<(K, Vec<V>)> = groups
+                                .into_iter()
+                                .map(|(key, values)| {
+                                    let values = combiner.combine(&key, values);
+                                    (key, values)
+                                })
+                                .collect();
+                            let kept = combined.iter().map(|(_, vs)| vs.len()).sum();
+                            (MappedShard::Combined(combined), emitted, kept)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
+    });
+    metrics.map_time = map_start.elapsed();
+    metrics.key_value_pairs = mapped.iter().map(|(_, emitted, _)| emitted).sum();
+    if combiner.is_some() {
+        metrics.combiner_input_records = metrics.key_value_pairs;
+        metrics.combiner_output_records = mapped.iter().map(|(_, _, kept)| kept).sum();
+        metrics.shuffle_records = metrics.combiner_output_records;
+    } else {
+        metrics.shuffle_records = metrics.key_value_pairs;
+    }
+
+    // ---- Shuffle phase ----------------------------------------------------
+    // Shipped pairs are sharded by key hash so that each reduce worker owns a
+    // disjoint set of keys; grouping within a shard uses a hash map keyed by
+    // K. Per-key value order is (map-shard order, within-shard emission
+    // order) and therefore deterministic.
+    let shuffle_start = Instant::now();
+    let weigher = &round.record_bytes;
+    let mut shuffle_bytes = 0u64;
+    let mut shards: Vec<HashMap<K, Vec<V>>> = (0..threads).map(|_| HashMap::new()).collect();
+    for (shard, _, _) in mapped {
+        match shard {
+            MappedShard::Flat(pairs) => {
+                for (key, value) in pairs {
+                    shuffle_bytes += weigher(&key, &value) as u64;
+                    let target = shard_for_hash(hash_of(&key), threads);
+                    shards[target].entry(key).or_default().push(value);
+                }
+            }
+            MappedShard::Combined(groups) => {
+                for (key, values) in groups {
+                    for value in &values {
+                        shuffle_bytes += weigher(&key, value) as u64;
+                    }
+                    let target = shard_for_hash(hash_of(&key), threads);
+                    shards[target].entry(key).or_default().extend(values);
+                }
+            }
+        }
+    }
+    metrics.shuffle_bytes = shuffle_bytes;
+    metrics.shuffle_time = shuffle_start.elapsed();
+    metrics.reducers_used = shards.iter().map(|s| s.len()).sum();
+    metrics.max_reducer_input = shards
+        .iter()
+        .flat_map(|s| s.values().map(|v| v.len()))
+        .max()
+        .unwrap_or(0);
+
+    // ---- Reduce phase -----------------------------------------------------
+    let deterministic = config.deterministic;
+    let reducer = &*round.reducer;
+    let reduce_start = Instant::now();
+    let reduced: Vec<(Vec<O>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut groups: Vec<(K, Vec<V>)> = shard.into_iter().collect();
+                    if deterministic {
+                        // Sort keys for deterministic per-shard iteration order.
+                        groups.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
+                    let mut outputs = Vec::new();
+                    let mut work = 0u64;
+                    for (key, values) in groups {
+                        let mut ctx = ReduceContext::new();
+                        reducer.reduce(&key, &values, &mut ctx);
+                        let (out, w) = ctx.into_parts();
+                        outputs.extend(out);
+                        work += w;
+                    }
+                    (outputs, work)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker panicked"))
+            .collect()
+    });
+    metrics.reduce_time = reduce_start.elapsed();
+
+    let mut outputs = Vec::new();
+    for (out, work) in reduced {
+        metrics.reducer_work += work;
+        outputs.extend(out);
+    }
+    metrics.outputs = outputs.len();
+    (outputs, metrics)
+}
+
+fn hash_of<K: Hash>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word-count style single-round pipeline with a summing combiner.
+    fn counting_round<'a>(combine: bool) -> Round<'a, u64, u64, u64, (u64, u64)> {
+        let round = Round::new(
+            "count",
+            |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 10, 1),
+            |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+                ctx.add_work(vs.len() as u64);
+                ctx.emit((*k, vs.iter().sum()));
+            },
+        );
+        if combine {
+            round.combiner(|_k: &u64, vs: Vec<u64>| vec![vs.iter().sum()])
+        } else {
+            round
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_records_without_changing_outputs() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let config = EngineConfig::with_threads(4);
+        let (mut with, report_with) = Pipeline::new()
+            .round(counting_round(true))
+            .run(inputs.clone(), &config);
+        let (mut without, report_without) = Pipeline::new()
+            .round(counting_round(false))
+            .run(inputs, &config);
+        with.sort_unstable();
+        without.sort_unstable();
+        assert_eq!(with, without);
+        let m_with = &report_with.rounds[0].metrics;
+        let m_without = &report_without.rounds[0].metrics;
+        assert_eq!(m_with.key_value_pairs, 1000);
+        assert_eq!(m_with.combiner_input_records, 1000);
+        // 4 map shards x 10 keys: at most 40 combined records survive.
+        assert!(m_with.combiner_output_records <= 40);
+        assert_eq!(m_with.shuffle_records, m_with.combiner_output_records);
+        assert!(m_with.shuffle_bytes < m_without.shuffle_bytes);
+        assert_eq!(m_without.shuffle_records, 1000);
+        assert_eq!(m_without.combiner_input_records, 0);
+        assert_eq!(m_without.combiner_output_records, 0);
+    }
+
+    #[test]
+    fn disabling_combiners_in_the_config_bypasses_the_combiner() {
+        let inputs: Vec<u64> = (0..500).collect();
+        let config = EngineConfig::with_threads(3).combiners(false);
+        let (_, report) = Pipeline::new()
+            .round(counting_round(true))
+            .run(inputs, &config);
+        let metrics = &report.rounds[0].metrics;
+        assert_eq!(metrics.combiner_input_records, 0);
+        assert_eq!(metrics.shuffle_records, metrics.key_value_pairs);
+    }
+
+    #[test]
+    fn two_round_pipeline_threads_outputs_into_the_next_round() {
+        // Round 1 sums values per key modulo 7; round 2 counts how many keys
+        // share each sum. Verified against a direct serial computation.
+        let inputs: Vec<u64> = (0..200).map(|i| i * 3 % 91).collect();
+        let sums_round = Round::new(
+            "sum",
+            |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 7, *x),
+            |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+                ctx.emit((*k, vs.iter().sum()))
+            },
+        )
+        .combiner(|_k: &u64, vs: Vec<u64>| vec![vs.iter().sum()]);
+        let histogram_round = Round::new(
+            "histogram",
+            |&(_, sum): &(u64, u64), ctx: &mut MapContext<u64, u64>| ctx.emit(sum, 1),
+            |sum: &u64, ones: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+                ctx.emit((*sum, ones.iter().sum()))
+            },
+        );
+        let pipeline = Pipeline::new().round(sums_round).round(histogram_round);
+        assert_eq!(pipeline.num_rounds(), 2);
+        let (histogram, report) = pipeline.run(inputs.clone(), &EngineConfig::with_threads(4));
+
+        let mut expected_sums: HashMap<u64, u64> = HashMap::new();
+        for x in &inputs {
+            *expected_sums.entry(x % 7).or_default() += x;
+        }
+        let mut expected_histogram: HashMap<u64, u64> = HashMap::new();
+        for sum in expected_sums.values() {
+            *expected_histogram.entry(*sum).or_default() += 1;
+        }
+        let mut got = histogram.clone();
+        got.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = expected_histogram.into_iter().collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+
+        assert_eq!(report.num_rounds(), 2);
+        assert_eq!(report.rounds[0].name, "sum");
+        assert_eq!(report.rounds[1].name, "histogram");
+        let combined = report.combined();
+        assert_eq!(
+            combined.key_value_pairs,
+            report.rounds[0].metrics.key_value_pairs + report.rounds[1].metrics.key_value_pairs
+        );
+        assert_eq!(combined.outputs, report.rounds[1].metrics.outputs);
+        assert_eq!(report.total_shuffle_records(), combined.shuffle_records);
+    }
+
+    #[test]
+    fn prepare_reshapes_between_rounds_without_metrics() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let (outputs, report) = Pipeline::new()
+            .round(counting_round(true))
+            .prepare(|counts: Vec<(u64, u64)>| {
+                // Keep only the even keys for the next round.
+                counts.into_iter().filter(|(k, _)| k % 2 == 0).collect()
+            })
+            .round(Round::new(
+                "echo",
+                |&(k, c): &(u64, u64), ctx: &mut MapContext<u64, u64>| ctx.emit(k, c),
+                |k: &u64, cs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| ctx.emit((*k, cs[0])),
+            ))
+            .run(inputs, &EngineConfig::serial());
+        assert_eq!(report.num_rounds(), 2);
+        assert_eq!(outputs.len(), 5); // keys 0, 2, 4, 6, 8
+        assert_eq!(report.rounds[1].metrics.input_records, 5);
+    }
+
+    #[test]
+    fn deterministic_runs_repeat_exactly_with_and_without_combiners() {
+        let inputs: Vec<u64> = (0..400).map(|i| i * 17 % 101).collect();
+        for use_combiners in [true, false] {
+            let config = EngineConfig {
+                num_threads: 3,
+                deterministic: true,
+                use_combiners,
+            };
+            let run = || {
+                Pipeline::new()
+                    .round(counting_round(true))
+                    .run(inputs.clone(), &config)
+                    .0
+            };
+            assert_eq!(run(), run(), "use_combiners={use_combiners}");
+        }
+    }
+
+    #[test]
+    fn default_record_weigher_prices_fixed_size_records() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let (_, report) = Pipeline::new()
+            .round(counting_round(false))
+            .run(inputs, &EngineConfig::serial());
+        let metrics = &report.rounds[0].metrics;
+        // Key and value are both u64: 16 bytes per shipped record.
+        assert_eq!(metrics.shuffle_bytes, metrics.shuffle_records as u64 * 16);
+    }
+
+    #[test]
+    fn custom_record_weigher_prices_heap_backed_keys() {
+        let round = Round::new(
+            "vec-keys",
+            |x: &u64, ctx: &mut MapContext<Vec<u32>, u64>| {
+                ctx.emit(vec![(x % 3) as u32, (x % 5) as u32], *x)
+            },
+            |k: &Vec<u32>, vs: &[u64], ctx: &mut ReduceContext<(Vec<u32>, usize)>| {
+                ctx.emit((k.clone(), vs.len()))
+            },
+        )
+        .record_bytes(|k: &Vec<u32>, _v: &u64| 4 * k.len() + 8);
+        let inputs: Vec<u64> = (0..60).collect();
+        let (_, report) = Pipeline::new()
+            .round(round)
+            .run(inputs, &EngineConfig::serial());
+        let metrics = &report.rounds[0].metrics;
+        assert_eq!(metrics.shuffle_bytes, metrics.shuffle_records as u64 * 16);
+    }
+
+    #[test]
+    fn empty_pipeline_passes_inputs_through() {
+        let (outputs, report) = Pipeline::new().run(vec![1u64, 2, 3], &EngineConfig::serial());
+        assert_eq!(outputs, vec![1, 2, 3]);
+        assert_eq!(report.num_rounds(), 0);
+        assert_eq!(report.combined(), JobMetrics::default());
+    }
+}

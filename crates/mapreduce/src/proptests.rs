@@ -2,8 +2,10 @@
 //! deterministic seeded sweeps of random inputs (a tiny SplitMix64 keeps this
 //! crate free of dependencies).
 
-use crate::engine::{run_job, EngineConfig};
-use crate::task::{MapContext, ReduceContext};
+use crate::engine::EngineConfig;
+use crate::metrics::JobMetrics;
+use crate::pipeline::{Pipeline, Round};
+use crate::task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 use std::collections::HashMap;
 
 /// SplitMix64 — enough randomness for input generation.
@@ -23,6 +25,25 @@ fn random_inputs(seed: u64, max_len: usize, value_range: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Runs one round through the pipeline API (the non-deprecated counterpart of
+/// the old `run_job` helper).
+fn run_single_round<K, V, O>(
+    inputs: &[u64],
+    mapper: impl Mapper<u64, K, V>,
+    reducer: impl Reducer<K, V, O>,
+    config: &EngineConfig,
+) -> (Vec<O>, JobMetrics)
+where
+    K: std::hash::Hash + Eq + Ord + Send + 'static,
+    V: Send + 'static,
+    O: Send + 'static,
+{
+    let (outputs, report) = Pipeline::new()
+        .round(Round::new("job", mapper, reducer))
+        .run(inputs.to_vec(), config);
+    (outputs, report.rounds.into_iter().next().unwrap().metrics)
+}
+
 /// Grouping semantics: the engine delivers every value to exactly one reducer
 /// invocation, keyed correctly, regardless of thread count.
 #[test]
@@ -34,10 +55,10 @@ fn grouping_matches_a_hashmap_reference() {
         let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, usize)>| {
             ctx.emit((*k, vs.iter().sum(), vs.len()));
         };
-        let (outputs, metrics) = run_job(
+        let (outputs, metrics) = run_single_round(
             &inputs,
-            &mapper,
-            &reducer,
+            mapper,
+            reducer,
             &EngineConfig::with_threads(threads),
         );
 
@@ -74,10 +95,10 @@ fn communication_cost_counts_every_emission() {
             ctx.add_work(vs.len() as u64);
             ctx.emit(vs.len());
         };
-        let (_, metrics) = run_job(
+        let (_, metrics) = run_single_round(
             &inputs,
-            &mapper,
-            &reducer,
+            mapper,
+            reducer,
             &EngineConfig::with_threads(threads),
         );
         assert_eq!(
@@ -85,8 +106,19 @@ fn communication_cost_counts_every_emission() {
             inputs.len() * replication,
             "seed {seed}"
         );
-        // Every shipped pair reaches exactly one reducer, so the reducer-side
-        // work (which counts received values) equals the communication cost.
+        // Without a combiner every emitted pair is shipped, 16 bytes each
+        // (u64 key + u64 value), and reaches exactly one reducer — so the
+        // reducer-side work (which counts received values) equals the
+        // communication cost.
+        assert_eq!(
+            metrics.shuffle_records, metrics.key_value_pairs,
+            "seed {seed}"
+        );
+        assert_eq!(
+            metrics.shuffle_bytes,
+            metrics.shuffle_records as u64 * 16,
+            "seed {seed}"
+        );
         assert_eq!(
             metrics.reducer_work as usize,
             inputs.len() * replication,
@@ -107,10 +139,10 @@ fn outputs_are_thread_count_invariant() {
         };
         let mut baseline: Option<Vec<(u64, u64)>> = None;
         for threads in [1usize, 2, 5] {
-            let (mut outputs, _) = run_job(
+            let (mut outputs, _) = run_single_round(
                 &inputs,
-                &mapper,
-                &reducer,
+                mapper,
+                reducer,
                 &EngineConfig::with_threads(threads),
             );
             outputs.sort_unstable();
@@ -120,4 +152,158 @@ fn outputs_are_thread_count_invariant() {
             }
         }
     }
+}
+
+/// Runs the seed's aggregation job with the given combiner toggle and returns
+/// the outputs and metrics.
+fn aggregation_job(
+    inputs: &[u64],
+    threads: usize,
+    combiner: bool,
+    use_combiners: bool,
+) -> (Vec<(u64, u64)>, JobMetrics) {
+    let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 19, *x);
+    let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+        ctx.emit((*k, vs.iter().sum()));
+    };
+    let round = Round::new("sum", mapper, reducer);
+    let round = if combiner {
+        round.combiner(|_k: &u64, vs: Vec<u64>| vec![vs.iter().sum()])
+    } else {
+        round
+    };
+    let config = EngineConfig::with_threads(threads).combiners(use_combiners);
+    let (outputs, report) = Pipeline::new().round(round).run(inputs.to_vec(), &config);
+    (outputs, report.rounds.into_iter().next().unwrap().metrics)
+}
+
+/// Combiner-on and combiner-off runs produce identical reducer outputs —
+/// including identical order in deterministic mode — for any seed and thread
+/// count.
+#[test]
+fn combiner_on_and_off_produce_identical_reducer_outputs() {
+    for seed in 64..88 {
+        let inputs = random_inputs(seed, 400, 300);
+        let threads = 1 + (seed as usize) % 8;
+        let (with, _) = aggregation_job(&inputs, threads, true, true);
+        let (without, _) = aggregation_job(&inputs, threads, false, true);
+        let (bypassed, _) = aggregation_job(&inputs, threads, true, false);
+        // Deterministic mode sorts reducer keys, so the outputs agree in
+        // order, not just as multisets.
+        assert_eq!(with, without, "seed {seed} threads {threads}");
+        assert_eq!(with, bypassed, "seed {seed} threads {threads}");
+    }
+}
+
+/// The combiner metric invariants of the engine:
+/// `combiner_output_records <= combiner_input_records`, the shuffle ships
+/// exactly the combiner output (or, without a combiner, the mapper output),
+/// and the mapper-side emission count is unaffected by combining.
+#[test]
+fn combiner_metrics_invariants_hold() {
+    for seed in 88..112 {
+        let inputs = random_inputs(seed, 400, 300);
+        let threads = 1 + (seed as usize) % 8;
+        let (_, with) = aggregation_job(&inputs, threads, true, true);
+        let (_, without) = aggregation_job(&inputs, threads, false, true);
+
+        assert_eq!(with.key_value_pairs, inputs.len(), "seed {seed}");
+        assert_eq!(
+            with.combiner_input_records, with.key_value_pairs,
+            "seed {seed}"
+        );
+        assert!(
+            with.combiner_output_records <= with.combiner_input_records,
+            "seed {seed}"
+        );
+        assert_eq!(
+            with.shuffle_records, with.combiner_output_records,
+            "seed {seed}"
+        );
+        // At most one combined record per (map shard, key) pair survives.
+        assert!(with.combiner_output_records <= threads * 19, "seed {seed}");
+        // Shuffle bytes price exactly the shipped records (16 bytes each).
+        assert_eq!(
+            with.shuffle_bytes,
+            with.shuffle_records as u64 * 16,
+            "seed {seed}"
+        );
+
+        assert_eq!(without.combiner_input_records, 0, "seed {seed}");
+        assert_eq!(without.combiner_output_records, 0, "seed {seed}");
+        assert_eq!(
+            without.shuffle_records, without.key_value_pairs,
+            "seed {seed}"
+        );
+        assert!(
+            with.shuffle_records <= without.shuffle_records,
+            "seed {seed}"
+        );
+        // Combining never changes what the reducers compute or output.
+        assert_eq!(with.reducers_used, without.reducers_used, "seed {seed}");
+        assert_eq!(with.outputs, without.outputs, "seed {seed}");
+    }
+}
+
+/// An identity combiner is a no-op on the data: outputs, value multisets and
+/// reducer work all match the combiner-less run.
+#[test]
+fn identity_combiner_changes_nothing() {
+    for seed in 112..124 {
+        let inputs = random_inputs(seed, 300, 150);
+        let threads = 1 + (seed as usize) % 5;
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 11, *x);
+        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, usize)>| {
+            ctx.add_work(vs.len() as u64);
+            ctx.emit((*k, vs.iter().sum(), vs.len()));
+        };
+        let run = |with_identity: bool| {
+            let round = Round::new("identity", mapper, reducer);
+            let round = if with_identity {
+                round.combiner(|_k: &u64, vs: Vec<u64>| vs)
+            } else {
+                round
+            };
+            Pipeline::new()
+                .round(round)
+                .run(inputs.to_vec(), &EngineConfig::with_threads(threads))
+        };
+        let (with, report_with) = run(true);
+        let (without, report_without) = run(false);
+        assert_eq!(with, without, "seed {seed}");
+        let mw = &report_with.rounds[0].metrics;
+        let mo = &report_without.rounds[0].metrics;
+        assert_eq!(mw.combiner_output_records, mw.combiner_input_records);
+        assert_eq!(mw.shuffle_records, mo.shuffle_records, "seed {seed}");
+        assert_eq!(mw.shuffle_bytes, mo.shuffle_bytes, "seed {seed}");
+        assert_eq!(mw.reducer_work, mo.reducer_work, "seed {seed}");
+    }
+}
+
+/// Sanity check that the blanket `Combiner` impl for closures and an explicit
+/// struct implementation are interchangeable.
+#[test]
+fn struct_combiners_work_like_closure_combiners() {
+    struct Summing;
+    impl Combiner<u64, u64> for Summing {
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+    let inputs: Vec<u64> = (0..500).collect();
+    let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 7, *x);
+    let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+        ctx.emit((*k, vs.iter().sum()));
+    };
+    let config = EngineConfig::with_threads(4);
+    let (a, _) = Pipeline::new()
+        .round(Round::new("struct", mapper, reducer).combiner(Summing))
+        .run(inputs.clone(), &config);
+    let (b, _) = Pipeline::new()
+        .round(
+            Round::new("closure", mapper, reducer)
+                .combiner(|_k: &u64, vs: Vec<u64>| vec![vs.iter().sum()]),
+        )
+        .run(inputs, &config);
+    assert_eq!(a, b);
 }

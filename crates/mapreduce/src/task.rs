@@ -83,6 +83,26 @@ pub trait Reducer<K, V, O>: Sync {
     fn reduce(&self, key: &K, values: &[V], ctx: &mut ReduceContext<O>);
 }
 
+/// A map-side combiner: pre-aggregates the values a *single map shard*
+/// collected for one key before they are shipped through the shuffle.
+///
+/// The contract is the classic MapReduce one: running the reducer on the
+/// combined values must produce the same outputs as running it on the raw
+/// values, for any way the engine splits the map input into shards. That
+/// holds when `combine` is associative and commutative in the values (e.g.
+/// partial sums, merged role bitmasks, deduplication) and the reducer does
+/// not depend on the arrival order of its values.
+///
+/// Combiners never change *what* is computed — only how many key-value pairs
+/// cross the shuffle. [`crate::JobMetrics`] reports the effect through
+/// `combiner_input_records` / `combiner_output_records` and the
+/// `shuffle_records` / `shuffle_bytes` counters.
+pub trait Combiner<K, V>: Sync {
+    /// Combines the values one map shard collected for `key` into an
+    /// equivalent (usually shorter) list.
+    fn combine(&self, key: &K, values: Vec<V>) -> Vec<V>;
+}
+
 /// Blanket implementation so plain closures can act as mappers.
 impl<I, K, V, F> Mapper<I, K, V> for F
 where
@@ -100,6 +120,16 @@ where
 {
     fn reduce(&self, key: &K, values: &[V], ctx: &mut ReduceContext<O>) {
         self(key, values, ctx)
+    }
+}
+
+/// Blanket implementation so plain closures can act as combiners.
+impl<K, V, F> Combiner<K, V> for F
+where
+    F: Fn(&K, Vec<V>) -> Vec<V> + Sync,
+{
+    fn combine(&self, key: &K, values: Vec<V>) -> Vec<V> {
+        self(key, values)
     }
 }
 

@@ -14,7 +14,7 @@
 //! | [`pattern`] | `subgraph-pattern` | sample graphs, automorphism groups, decompositions, instances |
 //! | [`cq`] | `subgraph-cq` | conjunctive queries with comparisons: generation, merging, cycles, evaluation |
 //! | [`shares`] | `subgraph-shares` | Afrati–Ullman share optimization and reducer-count combinatorics |
-//! | [`mapreduce`] | `subgraph-mapreduce` | instrumented in-process single-round map-reduce engine |
+//! | [`mapreduce`] | `subgraph-mapreduce` | instrumented in-process map-reduce engine: multi-round pipelines, map-side combiners |
 //! | [`core`] | `subgraph-core` | the paper's algorithms behind the cost-driven `Planner`/`ExecutionPlan` API |
 //!
 //! ## Quick start
@@ -72,7 +72,9 @@
 //! A reducer budget of 1 means "no cluster": the planner then chooses among
 //! the convertible serial algorithms of Sections 6–7 instead.
 //!
-//! See `docs/PLANNER.md` for the strategy-to-paper-section map.
+//! See `docs/PLANNER.md` for the strategy-to-paper-section map and
+//! `docs/ENGINE.md` for the Pipeline/Round/Combiner execution model and the
+//! metrics glossary.
 
 pub use subgraph_core as core;
 pub use subgraph_cq as cq;
@@ -95,7 +97,9 @@ pub mod prelude {
     pub use subgraph_core::{MapReduceRun, SerialRun};
     pub use subgraph_cq::{cqs_for_sample, cycle_cqs, evaluate_cqs, merge_by_orientation};
     pub use subgraph_graph::{generators, DataGraph, GraphBuilder, NodeId};
-    pub use subgraph_mapreduce::EngineConfig;
+    pub use subgraph_mapreduce::{
+        Combiner, EngineConfig, JobMetrics, Pipeline, PipelineReport, Round, RoundMetrics,
+    };
     pub use subgraph_pattern::{catalog, Instance, SampleGraph};
     pub use subgraph_shares::{optimize_shares, CostExpression};
 

@@ -100,6 +100,84 @@ fn bucket_oriented_prediction_is_exact() {
 }
 
 #[test]
+fn predicted_shuffle_bytes_match_measured_for_exact_strategies() {
+    // The byte accounting must be consistent end to end: the planner predicts
+    // shuffled records x per-record bytes with the same weigher the engine
+    // charges, so for strategies whose record-count prediction is exact the
+    // byte prediction must match the measured `shuffle_bytes` to the byte.
+    for (name, sample) in catalog_patterns() {
+        let graph = generators::gnm(50, 250, 13_000);
+        for (kind, k) in [
+            (StrategyKind::BucketOriented, 70),
+            (StrategyKind::VariableOriented, 128),
+        ] {
+            let plan = EnumerationRequest::new(sample.clone(), &graph)
+                .reducers(k)
+                .engine(EngineConfig::serial())
+                .strategy(kind)
+                .plan()
+                .unwrap();
+            let report = plan.execute();
+            assert_eq!(
+                report.shuffle_bytes() as f64,
+                plan.chosen().predicted_shuffle_bytes(),
+                "{name} {kind}"
+            );
+            assert_eq!(
+                report.communication() as f64,
+                plan.predicted_communication(),
+                "{name} {kind}"
+            );
+        }
+    }
+    // The triangle specializations with exact predictions, including the
+    // multiway join whose combiner discount (3b - 2 of 3b) is part of the
+    // prediction.
+    let graph = generators::gnm(80, 500, 14_000);
+    for (kind, k) in [
+        (StrategyKind::BucketOrderedTriangles, 220),
+        (StrategyKind::MultiwayTriangles, 216),
+    ] {
+        let plan = EnumerationRequest::new(catalog::triangle(), &graph)
+            .reducers(k)
+            .engine(EngineConfig::serial())
+            .strategy(kind)
+            .plan()
+            .unwrap();
+        let report = plan.execute();
+        assert_eq!(
+            report.shuffle_bytes() as f64,
+            plan.chosen().predicted_shuffle_bytes(),
+            "{kind}"
+        );
+        assert_eq!(
+            report.communication() as f64,
+            plan.predicted_communication(),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn multiway_emission_and_shipment_bracket_the_paper_formulas() {
+    // Emitted pairs follow footnote 1's naive 3b per edge; shipped pairs
+    // follow the paper's 3b - 2 once the combiner merges coinciding roles.
+    let graph = generators::gnm(80, 500, 15_000);
+    let plan = EnumerationRequest::new(catalog::triangle(), &graph)
+        .reducers(216)
+        .engine(EngineConfig::serial())
+        .strategy(StrategyKind::MultiwayTriangles)
+        .plan()
+        .unwrap();
+    let b = plan.chosen().buckets.expect("bucketed strategy");
+    let report = plan.execute();
+    let m = graph.num_edges();
+    assert_eq!(report.emitted_communication(), 3 * b * m);
+    assert_eq!(report.communication(), (3 * b - 2) * m);
+    assert_eq!(plan.chosen().emitted_communication(), (3 * b * m) as f64);
+}
+
+#[test]
 fn variable_oriented_prediction_is_exact() {
     // Section 4.3: the engine counts exactly what the cost expression models
     // (at the integer shares), so prediction and measurement agree exactly.
