@@ -1,0 +1,16 @@
+//! The tracked shuffle throughput benchmark: triangle enumeration through the
+//! multiway join at engine thread counts {1, 2, 4, 8}.
+//!
+//! Writes `BENCH_shuffle.json` at the repository root (full mode) or a
+//! scratch file under `target/` (`-- --quick`, the CI smoke mode, which also
+//! validates the tracked file) and fails (panics) if either file is not
+//! well-formed JSON.
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    print!("{}", subgraph_bench::shuffle::shuffle_throughput(quick));
+    println!(
+        "\nwrote {}",
+        subgraph_bench::shuffle::output_json_path(quick).display()
+    );
+}

@@ -27,6 +27,7 @@
 //! | Theorem 7.3 (bounded degree) | [`computation::bounded_degree_table`] |
 //! | Section 7.4 (relation sizes) | [`computation::relation_size_table`] |
 //! | strategy choice (Sections 2, 4, 6-7) | [`planner_table::planner_choices`] |
+//! | shuffle throughput sweep (engine perf trajectory) | [`shuffle::shuffle_throughput`] |
 //!
 //! The measured columns drive every algorithm through the
 //! `EnumerationRequest`/`Planner` API of `subgraph-core`; [`harness`] is the
@@ -40,6 +41,7 @@ pub mod harness;
 pub mod planner_table;
 pub mod report;
 pub mod share_tables;
+pub mod shuffle;
 
 /// Runs every reproduction and concatenates the reports (the `all` subcommand).
 pub fn run_all() -> String {

@@ -10,6 +10,7 @@
 //! its nodes' buckets equals the reducer's key, which makes every instance
 //! come out of exactly one reducer.
 
+use super::key::{BucketKey, INLINE_COORDS};
 use super::nondecreasing_sequences;
 use crate::result::MapReduceRun;
 use subgraph_cq::{cqs_for_sample, evaluate_cqs, ConjunctiveQuery};
@@ -19,7 +20,10 @@ use subgraph_pattern::{Instance, SampleGraph};
 
 /// Bytes one shuffled record occupies for a `p`-variable bucket-multiset key
 /// plus an edge value — shared by the engine weigher and the planner's byte
-/// prediction, so predicted and measured `shuffle_bytes` agree exactly.
+/// prediction, so predicted and measured `shuffle_bytes` agree exactly. The
+/// key is *priced* as `p` logical `u32` coordinates whatever its in-memory
+/// representation ([`BucketKey`] inlines `p ≤ 4` into a single word), so the
+/// planner's predicted byte costs are unchanged by the inline encoding.
 pub(crate) fn vec_key_record_bytes(p: usize) -> usize {
     p * std::mem::size_of::<u32>() + std::mem::size_of::<Edge>()
 }
@@ -67,21 +71,28 @@ pub fn bucket_oriented_with_cqs(
     let order = BucketThenIdOrder::new(b);
     let num_nodes = graph.num_nodes();
 
-    let mapper = move |edge: &Edge, ctx: &mut MapContext<Vec<u32>, Edge>| {
+    let mapper = move |edge: &Edge, ctx: &mut MapContext<BucketKey, Edge>| {
         let bu = order.bucket(edge.lo()) as u32;
         let bv = order.bucket(edge.hi()) as u32;
+        // Stack buffer for the common inline-width keys; heap for wide ones.
+        let mut small = [0u32; INLINE_COORDS];
+        let mut large = vec![0u32; if p > INLINE_COORDS { p } else { 0 }];
         nondecreasing_sequences(b as u32, p - 2, &mut |extra| {
-            let mut key: Vec<u32> = Vec::with_capacity(p);
-            key.push(bu);
-            key.push(bv);
-            key.extend_from_slice(extra);
-            key.sort_unstable();
-            ctx.emit(key, *edge);
+            let coords: &mut [u32] = if p <= INLINE_COORDS {
+                &mut small[..p]
+            } else {
+                &mut large[..]
+            };
+            coords[0] = bu;
+            coords[1] = bv;
+            coords[2..].copy_from_slice(extra);
+            coords.sort_unstable();
+            ctx.emit(BucketKey::new(coords), *edge);
         });
     };
 
     let cqs_for_reducer = cqs.to_vec();
-    let reducer = move |key: &Vec<u32>, edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
+    let reducer = move |key: &BucketKey, edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
         let local = DataGraph::from_edges(num_nodes, edges.iter().map(|e| e.endpoints()));
         ctx.add_work(edges.len() as u64);
         let outcome = evaluate_cqs(&cqs_for_reducer, &local, &order);
@@ -94,7 +105,7 @@ pub fn bucket_oriented_with_cqs(
                 .map(|&v| order.bucket(v) as u32)
                 .collect();
             buckets.sort_unstable();
-            if &buckets == key {
+            if key.matches(&buckets) {
                 ctx.emit(instance);
             }
         }
@@ -103,9 +114,9 @@ pub fn bucket_oriented_with_cqs(
     let (instances, report) = Pipeline::new()
         .round(
             Round::new("bucket-oriented", mapper, reducer)
-                .record_bytes(|key: &Vec<u32>, _edge: &Edge| vec_key_record_bytes(key.len())),
+                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
         )
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 

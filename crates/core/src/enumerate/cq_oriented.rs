@@ -5,6 +5,7 @@
 //! at once; it is provided as the baseline the benchmark harness compares
 //! variable-oriented processing against.
 
+use super::key::BucketKey;
 use super::{integer_shares, variable_bucket};
 use crate::enumerate::bucket_oriented::vec_key_record_bytes;
 use crate::result::MapReduceRun;
@@ -78,14 +79,14 @@ pub fn single_cq_job(
 
     let subgoals: Vec<(Var, Var)> = cq.subgoals().to_vec();
     let shares_for_mapper = shares.clone();
-    let mapper = move |edge: &Edge, ctx: &mut MapContext<Vec<u32>, Edge>| {
+    let mapper = move |edge: &Edge, ctx: &mut MapContext<BucketKey, Edge>| {
         let (u, v) = edge.endpoints();
         for &(a, b) in &subgoals {
             let mut key = vec![0u32; p];
             key[a as usize] = variable_bucket(u, a, shares_for_mapper[a as usize]);
             key[b as usize] = variable_bucket(v, b, shares_for_mapper[b as usize]);
             emit_free(&mut key, &shares_for_mapper, a, b, 0, &mut |k| {
-                ctx.emit(k.to_vec(), *edge)
+                ctx.emit(BucketKey::new(k), *edge)
             });
         }
     };
@@ -93,10 +94,10 @@ pub fn single_cq_job(
     let cq_for_reducer = cq.clone();
     let shares_for_reducer = shares.clone();
     let num_nodes = graph.num_nodes();
-    let reducer = move |key: &Vec<u32>, edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
+    let reducer = move |key: &BucketKey, edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
         let local = DataGraph::from_edges(num_nodes, edges.iter().map(|e| e.endpoints()));
         ctx.add_work(edges.len() as u64);
-        let key = key.clone();
+        let key = key.to_vec();
         let shares = shares_for_reducer.clone();
         let filter = move |var: Var, node: subgraph_graph::NodeId| -> bool {
             variable_bucket(node, var, shares[var as usize]) == key[var as usize]
@@ -111,9 +112,9 @@ pub fn single_cq_job(
     let (instances, report) = Pipeline::new()
         .round(
             Round::new("cq-job", mapper, reducer)
-                .record_bytes(|key: &Vec<u32>, _edge: &Edge| vec_key_record_bytes(key.len())),
+                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
         )
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 

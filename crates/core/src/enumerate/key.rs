@@ -1,0 +1,203 @@
+//! Fixed-width inline reducer keys for the bucket-multiset strategies.
+//!
+//! The reducer keys of the three Section 4 strategies are short sequences of
+//! bucket numbers — `p` coordinates for a `p`-variable pattern, each smaller
+//! than the share/bucket count. Shipping them as `Vec<u32>` puts a heap
+//! allocation behind every shuffled record; [`BucketKey`] instead packs up to
+//! [`INLINE_COORDS`] coordinates of 16 bits each into a single `u64`, so the
+//! common patterns (triangle, square, lollipop, any `p ≤ 4` CQ) shuffle a
+//! plain 8-byte key: no allocation, one-word hashing and comparison.
+//!
+//! Longer or larger-valued keys fall back to the heap representation; the
+//! encoding is canonical (a coordinate sequence always maps to the same
+//! variant) and round-trips are debug-asserted at construction. The derived
+//! `Ord` matches the lexicographic order of the coordinate sequences within a
+//! variant — the inline packing is big-endian (first coordinate in the
+//! highest bits) with a length tiebreak — so the engine's deterministic
+//! sorted-key reduce order is well-defined.
+//!
+//! The byte *pricing* of a shuffled record is unchanged by the encoding: the
+//! rounds keep charging `4 · p + size_of::<Edge>()` per record (see
+//! `vec_key_record_bytes` in the bucket-oriented module), so the planner's
+//! predicted `shuffle_bytes` still match measurement exactly.
+
+/// Maximum number of coordinates the inline representation can hold.
+pub const INLINE_COORDS: usize = 4;
+
+/// Largest coordinate value the inline representation can hold.
+const INLINE_MAX_COORD: u32 = u16::MAX as u32;
+
+/// A reducer key: a sequence of bucket coordinates, stored inline when small.
+///
+/// Construct with [`BucketKey::new`]; the constructor picks the
+/// representation canonically, so `Eq`/`Ord`/`Hash` (all derived) agree with
+/// coordinate-sequence equality and lexicographic order for any two keys
+/// built from sequences of the same length and coordinate range.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BucketKey {
+    /// Up to [`INLINE_COORDS`] coordinates `≤ u16::MAX`, packed big-endian:
+    /// coordinate `i` occupies bits `[48 − 16i, 64 − 16i)`, unused low bits
+    /// are zero. Field order matters: comparing `packed` first and `len`
+    /// second is exactly the lexicographic order of the sequences (a proper
+    /// prefix packs to the same word and wins on the shorter length).
+    Inline {
+        /// The packed coordinates.
+        packed: u64,
+        /// How many coordinates are packed.
+        len: u8,
+    },
+    /// Fallback for keys with more than [`INLINE_COORDS`] coordinates or a
+    /// coordinate above `u16::MAX`.
+    Heap(Vec<u32>),
+}
+
+impl BucketKey {
+    /// Encodes a coordinate sequence, inlining it when it fits.
+    #[inline]
+    pub fn new(coords: &[u32]) -> Self {
+        if coords.len() <= INLINE_COORDS && coords.iter().all(|&c| c <= INLINE_MAX_COORD) {
+            let mut packed = 0u64;
+            for (i, &coord) in coords.iter().enumerate() {
+                packed |= (coord as u64) << (48 - 16 * i);
+            }
+            let key = BucketKey::Inline {
+                packed,
+                len: coords.len() as u8,
+            };
+            debug_assert!(
+                key.matches(coords),
+                "inline encoding must round-trip: {coords:?} -> {key:?}"
+            );
+            key
+        } else {
+            BucketKey::Heap(coords.to_vec())
+        }
+    }
+
+    /// Number of coordinates in the key.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            BucketKey::Inline { len, .. } => *len as usize,
+            BucketKey::Heap(coords) => coords.len(),
+        }
+    }
+
+    /// True when the key holds no coordinates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The coordinate at position `i` (panics when out of bounds).
+    #[inline]
+    pub fn coord(&self, i: usize) -> u32 {
+        match self {
+            BucketKey::Inline { packed, len } => {
+                assert!(i < *len as usize, "coordinate {i} out of bounds");
+                ((packed >> (48 - 16 * i)) & 0xffff) as u32
+            }
+            BucketKey::Heap(coords) => coords[i],
+        }
+    }
+
+    /// Decodes the key back into its coordinate sequence.
+    pub fn to_vec(&self) -> Vec<u32> {
+        match self {
+            BucketKey::Inline { len, .. } => (0..*len as usize).map(|i| self.coord(i)).collect(),
+            BucketKey::Heap(coords) => coords.clone(),
+        }
+    }
+
+    /// True when the key encodes exactly `coords` — equality against a slice
+    /// without decoding or allocating.
+    pub fn matches(&self, coords: &[u32]) -> bool {
+        match self {
+            BucketKey::Inline { len, .. } => {
+                *len as usize == coords.len()
+                    && coords.iter().enumerate().all(|(i, &c)| self.coord(i) == c)
+            }
+            BucketKey::Heap(stored) => stored == coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgraph_graph::rng::Rng;
+
+    fn random_coords(rng: &mut Rng, max_len: usize, max_coord: u32) -> Vec<u32> {
+        let len = rng.gen_index(max_len + 1);
+        (0..len)
+            .map(|_| rng.gen_index(max_coord as usize + 1) as u32)
+            .collect()
+    }
+
+    #[test]
+    fn small_keys_inline_and_large_keys_spill() {
+        assert!(matches!(
+            BucketKey::new(&[1, 2, 3, 4]),
+            BucketKey::Inline { .. }
+        ));
+        assert!(matches!(BucketKey::new(&[]), BucketKey::Inline { .. }));
+        assert!(matches!(
+            BucketKey::new(&[1, 2, 3, 4, 5]),
+            BucketKey::Heap(_)
+        ));
+        assert!(matches!(BucketKey::new(&[0, 70_000]), BucketKey::Heap(_)));
+    }
+
+    /// Proptest: round-trip through the encoding for random sequences across
+    /// both representations (inline-range and spilled).
+    #[test]
+    fn encoding_round_trips_for_random_sequences() {
+        let mut rng = Rng::seed_from_u64(0x5eed_0001);
+        for _ in 0..2_000 {
+            let coords = random_coords(&mut rng, 8, 9);
+            let key = BucketKey::new(&coords);
+            assert_eq!(key.to_vec(), coords);
+            assert_eq!(key.len(), coords.len());
+            assert!(key.matches(&coords));
+            for (i, &c) in coords.iter().enumerate() {
+                assert_eq!(key.coord(i), c, "coords {coords:?} index {i}");
+            }
+        }
+        // Sweep the inline/heap coordinate-value boundary explicitly.
+        for coord in [0u32, 1, 255, 65_534, 65_535, 65_536, u32::MAX] {
+            let coords = vec![coord; 3];
+            assert_eq!(BucketKey::new(&coords).to_vec(), coords);
+        }
+    }
+
+    /// Proptest: `Eq` and `Ord` on encoded keys agree with slice equality and
+    /// lexicographic order for same-regime sequences (fixed length, small
+    /// coordinates — the shape every strategy emits within one round).
+    #[test]
+    fn ordering_matches_the_coordinate_sequences() {
+        let mut rng = Rng::seed_from_u64(0x5eed_0002);
+        for len in [0usize, 1, 2, 3, 4] {
+            for _ in 0..400 {
+                let a: Vec<u32> = (0..len).map(|_| rng.gen_index(10) as u32).collect();
+                let b: Vec<u32> = (0..len).map(|_| rng.gen_index(10) as u32).collect();
+                let (ka, kb) = (BucketKey::new(&a), BucketKey::new(&b));
+                assert_eq!(ka == kb, a == b, "{a:?} vs {b:?}");
+                assert_eq!(ka.cmp(&kb), a.cmp(&b), "{a:?} vs {b:?}");
+            }
+        }
+        // Prefixes sort first, exactly like the Vec<u32> keys they replace.
+        assert!(BucketKey::new(&[1, 2]) < BucketKey::new(&[1, 2, 0]));
+        assert!(BucketKey::new(&[0, 5]) < BucketKey::new(&[1]));
+    }
+
+    #[test]
+    fn matches_rejects_different_sequences() {
+        let key = BucketKey::new(&[3, 1, 4]);
+        assert!(key.matches(&[3, 1, 4]));
+        assert!(!key.matches(&[3, 1]));
+        assert!(!key.matches(&[3, 1, 5]));
+        assert!(!key.matches(&[3, 1, 4, 0]));
+        assert!(!BucketKey::new(&[]).matches(&[0]));
+        assert!(BucketKey::new(&[]).is_empty());
+    }
+}

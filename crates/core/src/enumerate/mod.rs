@@ -14,7 +14,10 @@
 
 pub mod bucket_oriented;
 pub mod cq_oriented;
+pub mod key;
 pub mod variable_oriented;
+
+pub use key::BucketKey;
 
 #[allow(deprecated)]
 pub use bucket_oriented::bucket_oriented_enumerate;

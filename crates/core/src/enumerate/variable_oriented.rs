@@ -2,6 +2,7 @@
 //! are evaluated by a single map-reduce job whose reducers are identified by
 //! one bucket number per variable.
 
+use super::key::BucketKey;
 use super::{integer_shares, variable_bucket};
 use crate::enumerate::bucket_oriented::vec_key_record_bytes;
 use crate::result::MapReduceRun;
@@ -95,7 +96,7 @@ pub fn run_with_plan(
 
     let shares_for_mapper = shares.clone();
     let roles_for_mapper = roles.clone();
-    let mapper = move |edge: &Edge, ctx: &mut MapContext<Vec<u32>, Edge>| {
+    let mapper = move |edge: &Edge, ctx: &mut MapContext<BucketKey, Edge>| {
         let (u, v) = edge.endpoints(); // u < v: the tuple E(u, v).
         for &(a, b) in &roles_for_mapper {
             // The tuple E(u, v) serves subgoal E(a, b) with a → u, b → v.
@@ -103,7 +104,7 @@ pub fn run_with_plan(
             key[a as usize] = variable_bucket(u, a, shares_for_mapper[a as usize]);
             key[b as usize] = variable_bucket(v, b, shares_for_mapper[b as usize]);
             emit_over_free_dimensions(&mut key, &shares_for_mapper, a, b, 0, &mut |key| {
-                ctx.emit(key.to_vec(), *edge)
+                ctx.emit(BucketKey::new(key), *edge)
             });
         }
     };
@@ -111,10 +112,10 @@ pub fn run_with_plan(
     let cqs = plan.cqs.clone();
     let shares_for_reducer = shares.clone();
     let num_nodes = graph.num_nodes();
-    let reducer = move |key: &Vec<u32>, edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
+    let reducer = move |key: &BucketKey, edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
         let local = DataGraph::from_edges(num_nodes, edges.iter().map(|e| e.endpoints()));
         ctx.add_work(edges.len() as u64);
-        let key = key.clone();
+        let key = key.to_vec();
         let shares = shares_for_reducer.clone();
         let filter = move |var: Var, node: subgraph_graph::NodeId| -> bool {
             variable_bucket(node, var, shares[var as usize]) == key[var as usize]
@@ -131,9 +132,9 @@ pub fn run_with_plan(
     let (instances, report) = Pipeline::new()
         .round(
             Round::new("variable-oriented", mapper, reducer)
-                .record_bytes(|key: &Vec<u32>, _edge: &Edge| vec_key_record_bytes(key.len())),
+                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
         )
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 

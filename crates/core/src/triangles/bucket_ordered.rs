@@ -70,7 +70,7 @@ pub(crate) fn run_bucket_ordered_triangles(
 
     let (instances, report) = Pipeline::new()
         .round(Round::new("bucket-ordered", mapper, reducer))
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 

@@ -129,20 +129,19 @@ fn closing_round_spec() -> Round<'static, Round2Input, (NodeId, NodeId), Round2V
 ///
 /// Internal runner behind [`crate::plan::StrategyKind::CascadeTriangles`].
 pub(crate) fn run_cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
-    let closing_edges: Vec<Edge> = graph.edges().to_vec();
     let (instances, report) = Pipeline::new()
         .round(wedge_round_spec())
-        .prepare(move |wedges: Vec<Wedge>| {
+        .prepare(|wedges: Vec<Wedge>| {
             // The second round joins the wedge stream with the edge relation:
             // feed it both, tagged by origin.
             wedges
                 .into_iter()
                 .map(Round2Input::Wedge)
-                .chain(closing_edges.into_iter().map(Round2Input::Edge))
+                .chain(graph.edges().iter().copied().map(Round2Input::Edge))
                 .collect()
         })
         .round(closing_round_spec())
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 
@@ -160,7 +159,7 @@ pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceR
 pub fn wedge_round(graph: &DataGraph, config: &EngineConfig) -> (Vec<Wedge>, JobMetrics) {
     let (wedges, report) = Pipeline::new()
         .round(wedge_round_spec())
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     let metrics = report.rounds.into_iter().next().expect("one round").metrics;
     (wedges, metrics)
 }

@@ -117,7 +117,7 @@ pub(crate) fn run_multiway_triangles(
 
     let (instances, report) = Pipeline::new()
         .round(Round::new("multiway", mapper, reducer).combiner(combiner))
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 

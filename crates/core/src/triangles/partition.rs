@@ -59,7 +59,7 @@ pub(crate) fn run_partition_triangles(
 
     let (instances, report) = Pipeline::new()
         .round(Round::new("partition", mapper, reducer))
-        .run(graph.edges().to_vec(), config);
+        .run(graph.edges(), config);
     MapReduceRun::from_pipeline(instances, report)
 }
 

@@ -17,10 +17,11 @@ pub struct EngineConfig {
     /// concatenated output order — is a pure function of the input and the
     /// thread count. If false, each shard's keys are visited in hash-map
     /// iteration order: the *set* of outputs and all [`JobMetrics`] counters
-    /// are unchanged, but the output order varies from run to run (the
-    /// iteration order of `std::collections::HashMap` is randomized), so only
-    /// opt out when the consumer sorts or aggregates the output anyway and
-    /// wants to skip the `O(r log r)` per-shard sort.
+    /// are unchanged, but the output order is arbitrary (it follows the
+    /// engine's FxHash grouping tables, so no ordering is guaranteed across
+    /// runs or releases), so only opt out when the consumer sorts or
+    /// aggregates the output anyway and wants to skip the `O(r log r)`
+    /// per-shard sort.
     pub deterministic: bool,
     /// If true (the default), rounds with an attached
     /// [`crate::Combiner`] pre-aggregate their map output per shard before the
@@ -112,16 +113,9 @@ pub fn shard_for_hash(hash: u64, shards: usize) -> usize {
 #[allow(deprecated)] // run_job is kept as a shim; these tests pin its parity.
 mod tests {
     use super::*;
+    use crate::hash::hash_of;
     use crate::pipeline::Pipeline;
     use crate::task::{MapContext, ReduceContext};
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::Hasher;
-
-    fn hash_of<K: Hash>(key: &K) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        hasher.finish()
-    }
 
     /// Word-count style job: count occurrences of each number modulo 10.
     fn modulo_count(inputs: &[u64], threads: usize) -> (Vec<(u64, usize)>, JobMetrics) {
@@ -170,7 +164,7 @@ mod tests {
             let (shim_out, shim_metrics) = run_job(&inputs, &mapper, &reducer, &config);
             let (pipe_out, report) = Pipeline::new()
                 .round(Round::new("job", mapper, reducer))
-                .run(inputs.clone(), &config);
+                .run(&inputs, &config);
             assert_eq!(shim_out, pipe_out, "threads={threads}");
             assert_eq!(report.num_rounds(), 1);
             let pipe_metrics = &report.rounds[0].metrics;

@@ -25,11 +25,17 @@
 //! `shuffle_bytes`).
 //!
 //! The engine runs mappers and reducers on a configurable number of threads
-//! (`std::thread::scope` workers fed through simple sharding); it intentionally
-//! does not model network transfer, spilling, or fault tolerance — none of
-//! which affect the two cost measures above.
+//! (`std::thread::scope` workers). The simulated shuffle is a two-phase
+//! parallel exchange: map workers partition their own emissions into one
+//! bucket per reduce worker (hashing each key exactly once with the in-repo
+//! [`hash_of`] FxHash and reusing that hash for routing and grouping), the
+//! coordinator only moves bucket ownership, and reduce workers group and sort
+//! their shard in parallel. The engine intentionally does not model network
+//! transfer, spilling, or fault tolerance — none of which affect the two cost
+//! measures above.
 
 pub mod engine;
+pub mod hash;
 pub mod metrics;
 pub mod pipeline;
 pub mod task;
@@ -37,6 +43,7 @@ pub mod task;
 #[allow(deprecated)] // run_job stays exported so downstream shims keep working.
 pub use engine::run_job;
 pub use engine::{shard_for_hash, EngineConfig};
+pub use hash::{hash_of, FxBuildHasher, FxHasher};
 pub use metrics::JobMetrics;
 pub use pipeline::{Pipeline, PipelineReport, Round, RoundMetrics};
 pub use task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};

@@ -38,11 +38,22 @@ pub struct JobMetrics {
     pub reducer_work: u64,
     /// Total number of output records emitted by the reducers.
     pub outputs: usize,
-    /// Wall-clock time of the map phase.
+    /// Wall-clock time of the map phase (mapping, combining and partitioning
+    /// on the map workers).
     pub map_time: Duration,
-    /// Wall-clock time of the shuffle (grouping) phase.
+    /// Critical-path wall time of the map-side partitioning subphase: the
+    /// longest time any single map worker spent combining its emissions and
+    /// splitting them into per-reduce-worker buckets. Partitioning runs
+    /// *inside* the map workers, so this is a slice of [`JobMetrics::map_time`],
+    /// not an additional phase — [`JobMetrics::total_time`] does not add it.
+    pub partition_time: Duration,
+    /// Wall-clock time of the exchange: the coordinator handing each map
+    /// worker's buckets to their reduce workers (pure ownership moves —
+    /// grouping happens on the reduce workers and is part of
+    /// [`JobMetrics::reduce_time`]).
     pub shuffle_time: Duration,
-    /// Wall-clock time of the reduce phase.
+    /// Wall-clock time of the reduce phase (per-worker grouping, key sorting
+    /// and reducer invocations).
     pub reduce_time: Duration,
 }
 
@@ -93,6 +104,7 @@ impl JobMetrics {
         self.reducer_work += other.reducer_work;
         self.outputs += other.outputs;
         self.map_time += other.map_time;
+        self.partition_time += other.partition_time;
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
     }

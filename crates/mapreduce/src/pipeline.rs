@@ -15,6 +15,12 @@
 //! records (and bytes) cross the shuffle — and can be disabled globally with
 //! [`EngineConfig::combiners`] to measure its effect.
 //!
+//! The shuffle itself is a two-phase parallel exchange (see `docs/ENGINE.md`,
+//! "Shuffle internals"): map workers partition their own emissions into one
+//! bucket per reduce worker, the coordinator only moves bucket ownership, and
+//! reduce workers group their buckets in parallel. Every key is hashed exactly
+//! once, on the map side, with the engine's [`crate::hash_of`] FxHash.
+//!
 //! ```
 //! use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 //!
@@ -38,19 +44,18 @@
 //! let (histogram, report) = Pipeline::new()
 //!     .round(count_round)
 //!     .round(histogram_round)
-//!     .run(words, &EngineConfig::serial());
+//!     .run(&words, &EngineConfig::serial());
 //! assert_eq!(report.num_rounds(), 2);
 //! assert!(!histogram.is_empty());
 //! ```
 
 use crate::engine::{shard_for_hash, EngineConfig};
+use crate::hash::{hash_for_shuffle, prehashed_map_with_capacity, Prehashed, PrehashedMap};
 use crate::metrics::JobMetrics;
 use crate::task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::mem::size_of;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A boxed per-record byte weigher (key + value → shuffled payload bytes).
 type RecordWeigher<'a, K, V> = Box<dyn Fn(&K, &V) -> usize + Sync + 'a>;
@@ -162,12 +167,46 @@ impl PipelineReport {
     }
 }
 
+/// What flows into a pipeline stage: the caller's borrowed input slice (for
+/// the first stage) or an owned intermediate produced by an earlier round.
+/// This is what lets [`Pipeline::run`] borrow its inputs — the first round
+/// maps straight off the caller's slice without cloning it.
+enum StageInput<'s, I> {
+    Borrowed(&'s [I]),
+    Owned(Vec<I>),
+}
+
+impl<I> StageInput<'_, I> {
+    fn as_slice(&self) -> &[I] {
+        match self {
+            StageInput::Borrowed(slice) => slice,
+            StageInput::Owned(vec) => vec,
+        }
+    }
+}
+
+impl<I: Clone> StageInput<'_, I> {
+    /// Materializes the stage input; clones only when the borrowed inputs
+    /// pass through untouched (zero-round pipelines, leading `prepare`).
+    fn into_vec(self) -> Vec<I> {
+        match self {
+            StageInput::Borrowed(slice) => slice.to_vec(),
+            StageInput::Owned(vec) => vec,
+        }
+    }
+}
+
+/// The composed stage chain of a [`Pipeline`].
+type Stages<'a, I, O> = Box<
+    dyn for<'s> FnOnce(StageInput<'s, I>, &EngineConfig, &mut PipelineReport) -> StageInput<'s, O>
+        + 'a,
+>;
+
 /// A chain of map-reduce rounds from inputs of type `I` to outputs of type
 /// `O`. Build with [`Pipeline::new`], add stages with [`Pipeline::round`] and
 /// [`Pipeline::prepare`], execute with [`Pipeline::run`].
 pub struct Pipeline<'a, I, O> {
-    #[allow(clippy::type_complexity)]
-    stages: Box<dyn FnOnce(Vec<I>, &EngineConfig, &mut PipelineReport) -> Vec<O> + 'a>,
+    stages: Stages<'a, I, O>,
     num_rounds: usize,
 }
 
@@ -201,12 +240,12 @@ impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
         Pipeline {
             stages: Box::new(move |inputs, config, report| {
                 let intermediate = prev(inputs, config, report);
-                let (outputs, metrics) = execute_round(&intermediate, &round, config);
+                let (outputs, metrics) = execute_round(intermediate.as_slice(), &round, config);
                 report.rounds.push(RoundMetrics {
                     name: round.name.clone(),
                     metrics,
                 });
-                outputs
+                StageInput::Owned(outputs)
             }),
             num_rounds: self.num_rounds + 1,
         }
@@ -215,10 +254,15 @@ impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
     /// Appends a free inter-round transformation (no shuffle, no metrics):
     /// reshape round *k*'s outputs into round *k + 1*'s inputs, e.g. to mix
     /// them with a side input the next round also needs.
-    pub fn prepare<O>(self, f: impl FnOnce(Vec<T>) -> Vec<O> + 'a) -> Pipeline<'a, I, O> {
+    pub fn prepare<O>(self, f: impl FnOnce(Vec<T>) -> Vec<O> + 'a) -> Pipeline<'a, I, O>
+    where
+        T: Clone,
+    {
         let prev = self.stages;
         Pipeline {
-            stages: Box::new(move |inputs, config, report| f(prev(inputs, config, report))),
+            stages: Box::new(move |inputs, config, report| {
+                StageInput::Owned(f(prev(inputs, config, report).into_vec()))
+            }),
             num_rounds: self.num_rounds,
         }
     }
@@ -228,25 +272,77 @@ impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
         self.num_rounds
     }
 
-    /// Executes every round in order and returns the final outputs together
-    /// with the per-round metrics.
-    pub fn run(self, inputs: Vec<I>, config: &EngineConfig) -> (Vec<T>, PipelineReport) {
+    /// Executes every round in order over the borrowed `inputs` and returns
+    /// the final outputs together with the per-round metrics. The first round
+    /// maps directly off the slice — callers pass `graph.edges()` (or any
+    /// slice) without cloning it per run.
+    pub fn run(self, inputs: &[I], config: &EngineConfig) -> (Vec<T>, PipelineReport)
+    where
+        T: Clone,
+    {
         let mut report = PipelineReport::default();
-        let outputs = (self.stages)(inputs, config, &mut report);
+        let outputs = (self.stages)(StageInput::Borrowed(inputs), config, &mut report).into_vec();
         (outputs, report)
     }
 }
 
-/// What one map worker hands to the shuffle: raw pairs, or pairs grouped by
-/// key and pre-aggregated by the combiner.
-enum MappedShard<K, V> {
-    Flat(Vec<(K, V)>),
-    Combined(Vec<(K, Vec<V>)>),
+/// One per-reduce-worker bucket of a map worker's partitioned output: raw
+/// pairs, or pairs grouped by key and pre-aggregated by the combiner. Every
+/// record carries the key hash computed when it was partitioned, so
+/// no later stage hashes the key again.
+enum ShuffleBucket<K, V> {
+    Flat(Vec<(u64, K, V)>),
+    Combined(Vec<(u64, K, Vec<V>)>),
+}
+
+impl<K, V> ShuffleBucket<K, V> {
+    /// Number of key entries in the bucket: distinct keys for a combined
+    /// bucket, raw pairs (each key counted per occurrence) for a flat one.
+    fn key_entries(&self) -> usize {
+        match self {
+            ShuffleBucket::Flat(pairs) => pairs.len(),
+            ShuffleBucket::Combined(groups) => groups.len(),
+        }
+    }
+}
+
+/// Everything one map worker hands to the exchange.
+struct MapOutcome<K, V> {
+    /// One bucket per reduce worker, indexed by [`shard_for_hash`].
+    buckets: Vec<ShuffleBucket<K, V>>,
+    /// Pairs emitted by the worker's mapper calls (pre-combiner).
+    emitted: usize,
+    /// Pairs surviving the combiner (0 when no combiner ran).
+    kept: usize,
+    /// Payload bytes of the worker's shipped records.
+    bytes: u64,
+    /// Wall time the worker spent partitioning (and combining) its output.
+    partition_time: Duration,
+}
+
+/// What one reduce worker hands back.
+struct ReduceOutcome<O> {
+    outputs: Vec<O>,
+    work: u64,
+    groups: usize,
+    max_input: usize,
 }
 
 /// Executes one round over `inputs` and returns the reducer outputs with the
 /// measured [`JobMetrics`]. This is the engine behind both [`Pipeline::run`]
 /// and the deprecated single-round [`crate::run_job`] shim.
+///
+/// The round is a two-phase parallel exchange. Each **map worker** maps its
+/// chunk, hashes every emitted key exactly once (FxHash), and partitions
+/// its own records into `threads` buckets keyed by [`shard_for_hash`] —
+/// combining first when a combiner is attached, in which case the grouping
+/// reuses the same per-key hash. The **coordinator** only transposes bucket
+/// ownership (worker-major to reducer-major); it never touches a record. Each
+/// **reduce worker** then groups the buckets destined for it — reusing the
+/// precomputed hashes via [`Prehashed`] — sorts its keys when
+/// [`EngineConfig::deterministic`] is set, and reduces. Debug builds assert
+/// the hash-once invariant on every worker (see
+/// [`crate::hash::debug_hash_count`]).
 pub(crate) fn execute_round<I, K, V, O>(
     inputs: &[I],
     round: &Round<'_, I, K, V, O>,
@@ -265,47 +361,88 @@ where
         ..JobMetrics::default()
     };
 
-    // ---- Map (+ combine) phase --------------------------------------------
+    // ---- Map + partition (+ combine) phase --------------------------------
     let map_start = Instant::now();
     let chunk_size = inputs.len().div_ceil(threads).max(1);
     let mapper = &*round.mapper;
+    let weigher = &*round.record_bytes;
     let combiner = if combine {
         round.combiner.as_deref()
     } else {
         None
     };
-    type ShardOutcome<K, V> = (MappedShard<K, V>, usize, usize);
-    let mapped: Vec<ShardOutcome<K, V>> = std::thread::scope(|scope| {
+    let mapped: Vec<MapOutcome<K, V>> = std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk_size)
             .map(|chunk| {
                 scope.spawn(move || {
-                    let mut pairs = Vec::new();
+                    #[cfg(debug_assertions)]
+                    let _ = crate::hash::debug_hash_count::take();
+                    let mut ctx = MapContext::new();
                     for record in chunk {
-                        let mut ctx = MapContext::new();
                         mapper.map(record, &mut ctx);
-                        pairs.extend(ctx.into_pairs());
                     }
+                    let pairs = ctx.into_pairs();
                     let emitted = pairs.len();
-                    match combiner {
-                        None => (MappedShard::Flat(pairs), emitted, 0),
+
+                    // Partition this worker's emissions into one bucket per
+                    // reduce worker, hashing each key exactly once and
+                    // carrying the hash with the record.
+                    let partition_start = Instant::now();
+                    let mut bytes = 0u64;
+                    let mut kept = 0usize;
+                    let buckets: Vec<ShuffleBucket<K, V>> = match combiner {
+                        None => {
+                            let mut buckets: Vec<Vec<(u64, K, V)>> =
+                                (0..threads).map(|_| Vec::new()).collect();
+                            for (key, value) in pairs {
+                                let hash = hash_for_shuffle(&key);
+                                bytes += weigher(&key, &value) as u64;
+                                buckets[shard_for_hash(hash, threads)].push((hash, key, value));
+                            }
+                            buckets.into_iter().map(ShuffleBucket::Flat).collect()
+                        }
                         Some(combiner) => {
                             // Group this shard's pairs by key (per-key value
-                            // order is emission order) and combine each group.
-                            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                            // order is emission order), combine each group,
+                            // then route it with the hash computed while
+                            // grouping.
+                            let mut groups: PrehashedMap<K, Vec<V>> =
+                                prehashed_map_with_capacity(pairs.len());
                             for (key, value) in pairs {
-                                groups.entry(key).or_default().push(value);
+                                groups.entry(Prehashed::new(key)).or_default().push(value);
                             }
-                            let combined: Vec<(K, Vec<V>)> = groups
-                                .into_iter()
-                                .map(|(key, values)| {
-                                    let values = combiner.combine(&key, values);
-                                    (key, values)
-                                })
-                                .collect();
-                            let kept = combined.iter().map(|(_, vs)| vs.len()).sum();
-                            (MappedShard::Combined(combined), emitted, kept)
+                            let mut buckets: Vec<Vec<(u64, K, Vec<V>)>> =
+                                (0..threads).map(|_| Vec::new()).collect();
+                            for (key, values) in groups {
+                                let values = combiner.combine(key.key(), values);
+                                kept += values.len();
+                                for value in &values {
+                                    bytes += weigher(key.key(), value) as u64;
+                                }
+                                let hash = key.hash();
+                                buckets[shard_for_hash(hash, threads)].push((
+                                    hash,
+                                    key.into_key(),
+                                    values,
+                                ));
+                            }
+                            buckets.into_iter().map(ShuffleBucket::Combined).collect()
                         }
+                    };
+                    let partition_time = partition_start.elapsed();
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        crate::hash::debug_hash_count::take() as usize,
+                        emitted,
+                        "hash-once invariant: a map worker hashes each emitted key exactly once"
+                    );
+                    MapOutcome {
+                        buckets,
+                        emitted,
+                        kept,
+                        bytes,
+                        partition_time,
                     }
                 })
             })
@@ -316,77 +453,110 @@ where
             .collect()
     });
     metrics.map_time = map_start.elapsed();
-    metrics.key_value_pairs = mapped.iter().map(|(_, emitted, _)| emitted).sum();
+    metrics.partition_time = mapped
+        .iter()
+        .map(|outcome| outcome.partition_time)
+        .max()
+        .unwrap_or_default();
+    metrics.key_value_pairs = mapped.iter().map(|outcome| outcome.emitted).sum();
+    metrics.shuffle_bytes = mapped.iter().map(|outcome| outcome.bytes).sum();
     if combiner.is_some() {
         metrics.combiner_input_records = metrics.key_value_pairs;
-        metrics.combiner_output_records = mapped.iter().map(|(_, _, kept)| kept).sum();
+        metrics.combiner_output_records = mapped.iter().map(|outcome| outcome.kept).sum();
         metrics.shuffle_records = metrics.combiner_output_records;
     } else {
         metrics.shuffle_records = metrics.key_value_pairs;
     }
 
-    // ---- Shuffle phase ----------------------------------------------------
-    // Shipped pairs are sharded by key hash so that each reduce worker owns a
-    // disjoint set of keys; grouping within a shard uses a hash map keyed by
-    // K. Per-key value order is (map-shard order, within-shard emission
-    // order) and therefore deterministic.
+    // ---- Exchange phase ---------------------------------------------------
+    // Transpose worker-major buckets into reducer-major inboxes. Pure
+    // ownership moves: the coordinator handles `workers x threads` vectors,
+    // never a record, so this stage is O(threads^2) regardless of data size.
     let shuffle_start = Instant::now();
-    let weigher = &round.record_bytes;
-    let mut shuffle_bytes = 0u64;
-    let mut shards: Vec<HashMap<K, Vec<V>>> = (0..threads).map(|_| HashMap::new()).collect();
-    for (shard, _, _) in mapped {
-        match shard {
-            MappedShard::Flat(pairs) => {
-                for (key, value) in pairs {
-                    shuffle_bytes += weigher(&key, &value) as u64;
-                    let target = shard_for_hash(hash_of(&key), threads);
-                    shards[target].entry(key).or_default().push(value);
-                }
-            }
-            MappedShard::Combined(groups) => {
-                for (key, values) in groups {
-                    for value in &values {
-                        shuffle_bytes += weigher(&key, value) as u64;
-                    }
-                    let target = shard_for_hash(hash_of(&key), threads);
-                    shards[target].entry(key).or_default().extend(values);
-                }
-            }
+    let workers = mapped.len();
+    let mut inboxes: Vec<Vec<ShuffleBucket<K, V>>> =
+        (0..threads).map(|_| Vec::with_capacity(workers)).collect();
+    for outcome in mapped {
+        for (target, bucket) in outcome.buckets.into_iter().enumerate() {
+            inboxes[target].push(bucket);
         }
     }
-    metrics.shuffle_bytes = shuffle_bytes;
     metrics.shuffle_time = shuffle_start.elapsed();
-    metrics.reducers_used = shards.iter().map(|s| s.len()).sum();
-    metrics.max_reducer_input = shards
-        .iter()
-        .flat_map(|s| s.values().map(|v| v.len()))
-        .max()
-        .unwrap_or(0);
 
-    // ---- Reduce phase -----------------------------------------------------
+    // ---- Reduce phase (group + reduce per worker) -------------------------
+    // Each reduce worker owns a disjoint set of keys (its shard). It groups
+    // its inbox with the precomputed hashes, so per-key value order is
+    // (map-worker order, within-worker order) and therefore deterministic.
     let deterministic = config.deterministic;
     let reducer = &*round.reducer;
     let reduce_start = Instant::now();
-    let reduced: Vec<(Vec<O>, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
+    let reduced: Vec<ReduceOutcome<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inboxes
             .into_iter()
-            .map(|shard| {
+            .map(|inbox| {
                 scope.spawn(move || {
-                    let mut groups: Vec<(K, Vec<V>)> = shard.into_iter().collect();
+                    #[cfg(debug_assertions)]
+                    let _ = crate::hash::debug_hash_count::take();
+                    // Capacity heuristic: the largest inbound bucket (distinct
+                    // keys when combined, one worker's pairs when flat) capped
+                    // so a low-cardinality shard never pre-allocates a table
+                    // sized to its record count; past the cap the map doubles
+                    // a handful of times, which is cheap.
+                    let capacity = inbox
+                        .iter()
+                        .map(|b| b.key_entries())
+                        .max()
+                        .unwrap_or(0)
+                        .min(1 << 16);
+                    let mut grouped: PrehashedMap<K, Vec<V>> =
+                        prehashed_map_with_capacity(capacity);
+                    for bucket in inbox {
+                        match bucket {
+                            ShuffleBucket::Flat(pairs) => {
+                                for (hash, key, value) in pairs {
+                                    grouped
+                                        .entry(Prehashed::from_parts(hash, key))
+                                        .or_default()
+                                        .push(value);
+                                }
+                            }
+                            ShuffleBucket::Combined(combined) => {
+                                for (hash, key, mut values) in combined {
+                                    grouped
+                                        .entry(Prehashed::from_parts(hash, key))
+                                        .or_default()
+                                        .append(&mut values);
+                                }
+                            }
+                        }
+                    }
+                    let mut groups: Vec<(K, Vec<V>)> = grouped
+                        .into_iter()
+                        .map(|(key, values)| (key.into_key(), values))
+                        .collect();
                     if deterministic {
                         // Sort keys for deterministic per-shard iteration order.
-                        groups.sort_by(|a, b| a.0.cmp(&b.0));
+                        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                     }
-                    let mut outputs = Vec::new();
-                    let mut work = 0u64;
-                    for (key, values) in groups {
-                        let mut ctx = ReduceContext::new();
-                        reducer.reduce(&key, &values, &mut ctx);
-                        let (out, w) = ctx.into_parts();
-                        outputs.extend(out);
-                        work += w;
+                    let group_count = groups.len();
+                    let max_input = groups.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+                    let mut ctx = ReduceContext::new();
+                    for (key, values) in &groups {
+                        reducer.reduce(key, values, &mut ctx);
                     }
-                    (outputs, work)
+                    let (outputs, work) = ctx.into_parts();
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        crate::hash::debug_hash_count::take(),
+                        0,
+                        "hash-once invariant: reduce-side grouping reuses precomputed hashes"
+                    );
+                    ReduceOutcome {
+                        outputs,
+                        work,
+                        groups: group_count,
+                        max_input,
+                    }
                 })
             })
             .collect();
@@ -396,20 +566,22 @@ where
             .collect()
     });
     metrics.reduce_time = reduce_start.elapsed();
+    metrics.reducers_used = reduced.iter().map(|outcome| outcome.groups).sum();
+    metrics.max_reducer_input = reduced
+        .iter()
+        .map(|outcome| outcome.max_input)
+        .max()
+        .unwrap_or(0);
 
-    let mut outputs = Vec::new();
-    for (out, work) in reduced {
-        metrics.reducer_work += work;
-        outputs.extend(out);
+    // Reserve once, then append: one move per output record, no re-growth.
+    let total_outputs: usize = reduced.iter().map(|outcome| outcome.outputs.len()).sum();
+    let mut outputs = Vec::with_capacity(total_outputs);
+    for mut outcome in reduced {
+        metrics.reducer_work += outcome.work;
+        outputs.append(&mut outcome.outputs);
     }
     metrics.outputs = outputs.len();
     (outputs, metrics)
-}
-
-fn hash_of<K: Hash>(key: &K) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    key.hash(&mut hasher);
-    hasher.finish()
 }
 
 #[cfg(test)]
@@ -439,10 +611,10 @@ mod tests {
         let config = EngineConfig::with_threads(4);
         let (mut with, report_with) = Pipeline::new()
             .round(counting_round(true))
-            .run(inputs.clone(), &config);
+            .run(&inputs, &config);
         let (mut without, report_without) = Pipeline::new()
             .round(counting_round(false))
-            .run(inputs, &config);
+            .run(&inputs, &config);
         with.sort_unstable();
         without.sort_unstable();
         assert_eq!(with, without);
@@ -465,7 +637,7 @@ mod tests {
         let config = EngineConfig::with_threads(3).combiners(false);
         let (_, report) = Pipeline::new()
             .round(counting_round(true))
-            .run(inputs, &config);
+            .run(&inputs, &config);
         let metrics = &report.rounds[0].metrics;
         assert_eq!(metrics.combiner_input_records, 0);
         assert_eq!(metrics.shuffle_records, metrics.key_value_pairs);
@@ -493,13 +665,15 @@ mod tests {
         );
         let pipeline = Pipeline::new().round(sums_round).round(histogram_round);
         assert_eq!(pipeline.num_rounds(), 2);
-        let (histogram, report) = pipeline.run(inputs.clone(), &EngineConfig::with_threads(4));
+        let (histogram, report) = pipeline.run(&inputs, &EngineConfig::with_threads(4));
 
-        let mut expected_sums: HashMap<u64, u64> = HashMap::new();
+        let mut expected_sums: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
         for x in &inputs {
             *expected_sums.entry(x % 7).or_default() += x;
         }
-        let mut expected_histogram: HashMap<u64, u64> = HashMap::new();
+        let mut expected_histogram: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
         for sum in expected_sums.values() {
             *expected_histogram.entry(*sum).or_default() += 1;
         }
@@ -535,7 +709,7 @@ mod tests {
                 |&(k, c): &(u64, u64), ctx: &mut MapContext<u64, u64>| ctx.emit(k, c),
                 |k: &u64, cs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| ctx.emit((*k, cs[0])),
             ))
-            .run(inputs, &EngineConfig::serial());
+            .run(&inputs, &EngineConfig::serial());
         assert_eq!(report.num_rounds(), 2);
         assert_eq!(outputs.len(), 5); // keys 0, 2, 4, 6, 8
         assert_eq!(report.rounds[1].metrics.input_records, 5);
@@ -553,7 +727,7 @@ mod tests {
             let run = || {
                 Pipeline::new()
                     .round(counting_round(true))
-                    .run(inputs.clone(), &config)
+                    .run(&inputs, &config)
                     .0
             };
             assert_eq!(run(), run(), "use_combiners={use_combiners}");
@@ -565,7 +739,7 @@ mod tests {
         let inputs: Vec<u64> = (0..50).collect();
         let (_, report) = Pipeline::new()
             .round(counting_round(false))
-            .run(inputs, &EngineConfig::serial());
+            .run(&inputs, &EngineConfig::serial());
         let metrics = &report.rounds[0].metrics;
         // Key and value are both u64: 16 bytes per shipped record.
         assert_eq!(metrics.shuffle_bytes, metrics.shuffle_records as u64 * 16);
@@ -586,16 +760,45 @@ mod tests {
         let inputs: Vec<u64> = (0..60).collect();
         let (_, report) = Pipeline::new()
             .round(round)
-            .run(inputs, &EngineConfig::serial());
+            .run(&inputs, &EngineConfig::serial());
         let metrics = &report.rounds[0].metrics;
         assert_eq!(metrics.shuffle_bytes, metrics.shuffle_records as u64 * 16);
     }
 
     #[test]
     fn empty_pipeline_passes_inputs_through() {
-        let (outputs, report) = Pipeline::new().run(vec![1u64, 2, 3], &EngineConfig::serial());
+        let (outputs, report) = Pipeline::new().run(&[1u64, 2, 3], &EngineConfig::serial());
         assert_eq!(outputs, vec![1, 2, 3]);
         assert_eq!(report.num_rounds(), 0);
         assert_eq!(report.combined(), JobMetrics::default());
+    }
+
+    #[test]
+    fn partition_time_is_measured_and_bounded_by_the_map_phase() {
+        let inputs: Vec<u64> = (0..20_000).collect();
+        let (_, report) = Pipeline::new()
+            .round(counting_round(false))
+            .run(&inputs, &EngineConfig::with_threads(4));
+        let metrics = &report.rounds[0].metrics;
+        // Partitioning happens inside the map workers, so its critical-path
+        // time can never exceed the whole map phase.
+        assert!(metrics.partition_time <= metrics.map_time);
+    }
+
+    /// The hash-once invariant is asserted inside every map and reduce worker
+    /// in debug builds; driving the engine through both shuffle paths (flat
+    /// and combined) across thread counts exercises those assertions.
+    #[test]
+    fn hash_once_invariant_holds_on_both_shuffle_paths() {
+        let inputs: Vec<u64> = (0..700).map(|i| i * 13 % 211).collect();
+        for threads in [1usize, 2, 8] {
+            for combine in [true, false] {
+                let (outputs, report) = Pipeline::new()
+                    .round(counting_round(combine))
+                    .run(&inputs, &EngineConfig::with_threads(threads));
+                assert!(!outputs.is_empty());
+                assert_eq!(report.rounds[0].metrics.key_value_pairs, inputs.len());
+            }
+        }
     }
 }

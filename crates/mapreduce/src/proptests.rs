@@ -36,11 +36,11 @@ fn run_single_round<K, V, O>(
 where
     K: std::hash::Hash + Eq + Ord + Send + 'static,
     V: Send + 'static,
-    O: Send + 'static,
+    O: Send + Clone + 'static,
 {
     let (outputs, report) = Pipeline::new()
         .round(Round::new("job", mapper, reducer))
-        .run(inputs.to_vec(), config);
+        .run(inputs, config);
     (outputs, report.rounds.into_iter().next().unwrap().metrics)
 }
 
@@ -173,7 +173,7 @@ fn aggregation_job(
         round
     };
     let config = EngineConfig::with_threads(threads).combiners(use_combiners);
-    let (outputs, report) = Pipeline::new().round(round).run(inputs.to_vec(), &config);
+    let (outputs, report) = Pipeline::new().round(round).run(inputs, &config);
     (outputs, report.rounds.into_iter().next().unwrap().metrics)
 }
 
@@ -266,7 +266,7 @@ fn identity_combiner_changes_nothing() {
             };
             Pipeline::new()
                 .round(round)
-                .run(inputs.to_vec(), &EngineConfig::with_threads(threads))
+                .run(&inputs, &EngineConfig::with_threads(threads))
         };
         let (with, report_with) = run(true);
         let (without, report_without) = run(false);
@@ -277,6 +277,177 @@ fn identity_combiner_changes_nothing() {
         assert_eq!(mw.shuffle_records, mo.shuffle_records, "seed {seed}");
         assert_eq!(mw.shuffle_bytes, mo.shuffle_bytes, "seed {seed}");
         assert_eq!(mw.reducer_work, mo.reducer_work, "seed {seed}");
+    }
+}
+
+/// What the pre-parallel-shuffle engine measured for one round: the serial
+/// reference the parallel two-phase exchange is pinned against. Chunking
+/// mirrors the engine (`len.div_ceil(threads)`) so the per-map-shard combiner
+/// counters agree exactly; grouping is one big `HashMap` on a single thread,
+/// exactly the old coordinator loop.
+struct SerialShuffleReference {
+    key_value_pairs: usize,
+    combiner_output_records: usize,
+    shuffle_records: usize,
+    shuffle_bytes: u64,
+    reducers_used: usize,
+    max_reducer_input: usize,
+    /// Reducer outputs, sorted (the serial grouping fixes no inter-shard
+    /// order, so parity is multiset equality).
+    sorted_outputs: Vec<(u64, u64, usize)>,
+}
+
+fn serial_shuffle_reference(
+    inputs: &[u64],
+    threads: usize,
+    combine: bool,
+) -> SerialShuffleReference {
+    let mapper = |x: &u64| vec![(x % 29, x * 3), (x % 13, x + 7)];
+    let weigher = |_k: &u64, v: &u64| 8 + (v % 5) as usize; // value-dependent bytes
+    let chunk_size = inputs.len().div_ceil(threads).max(1);
+    let mut key_value_pairs = 0usize;
+    let mut combiner_output_records = 0usize;
+    let mut shuffle_bytes = 0u64;
+    let mut grouped: HashMap<u64, Vec<u64>> = HashMap::new();
+    for chunk in inputs.chunks(chunk_size) {
+        let pairs: Vec<(u64, u64)> = chunk.iter().flat_map(mapper).collect();
+        key_value_pairs += pairs.len();
+        if combine {
+            // Per-map-shard grouping + the summing combiner, as the old
+            // engine ran it on the coordinator's behalf.
+            let mut shard_groups: HashMap<u64, Vec<u64>> = HashMap::new();
+            for (key, value) in pairs {
+                shard_groups.entry(key).or_default().push(value);
+            }
+            for (key, values) in shard_groups {
+                let combined: u64 = values.iter().sum();
+                combiner_output_records += 1;
+                shuffle_bytes += weigher(&key, &combined) as u64;
+                grouped.entry(key).or_default().push(combined);
+            }
+        } else {
+            for (key, value) in pairs {
+                shuffle_bytes += weigher(&key, &value) as u64;
+                grouped.entry(key).or_default().push(value);
+            }
+        }
+    }
+    let shuffle_records = if combine {
+        combiner_output_records
+    } else {
+        key_value_pairs
+    };
+    let reducers_used = grouped.len();
+    let max_reducer_input = grouped.values().map(|v| v.len()).max().unwrap_or(0);
+    let mut sorted_outputs: Vec<(u64, u64, usize)> = grouped
+        .into_iter()
+        .map(|(k, vs)| (k, vs.iter().sum(), vs.len()))
+        .collect();
+    sorted_outputs.sort_unstable();
+    SerialShuffleReference {
+        key_value_pairs,
+        combiner_output_records,
+        shuffle_records,
+        shuffle_bytes,
+        reducers_used,
+        max_reducer_input,
+        sorted_outputs,
+    }
+}
+
+/// Runs the same job on the real (parallel-shuffle) engine.
+fn parallel_shuffle_run(
+    inputs: &[u64],
+    threads: usize,
+    combine: bool,
+) -> (Vec<(u64, u64, usize)>, JobMetrics) {
+    let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| {
+        ctx.emit(x % 29, x * 3);
+        ctx.emit(x % 13, x + 7);
+    };
+    let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, usize)>| {
+        ctx.emit((*k, vs.iter().sum(), vs.len()));
+    };
+    let round = Round::new("parity", mapper, reducer)
+        .record_bytes(|_k: &u64, v: &u64| 8 + (v % 5) as usize);
+    let round = if combine {
+        round.combiner(|_k: &u64, vs: Vec<u64>| vec![vs.iter().sum()])
+    } else {
+        round
+    };
+    let (outputs, report) = Pipeline::new()
+        .round(round)
+        .run(inputs, &EngineConfig::with_threads(threads));
+    (outputs, report.rounds.into_iter().next().unwrap().metrics)
+}
+
+/// Parity of the parallel two-phase shuffle against the old serial grouping:
+/// exact `shuffle_records` / `shuffle_bytes` / `reducers_used` /
+/// `max_reducer_input` counters and multiset-equal outputs, for threads
+/// {1, 2, 8}, with and without a combiner.
+#[test]
+fn parallel_shuffle_matches_the_serial_grouping_reference() {
+    for seed in 124..140 {
+        let inputs = random_inputs(seed, 500, 400);
+        for threads in [1usize, 2, 8] {
+            for combine in [false, true] {
+                let reference = serial_shuffle_reference(&inputs, threads, combine);
+                let (mut outputs, metrics) = parallel_shuffle_run(&inputs, threads, combine);
+                outputs.sort_unstable();
+                let label = format!("seed {seed} threads {threads} combine {combine}");
+                assert_eq!(outputs, reference.sorted_outputs, "{label}");
+                assert_eq!(
+                    metrics.key_value_pairs, reference.key_value_pairs,
+                    "{label}"
+                );
+                assert_eq!(
+                    metrics.combiner_output_records, reference.combiner_output_records,
+                    "{label}"
+                );
+                assert_eq!(
+                    metrics.shuffle_records, reference.shuffle_records,
+                    "{label}"
+                );
+                assert_eq!(metrics.shuffle_bytes, reference.shuffle_bytes, "{label}");
+                assert_eq!(metrics.reducers_used, reference.reducers_used, "{label}");
+                assert_eq!(
+                    metrics.max_reducer_input, reference.max_reducer_input,
+                    "{label}"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic mode: the parallel shuffle repeats byte-identically at every
+/// thread count, and its counters are thread-count invariant.
+#[test]
+fn parallel_shuffle_repeats_exactly_and_counters_ignore_thread_count() {
+    for seed in 140..148 {
+        let inputs = random_inputs(seed, 400, 300);
+        for combine in [false, true] {
+            let single = parallel_shuffle_run(&inputs, 1, combine);
+            for threads in [2usize, 8] {
+                let first = parallel_shuffle_run(&inputs, threads, combine);
+                let second = parallel_shuffle_run(&inputs, threads, combine);
+                assert_eq!(
+                    first.0, second.0,
+                    "seed {seed} threads {threads} combine {combine}"
+                );
+                // Counters that must not depend on the worker count at all.
+                assert_eq!(first.1.key_value_pairs, single.1.key_value_pairs);
+                assert_eq!(first.1.reducers_used, single.1.reducers_used);
+                if !combine {
+                    // Without a combiner the shipped totals and the reducer
+                    // input sizes are invariant too (combined runs produce one
+                    // record per map shard per key, so those legitimately vary
+                    // with the chunking).
+                    assert_eq!(first.1.max_reducer_input, single.1.max_reducer_input);
+                    assert_eq!(first.1.shuffle_records, single.1.shuffle_records);
+                    assert_eq!(first.1.shuffle_bytes, single.1.shuffle_bytes);
+                }
+            }
+        }
     }
 }
 
@@ -298,12 +469,12 @@ fn struct_combiners_work_like_closure_combiners() {
     let config = EngineConfig::with_threads(4);
     let (a, _) = Pipeline::new()
         .round(Round::new("struct", mapper, reducer).combiner(Summing))
-        .run(inputs.clone(), &config);
+        .run(&inputs, &config);
     let (b, _) = Pipeline::new()
         .round(
             Round::new("closure", mapper, reducer)
                 .combiner(|_k: &u64, vs: Vec<u64>| vec![vs.iter().sum()]),
         )
-        .run(inputs, &config);
+        .run(&inputs, &config);
     assert_eq!(a, b);
 }

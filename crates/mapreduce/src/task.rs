@@ -1,7 +1,9 @@
 //! Mapper and reducer traits plus their emission contexts.
 
-/// Collects the key-value pairs emitted by a mapper for one input record and
-/// counts them (each emission is one unit of communication cost).
+/// Collects the key-value pairs emitted by a mapper (each emission is one
+/// unit of communication cost). The engine reuses one context for all of a
+/// map worker's records, so emissions accumulate instead of paying one
+/// allocation per record.
 pub struct MapContext<K, V> {
     emitted: Vec<(K, V)>,
 }
@@ -18,7 +20,7 @@ impl<K, V> MapContext<K, V> {
         self.emitted.push((key, value));
     }
 
-    /// Number of pairs emitted so far for the current record.
+    /// Number of pairs emitted into this context so far.
     pub fn emitted_len(&self) -> usize {
         self.emitted.len()
     }
@@ -29,6 +31,9 @@ impl<K, V> MapContext<K, V> {
 }
 
 /// Collects reducer output and the reducer's self-reported computation cost.
+/// The engine reuses one context for all keys a reduce worker owns, so
+/// outputs append into one pre-existing buffer rather than allocating a fresh
+/// vector per reducer invocation.
 pub struct ReduceContext<O> {
     outputs: Vec<O>,
     work: u64,
