@@ -1,0 +1,16 @@
+//! The tracked streaming-sink benchmark: count-only triangle enumeration on
+//! a ≥ 1M-edge sparse G(n, p) graph at engine thread counts {1, 2, 4, 8}.
+//!
+//! Writes `BENCH_sink.json` at the repository root (full mode) or a scratch
+//! file under `target/` (`-- --quick`, the CI smoke mode, which also
+//! validates the tracked file) and fails (panics) if either file is not
+//! well-formed JSON.
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    print!("{}", subgraph_bench::sink_bench::sink_throughput(quick));
+    println!(
+        "\nwrote {}",
+        subgraph_bench::sink_bench::output_json_path(quick).display()
+    );
+}

@@ -21,6 +21,8 @@ fn main() {
             "planner" => print!("{}", planner_table::planner_choices()),
             "shuffle" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(false)),
             "shuffle-quick" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(true)),
+            "sink" => print!("{}", subgraph_bench::sink_bench::sink_throughput(false)),
+            "sink-quick" => print!("{}", subgraph_bench::sink_bench::sink_throughput(true)),
             "fig1" => print!("{}", figures::figure1()),
             "fig2" => print!("{}", figures::figure2()),
             "cascade" => print!("{}", figures::cascade_comparison()),
@@ -56,6 +58,8 @@ fn print_usage() {
          planner               strategy chosen per pattern and reducer budget\n  \
          shuffle               engine shuffle throughput sweep (writes BENCH_shuffle.json)\n  \
          shuffle-quick         the same sweep in CI smoke mode\n  \
+         sink                  streaming-sink sweep: count-only >=1M-edge graph (writes BENCH_sink.json)\n  \
+         sink-quick            the same sweep in CI smoke mode\n  \
          fig1                  Figure 1  (asymptotic triangle comparison)\n  \
          fig2                  Figure 2  (specific reducer counts)\n  \
          cascade               Section 2 motivation (1-round vs 2-round cascade)\n  \

@@ -28,6 +28,7 @@
 //! | Section 7.4 (relation sizes) | [`computation::relation_size_table`] |
 //! | strategy choice (Sections 2, 4, 6-7) | [`planner_table::planner_choices`] |
 //! | shuffle throughput sweep (engine perf trajectory) | [`shuffle::shuffle_throughput`] |
+//! | streaming-sink sweep (count-only, ≥ 1M edges, peak RSS) | [`sink_bench::sink_throughput`] |
 //!
 //! The measured columns drive every algorithm through the
 //! `EnumerationRequest`/`Planner` API of `subgraph-core`; [`harness`] is the
@@ -42,6 +43,7 @@ pub mod planner_table;
 pub mod report;
 pub mod share_tables;
 pub mod shuffle;
+pub mod sink_bench;
 
 /// Runs every reproduction and concatenates the reports (the `all` subcommand).
 pub fn run_all() -> String {

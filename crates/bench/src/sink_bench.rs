@@ -1,0 +1,350 @@
+//! Streaming-sink benchmark: count-only triangle enumeration on a large
+//! `G(n, p)` graph (≥ 1M edges), swept over engine thread counts.
+//!
+//! This is the workload the sink refactor exists for: the instances flow
+//! through a [`subgraph_core::sink::CountSink`], so the run allocates no
+//! per-instance storage anywhere — the measured peak RSS is the graph plus
+//! the shuffle, independent of how many instances exist. The sweep writes
+//! `BENCH_sink.json` at the repository root (full mode) or a scratch file
+//! under `target/` (quick CI mode), records peak RSS and throughput, and
+//! validates that the JSON parses; a malformed file panics, which is what
+//! fails the CI smoke step.
+//!
+//! Two entry points share the implementation: the `sink_throughput` bench
+//! target (`cargo bench -p subgraph-bench --bench sink_throughput`,
+//! `-- --quick` for CI) and `cargo run -p subgraph-bench --bin reproduce --
+//! sink` / `sink-quick`.
+
+use crate::report::{fmt, Table};
+use crate::shuffle::validate_json;
+use std::time::Instant;
+use subgraph_core::plan::{EnumerationRequest, StrategyKind};
+use subgraph_graph::generators;
+use subgraph_mapreduce::EngineConfig;
+
+/// Thread counts the sweep measures.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured thread-count configuration (count-only mode).
+#[derive(Clone, Debug)]
+pub struct SinkSample {
+    /// Engine thread count.
+    pub threads: usize,
+    /// Mean wall time per count-only run, in seconds.
+    pub mean_secs: f64,
+    /// Fastest run, in seconds.
+    pub min_secs: f64,
+    /// Key-value pairs shipped through the shuffle per run.
+    pub shuffle_records: usize,
+    /// Instances counted by the sink (identical across thread counts).
+    pub count: usize,
+}
+
+/// The full sweep outcome.
+#[derive(Clone, Debug)]
+pub struct SinkBenchReport {
+    /// `"quick"` (CI smoke) or `"full"`.
+    pub mode: &'static str,
+    /// Nodes of the G(n, p) graph.
+    pub n: usize,
+    /// Edge probability.
+    pub p: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Edges of the generated graph (≥ 1M in both modes).
+    pub edges: usize,
+    /// Reducer budget (the bucket-ordered join turns it into `b` buckets).
+    pub reducer_budget: usize,
+    /// Timed runs per thread count (after one untimed warm-up).
+    pub runs: usize,
+    /// `std::thread::available_parallelism` on the benchmarking host.
+    pub available_parallelism: usize,
+    /// Peak RSS of the whole process after the sweep, in bytes (Linux
+    /// `VmHWM`; 0 when unavailable). Count-only mode keeps this flat in the
+    /// instance count — the graph and the shuffle dominate.
+    pub peak_rss_bytes: u64,
+    /// One entry per swept thread count, in [`THREAD_COUNTS`] order.
+    pub samples: Vec<SinkSample>,
+}
+
+impl SinkBenchReport {
+    /// Renders the `reproduce sink` table.
+    pub fn table(&self) -> String {
+        let mut table = Table::new(
+            "Streaming sink — count-only triangle enumeration, zero instance storage",
+            &[
+                "threads",
+                "mean (s)",
+                "min (s)",
+                "records/s (mean)",
+                "edges/s (mean)",
+            ],
+        );
+        for sample in &self.samples {
+            let per_sec = |quantity: f64| {
+                if sample.mean_secs > 0.0 {
+                    quantity / sample.mean_secs
+                } else {
+                    0.0
+                }
+            };
+            table.row(&[
+                sample.threads.to_string(),
+                format!("{:.4}", sample.mean_secs),
+                format!("{:.4}", sample.min_secs),
+                fmt(per_sec(sample.shuffle_records as f64)),
+                fmt(per_sec(self.edges as f64)),
+            ]);
+        }
+        table.note(&format!(
+            "{} mode: sparse G(n = {}, p = {:.2e}) seed {} -> m = {}, budget {}, {} runs per \
+             point; host parallelism {}",
+            self.mode,
+            self.n,
+            self.p,
+            self.seed,
+            self.edges,
+            self.reducer_budget,
+            self.runs,
+            self.available_parallelism,
+        ));
+        table.note(&format!(
+            "count-only: {} instances streamed through a CountSink (not retained); process peak \
+             RSS {:.1} MiB",
+            self.samples.first().map_or(0, |s| s.count),
+            self.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        ));
+        table.note(&format!(
+            "written to {}",
+            if self.mode == "quick" {
+                "target/BENCH_sink.quick.json"
+            } else {
+                "BENCH_sink.json"
+            },
+        ));
+        table.render()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"sink_throughput\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str("  \"workload\": {\n");
+        out.push_str("    \"graph\": \"gnp_sparse\",\n");
+        out.push_str(&format!("    \"n\": {},\n", self.n));
+        out.push_str(&format!("    \"p\": {:e},\n", self.p));
+        out.push_str(&format!("    \"seed\": {},\n", self.seed));
+        out.push_str(&format!("    \"edges\": {},\n", self.edges));
+        out.push_str("    \"strategy\": \"bucket-ordered-triangles\",\n");
+        out.push_str("    \"sink\": \"count\",\n");
+        out.push_str(&format!(
+            "    \"reducer_budget\": {}\n",
+            self.reducer_budget
+        ));
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"host\": {{ \"available_parallelism\": {} }},\n",
+            self.available_parallelism
+        ));
+        out.push_str(&format!("  \"runs_per_thread_count\": {},\n", self.runs));
+        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str("  \"results\": [\n");
+        for (i, sample) in self.samples.iter().enumerate() {
+            let records_per_sec = if sample.mean_secs > 0.0 {
+                sample.shuffle_records as f64 / sample.mean_secs
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "    {{ \"threads\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}, \
+                 \"shuffle_records\": {}, \"records_per_sec\": {:.1}, \"count\": {} }}{}\n",
+                sample.threads,
+                sample.mean_secs,
+                sample.min_secs,
+                sample.shuffle_records,
+                records_per_sec,
+                sample.count,
+                if i + 1 == self.samples.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The process's peak resident set size in bytes (Linux `VmHWM`), or 0 when
+/// the platform does not expose it.
+pub fn peak_rss_bytes() -> u64 {
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+    }
+    0
+}
+
+/// Runs the sweep. Both modes use a ≥ 1M-edge graph — the point of the sink
+/// path is large-graph behaviour; `quick` only trims the repetition count.
+pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
+    let (mode, n, target_edges, runs) = if quick {
+        ("quick", 1_500_000usize, 1_050_000usize, 1usize)
+    } else {
+        ("full", 3_000_000usize, 3_000_000usize, 3usize)
+    };
+    let p = 2.0 * target_edges as f64 / (n as f64 * (n as f64 - 1.0));
+    let seed = 20_260_731u64;
+    let reducer_budget = 64usize; // b = 6 for the bucket-ordered join
+    let graph = generators::gnp_sparse(n, p, seed);
+    assert!(
+        graph.num_edges() >= 1_000_000,
+        "the sink benchmark is specified for >= 1M edges, got {}",
+        graph.num_edges()
+    );
+
+    let mut samples = Vec::with_capacity(THREAD_COUNTS.len());
+    for threads in THREAD_COUNTS {
+        let plan = EnumerationRequest::named("triangle", &graph)
+            .expect("triangle is a catalog pattern")
+            .reducers(reducer_budget)
+            .strategy(StrategyKind::BucketOrderedTriangles)
+            .engine(EngineConfig::with_threads(threads))
+            .plan()
+            .expect("bucket-ordered applies to the triangle pattern");
+        let warmup = plan.count(); // untimed: page in the graph and code paths
+        let mut times = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let start = Instant::now();
+            let report = plan.count();
+            times.push(start.elapsed().as_secs_f64());
+            assert_eq!(report.count(), warmup.count(), "thread-count invariance");
+        }
+        let metrics = warmup.metrics.as_ref().expect("map-reduce strategy");
+        samples.push(SinkSample {
+            threads,
+            mean_secs: times.iter().sum::<f64>() / times.len() as f64,
+            min_secs: times.iter().cloned().fold(f64::INFINITY, f64::min),
+            shuffle_records: metrics.shuffle_records,
+            count: warmup.count(),
+        });
+    }
+
+    SinkBenchReport {
+        mode,
+        n,
+        p,
+        seed,
+        edges: graph.num_edges(),
+        reducer_budget,
+        runs,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
+        peak_rss_bytes: peak_rss_bytes(),
+        samples,
+    }
+}
+
+/// Path of the tracked benchmark file: `BENCH_sink.json` at the repo root.
+/// Only the full-mode sweep writes here.
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sink.json")
+}
+
+/// Scratch path the quick (CI smoke) sweep writes to, under the untracked
+/// `target/` directory.
+pub fn quick_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_sink.quick.json")
+}
+
+/// The path [`sink_throughput`] writes for the given mode.
+pub fn output_json_path(quick: bool) -> std::path::PathBuf {
+    if quick {
+        quick_json_path()
+    } else {
+        bench_json_path()
+    }
+}
+
+/// Runs the sweep and writes its JSON — `BENCH_sink.json` at the repository
+/// root in full mode, a scratch file under `target/` in quick mode. The
+/// written file is re-read and validated, and quick mode additionally
+/// validates the tracked repo-root file when present; any malformed JSON
+/// panics, which is what fails the CI smoke step. Returns the rendered table.
+pub fn sink_throughput(quick: bool) -> String {
+    let report = run_sink_bench(quick);
+    let path = output_json_path(quick);
+    std::fs::write(&path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let written = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot re-read {}: {e}", path.display()));
+    validate_json(&written).unwrap_or_else(|e| panic!("{} is malformed JSON: {e}", path.display()));
+    if quick {
+        let tracked = bench_json_path();
+        if let Ok(contents) = std::fs::read_to_string(&tracked) {
+            validate_json(&contents)
+                .unwrap_or_else(|e| panic!("{} is malformed JSON: {e}", tracked.display()));
+        }
+    }
+    report.table()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_report() -> SinkBenchReport {
+        SinkBenchReport {
+            mode: "quick",
+            n: 100,
+            p: 1e-3,
+            seed: 1,
+            edges: 1_000_000,
+            reducer_budget: 64,
+            runs: 1,
+            available_parallelism: 1,
+            peak_rss_bytes: 123 * 1024 * 1024,
+            samples: THREAD_COUNTS
+                .iter()
+                .map(|&threads| SinkSample {
+                    threads,
+                    mean_secs: 1.0 / threads as f64,
+                    min_secs: 0.9 / threads as f64,
+                    shuffle_records: 6_000_000,
+                    count: 42,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_table_is_honest_about_streaming() {
+        let report = micro_report();
+        validate_json(&report.to_json()).expect("generated JSON must validate");
+        let table = report.table();
+        assert!(table.contains("threads"));
+        // The count-only line must say the instances were streamed, never
+        // imply an empty result.
+        assert!(table.contains("42 instances streamed through a CountSink"));
+        assert!(table.contains("peak RSS"));
+        assert!(report.to_json().contains("\"peak_rss_bytes\""));
+    }
+
+    #[test]
+    fn peak_rss_is_available_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+    }
+}

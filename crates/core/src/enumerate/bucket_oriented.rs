@@ -12,7 +12,8 @@
 
 use super::key::{BucketKey, INLINE_COORDS};
 use super::nondecreasing_sequences;
-use crate::result::MapReduceRun;
+use crate::result::{MapReduceRun, RunStats};
+use crate::sink::{CollectSink, InstanceSink};
 use subgraph_cq::{cqs_for_sample, evaluate_cqs, ConjunctiveQuery};
 use subgraph_graph::{BucketThenIdOrder, DataGraph, Edge};
 use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
@@ -28,7 +29,8 @@ pub(crate) fn vec_key_record_bytes(p: usize) -> usize {
     p * std::mem::size_of::<u32>() + std::mem::size_of::<Edge>()
 }
 
-/// Runs bucket-oriented enumeration of `sample` over `graph` with `b` buckets.
+/// Runs bucket-oriented enumeration of `sample` over `graph` with `b`
+/// buckets, streaming every instance into `sink`.
 ///
 /// This is the internal runner behind
 /// [`crate::plan::StrategyKind::BucketOriented`]; external callers go through
@@ -38,27 +40,14 @@ pub(crate) fn run_bucket_oriented(
     graph: &DataGraph,
     b: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     let cqs = cqs_for_sample(sample);
-    bucket_oriented_with_cqs(sample.num_nodes(), &cqs, graph, b, config)
-}
-
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::BucketOriented and call plan()/execute() instead"
-)]
-pub fn bucket_oriented_enumerate(
-    sample: &SampleGraph,
-    graph: &DataGraph,
-    b: usize,
-    config: &EngineConfig,
-) -> MapReduceRun {
-    run_bucket_oriented(sample, graph, b, config)
+    bucket_oriented_with_cqs_into(sample.num_nodes(), &cqs, graph, b, config, sink)
 }
 
 /// Same, with an explicit CQ collection (the cycle CQs of Section 5 plug in
-/// here directly).
+/// here directly), collecting the instances.
 pub fn bucket_oriented_with_cqs(
     p: usize,
     cqs: &[ConjunctiveQuery],
@@ -66,6 +55,21 @@ pub fn bucket_oriented_with_cqs(
     b: usize,
     config: &EngineConfig,
 ) -> MapReduceRun {
+    let mut collected = CollectSink::new();
+    let stats = bucket_oriented_with_cqs_into(p, cqs, graph, b, config, &mut collected);
+    stats.into_run(collected.into_items())
+}
+
+/// Streaming variant of [`bucket_oriented_with_cqs`]: the final reducers feed
+/// `sink` directly through the engine's sharded delivery.
+pub fn bucket_oriented_with_cqs_into(
+    p: usize,
+    cqs: &[ConjunctiveQuery],
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     assert!(b >= 1, "at least one bucket is required");
     assert!(p >= 2, "patterns need at least one edge");
     let order = BucketThenIdOrder::new(b);
@@ -111,13 +115,13 @@ pub fn bucket_oriented_with_cqs(
         }
     };
 
-    let (instances, report) = Pipeline::new()
+    let report = Pipeline::new()
         .round(
             Round::new("bucket-oriented", mapper, reducer)
                 .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
         )
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
 }
 
 #[cfg(test)]
@@ -133,8 +137,15 @@ mod tests {
         EngineConfig::with_threads(4)
     }
 
+    /// Collect-mode driver over the streaming runner.
+    fn collect_run(sample: &SampleGraph, graph: &DataGraph, b: usize) -> MapReduceRun {
+        let mut collected = CollectSink::new();
+        let stats = run_bucket_oriented(sample, graph, b, &config(), &mut collected);
+        stats.into_run(collected.into_items())
+    }
+
     fn agree(sample: &SampleGraph, graph: &DataGraph, b: usize) {
-        let run = run_bucket_oriented(sample, graph, b, &config());
+        let run = collect_run(sample, graph, b);
         let oracle = enumerate_generic(sample, graph);
         assert_eq!(run.count(), oracle.count(), "pattern {sample:?} b={b}");
         assert_eq!(run.duplicates(), 0, "pattern {sample:?} b={b}");
@@ -166,7 +177,7 @@ mod tests {
             (catalog::cycle(5), 5),
         ] {
             for b in [2usize, 4] {
-                let run = run_bucket_oriented(&sample, &g, b, &config());
+                let run = collect_run(&sample, &g, b);
                 let expected =
                     bucket_oriented_replication(b as u64, p as u64) as usize * g.num_edges();
                 assert_eq!(run.metrics.key_value_pairs, expected, "p={p} b={b}");
@@ -189,7 +200,7 @@ mod tests {
     #[test]
     fn one_bucket_equals_a_single_reducer() {
         let g = generators::gnm(25, 100, 25);
-        let run = run_bucket_oriented(&catalog::square(), &g, 1, &config());
+        let run = collect_run(&catalog::square(), &g, 1);
         assert_eq!(run.metrics.reducers_used, 1);
         assert_eq!(run.metrics.key_value_pairs, g.num_edges());
         assert_eq!(

@@ -8,12 +8,11 @@
 use super::key::BucketKey;
 use super::{integer_shares, variable_bucket};
 use crate::enumerate::bucket_oriented::vec_key_record_bytes;
-use crate::result::MapReduceRun;
+use crate::result::{MapReduceRun, RunStats};
+use crate::sink::{CollectSink, InstanceSink};
 use subgraph_cq::{cqs_for_sample, evaluate_cq_filtered, ConjunctiveQuery, Var};
 use subgraph_graph::{DataGraph, Edge, IdOrder};
-use subgraph_mapreduce::{
-    EngineConfig, JobMetrics, MapContext, Pipeline, ReduceContext, Round, RoundMetrics,
-};
+use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::{Instance, SampleGraph};
 use subgraph_shares::dominance::single_cq_expression_with_dominance;
 use subgraph_shares::optimize_shares;
@@ -24,54 +23,50 @@ use subgraph_shares::optimize_shares;
 /// comparison); the per-job breakdown lands in `round_metrics` (the jobs are
 /// independent, not chained rounds, but share the same reporting shape).
 ///
-/// Internal runner behind [`crate::plan::StrategyKind::CqOriented`].
+/// Internal runner behind [`crate::plan::StrategyKind::CqOriented`]: every
+/// job streams into the same `sink`, so the combined instance stream is the
+/// job-order concatenation (deterministic under a deterministic engine
+/// config).
 pub(crate) fn run_cq_oriented(
     sample: &SampleGraph,
     graph: &DataGraph,
     k_per_query: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     let cqs = cqs_for_sample(sample);
-    let mut instances = Vec::new();
-    let mut combined = JobMetrics::default();
-    let mut per_job = Vec::new();
+    let mut combined = RunStats::default();
     for (job, cq) in cqs.iter().enumerate() {
-        let run = single_cq_job(cq, graph, k_per_query, config);
-        instances.extend(run.instances);
-        combined.absorb(&run.metrics);
-        per_job.push(RoundMetrics {
-            name: format!("cq-job-{job}"),
-            metrics: run.metrics,
-        });
+        let mut stats = single_cq_job_into(cq, graph, k_per_query, config, sink);
+        for round in &mut stats.round_metrics {
+            round.name = format!("cq-job-{job}");
+        }
+        combined.absorb(stats);
     }
-    MapReduceRun {
-        instances,
-        metrics: combined,
-        round_metrics: per_job,
-    }
+    combined
 }
 
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::CqOriented and call plan()/execute() instead"
-)]
-pub fn cq_oriented_enumerate(
-    sample: &SampleGraph,
-    graph: &DataGraph,
-    k_per_query: usize,
-    config: &EngineConfig,
-) -> MapReduceRun {
-    run_cq_oriented(sample, graph, k_per_query, config)
-}
-
-/// Evaluates a single CQ in one map-reduce job with optimized shares.
+/// Evaluates a single CQ in one map-reduce job with optimized shares,
+/// collecting the instances.
 pub fn single_cq_job(
     cq: &ConjunctiveQuery,
     graph: &DataGraph,
     k: usize,
     config: &EngineConfig,
 ) -> MapReduceRun {
+    let mut collected = CollectSink::new();
+    let stats = single_cq_job_into(cq, graph, k, config, &mut collected);
+    stats.into_run(collected.into_items())
+}
+
+/// Streaming variant of [`single_cq_job`].
+pub fn single_cq_job_into(
+    cq: &ConjunctiveQuery,
+    graph: &DataGraph,
+    k: usize,
+    config: &EngineConfig,
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     let expr = single_cq_expression_with_dominance(cq);
     let solution = optimize_shares(&expr, k.max(1) as f64);
     let shares = integer_shares(&solution.shares);
@@ -109,13 +104,13 @@ pub fn single_cq_job(
         }
     };
 
-    let (instances, report) = Pipeline::new()
+    let report = Pipeline::new()
         .round(
             Round::new("cq-job", mapper, reducer)
                 .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
         )
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
 }
 
 fn emit_free(
@@ -153,10 +148,17 @@ mod tests {
         EngineConfig::with_threads(4)
     }
 
+    /// Collect-mode driver over the streaming runner.
+    fn collect_run(sample: &SampleGraph, graph: &DataGraph, k: usize) -> MapReduceRun {
+        let mut collected = CollectSink::new();
+        let stats = run_cq_oriented(sample, graph, k, &config(), &mut collected);
+        stats.into_run(collected.into_items())
+    }
+
     #[test]
     fn squares_match_the_oracle() {
         let g = generators::gnm(30, 140, 8);
-        let run = run_cq_oriented(&catalog::square(), &g, 64, &config());
+        let run = collect_run(&catalog::square(), &g, 64);
         let oracle = enumerate_generic(&catalog::square(), &g);
         assert_eq!(run.count(), oracle.count());
         assert_eq!(run.duplicates(), 0);
@@ -165,7 +167,7 @@ mod tests {
     #[test]
     fn lollipops_match_the_oracle() {
         let g = generators::gnm(28, 130, 9);
-        let run = run_cq_oriented(&catalog::lollipop(), &g, 60, &config());
+        let run = collect_run(&catalog::lollipop(), &g, 60);
         let oracle = enumerate_generic(&catalog::lollipop(), &g);
         assert_eq!(run.count(), oracle.count());
         assert_eq!(run.duplicates(), 0);
@@ -193,8 +195,12 @@ mod tests {
         // Theorem 4.4 at equal total reducer budget.
         let g = generators::gnm(60, 320, 11);
         let sample = catalog::square();
-        let combined = run_variable_oriented(&sample, &g, 128, &config());
-        let separate = run_cq_oriented(&sample, &g, 128, &config());
+        let combined = {
+            let mut collected = CollectSink::new();
+            let stats = run_variable_oriented(&sample, &g, 128, &config(), &mut collected);
+            stats.into_run(collected.into_items())
+        };
+        let separate = collect_run(&sample, &g, 128);
         assert!(
             separate.metrics.key_value_pairs >= combined.metrics.key_value_pairs,
             "separate {} vs combined {}",

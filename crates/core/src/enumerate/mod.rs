@@ -19,12 +19,12 @@ pub mod variable_oriented;
 
 pub use key::BucketKey;
 
-#[allow(deprecated)]
-pub use bucket_oriented::bucket_oriented_enumerate;
-#[allow(deprecated)]
-pub use cq_oriented::cq_oriented_enumerate;
-#[allow(deprecated)]
-pub use variable_oriented::variable_oriented_enumerate;
+// The pre-planner free functions (`bucket_oriented_enumerate`,
+// `variable_oriented_enumerate`, `cq_oriented_enumerate`) are gone: build an
+// `EnumerationRequest`, force the strategy if needed, and `plan()/execute()`
+// (or `run_with_sink()` for streaming results). The CQ-parameterized entry
+// points (`bucket_oriented_with_cqs`, `single_cq_job`, `run_with_plan`) and
+// their `_into` streaming variants remain public.
 
 use subgraph_graph::NodeId;
 

@@ -5,7 +5,8 @@
 use super::key::BucketKey;
 use super::{integer_shares, variable_bucket};
 use crate::enumerate::bucket_oriented::vec_key_record_bytes;
-use crate::result::MapReduceRun;
+use crate::result::{MapReduceRun, RunStats};
+use crate::sink::{CollectSink, InstanceSink};
 use std::collections::BTreeSet;
 use subgraph_cq::{cqs_for_sample, evaluate_cq_filtered, ConjunctiveQuery, Var};
 use subgraph_graph::{DataGraph, Edge, IdOrder};
@@ -50,7 +51,7 @@ pub fn plan(sample: &SampleGraph, k: usize) -> VariableOrientedPlan {
 }
 
 /// Runs variable-oriented enumeration of `sample` over `graph` with a budget
-/// of (approximately) `k` reducers.
+/// of (approximately) `k` reducers, streaming instances into `sink`.
 ///
 /// Internal runner behind [`crate::plan::StrategyKind::VariableOriented`].
 pub(crate) fn run_variable_oriented(
@@ -58,31 +59,31 @@ pub(crate) fn run_variable_oriented(
     graph: &DataGraph,
     k: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     let plan = plan(sample, k);
-    run_with_plan(graph, &plan, config)
+    run_with_plan_into(graph, &plan, config, sink)
 }
 
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::VariableOriented and call plan()/execute() instead"
-)]
-pub fn variable_oriented_enumerate(
-    sample: &SampleGraph,
-    graph: &DataGraph,
-    k: usize,
-    config: &EngineConfig,
-) -> MapReduceRun {
-    run_variable_oriented(sample, graph, k, config)
-}
-
-/// Runs the job for an explicit plan (exposed for benches that sweep shares).
+/// Runs the job for an explicit plan (exposed for benches that sweep shares),
+/// collecting the instances.
 pub fn run_with_plan(
     graph: &DataGraph,
     plan: &VariableOrientedPlan,
     config: &EngineConfig,
 ) -> MapReduceRun {
+    let mut collected = CollectSink::new();
+    let stats = run_with_plan_into(graph, plan, config, &mut collected);
+    stats.into_run(collected.into_items())
+}
+
+/// Streaming variant of [`run_with_plan`].
+pub fn run_with_plan_into(
+    graph: &DataGraph,
+    plan: &VariableOrientedPlan,
+    config: &EngineConfig,
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     let p = plan.shares.len();
     let shares = plan.shares.clone();
     // Distinct subgoal orientations across the CQ collection: these determine
@@ -129,13 +130,13 @@ pub fn run_with_plan(
         }
     };
 
-    let (instances, report) = Pipeline::new()
+    let report = Pipeline::new()
         .round(
             Round::new("variable-oriented", mapper, reducer)
                 .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
         )
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
 }
 
 /// Emits one key per combination of buckets for the variables other than `a`
@@ -174,13 +175,20 @@ mod tests {
         EngineConfig::with_threads(4)
     }
 
+    /// Collect-mode driver over the streaming runner.
+    fn collect_run(sample: &SampleGraph, graph: &DataGraph, k: usize) -> MapReduceRun {
+        let mut collected = CollectSink::new();
+        let stats = run_variable_oriented(sample, graph, k, &config(), &mut collected);
+        stats.into_run(collected.into_items())
+    }
+
     fn agree(sample: &SampleGraph, graph: &DataGraph, k: usize) {
-        let run = run_variable_oriented(sample, graph, k, &config());
+        let run = collect_run(sample, graph, k);
         let oracle = enumerate_generic(sample, graph);
         assert_eq!(run.count(), oracle.count(), "pattern {sample:?} k={k}");
         assert_eq!(run.duplicates(), 0);
-        let mut a = run.instances.clone();
-        let mut b = oracle.instances.clone();
+        let mut a = run.instances().to_vec();
+        let mut b = oracle.instances().to_vec();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -22,8 +22,11 @@
 //! The public entry point is the cost-driven planning layer in [`plan`]:
 //! an [`EnumerationRequest`] feeds the [`Planner`], which scores every
 //! applicable strategy on predicted communication and computation cost and
-//! returns an inspectable, executable [`ExecutionPlan`]. The per-algorithm
-//! free functions still exist as deprecated shims.
+//! returns an inspectable, executable [`ExecutionPlan`]. Results leave every
+//! algorithm through a streaming [`sink::InstanceSink`]
+//! ([`ExecutionPlan::run_with_sink`], [`ExecutionPlan::count`]); the
+//! `Vec`-returning entry points are thin [`sink::CollectSink`] wrappers. The
+//! pre-planner per-algorithm free functions have been removed.
 
 pub mod convertible;
 pub mod enumerate;
@@ -31,6 +34,7 @@ pub mod plan;
 pub mod relation_join;
 pub mod result;
 pub mod serial;
+pub mod sink;
 pub mod triangles;
 
 pub use convertible::{is_convertible, predicted_parallel_work, ConvertibilityReport};
@@ -38,4 +42,5 @@ pub use plan::{
     CostEstimate, EnumerationRequest, ExecutionPlan, PlanError, Planner, RunReport, Strategy,
     StrategyKind,
 };
-pub use result::{MapReduceRun, SerialRun};
+pub use result::{MapReduceRun, RunStats, SerialRun, SerialStats};
+pub use sink::{CollectSink, CountSink, FnSink, InstanceSink, OutputSink, SampleSink};

@@ -5,6 +5,7 @@ use crate::plan::cost::{format_value, CostEstimate};
 use crate::plan::report::RunReport;
 use crate::plan::request::{EnumerationRequest, PlanError};
 use crate::plan::strategy::{builtin_strategies, Strategy, StrategyKind};
+use crate::sink::{CountSink, InstanceSink};
 use std::sync::Arc;
 
 /// Chooses the cheapest strategy for an [`EnumerationRequest`].
@@ -259,11 +260,37 @@ impl<'g> ExecutionPlan<'g> {
         out
     }
 
-    /// Executes the chosen strategy and returns the unified [`RunReport`].
-    /// The chosen [`CostEstimate`] is handed back to the strategy so planning
-    /// work (share optimization, bucket selection) is reused, not repeated.
+    /// Executes the chosen strategy, collecting every instance into the
+    /// returned [`RunReport`]. The chosen [`CostEstimate`] is handed back to
+    /// the strategy so planning work (share optimization, bucket selection)
+    /// is reused, not repeated.
     pub fn execute(&self) -> RunReport {
         self.chosen_impl.execute(&self.request, &self.chosen)
+    }
+
+    /// Executes the chosen strategy, streaming every instance into `sink`
+    /// instead of collecting it: the engine's final-round reduce workers feed
+    /// the sink's shards directly, so a constant-memory sink (e.g.
+    /// [`crate::sink::CountSink`]) enumerates outputs far larger than memory.
+    /// The returned report carries the metrics and the streamed count
+    /// ([`RunReport::is_streamed`] is true, [`RunReport::count`] is
+    /// accurate).
+    pub fn run_with_sink(&self, sink: &mut dyn InstanceSink) -> RunReport {
+        self.chosen_impl
+            .execute_into(&self.request, &self.chosen, sink)
+    }
+
+    /// Executes the chosen strategy in count-only mode: instances flow
+    /// through a [`CountSink`], so no per-instance storage is allocated
+    /// anywhere — not in the engine, not in the report. Returns the streamed
+    /// report; its [`RunReport::count`] is the instance count and all
+    /// [`subgraph_mapreduce::JobMetrics`] counters are identical to what the
+    /// collect path would have measured.
+    pub fn count(&self) -> RunReport {
+        let mut counter = CountSink::new();
+        let report = self.run_with_sink(&mut counter);
+        debug_assert_eq!(report.count(), counter.count());
+        report
     }
 }
 

@@ -1,13 +1,36 @@
 //! [`RunReport`]: the unified result type every strategy returns.
 
 use crate::plan::strategy::StrategyKind;
-use crate::result::{MapReduceRun, SerialRun};
+use crate::result::{count_distinct, MapReduceRun, RunStats, SerialRun, SerialStats};
+use std::sync::OnceLock;
 use subgraph_mapreduce::{JobMetrics, RoundMetrics};
 use subgraph_pattern::Instance;
+
+/// Where a run's instances went.
+#[derive(Clone, Debug)]
+enum ReportOutput {
+    /// The legacy path: every instance was collected into the report.
+    Collected {
+        instances: Vec<Instance>,
+        distinct: OnceLock<usize>,
+    },
+    /// The instances were streamed into a caller-provided
+    /// [`crate::sink::InstanceSink`]; only the count crossed back. The report
+    /// holds no per-instance storage.
+    Streamed { count: usize },
+}
 
 /// Output of executing an [`crate::plan::ExecutionPlan`], subsuming the older
 /// [`MapReduceRun`] / [`SerialRun`] split: serial strategies simply have no
 /// job metrics and zero rounds.
+///
+/// A report is either *collected* ([`crate::plan::ExecutionPlan::execute`] —
+/// the instances live in the report) or *streamed*
+/// ([`crate::plan::ExecutionPlan::run_with_sink`] — the instances went to the
+/// caller's sink and only the count is retained). [`RunReport::count`] is
+/// correct in both modes; [`RunReport::instances`] is empty for streamed
+/// reports, and duplicate *verification* ([`RunReport::verified_duplicates`])
+/// is only possible in collect mode.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// The strategy that produced the result.
@@ -17,8 +40,7 @@ pub struct RunReport {
     /// CQ-oriented processing counts as 1 round even though it runs one
     /// parallel job per query — see `round_metrics` for the breakdown.
     pub rounds: usize,
-    /// Every instance found (exactly once each if the algorithm is correct).
-    pub instances: Vec<Instance>,
+    output: ReportOutput,
     /// Measured cost metrics combined over all round(s); `None` for serial
     /// strategies.
     pub metrics: Option<JobMetrics>,
@@ -33,48 +55,165 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Wraps a map-reduce result. `rounds` is the strategy's logical round
-    /// count (CQ-oriented passes 1 even with several parallel jobs).
+    /// Wraps a collect-mode map-reduce result. `rounds` is the strategy's
+    /// logical round count (CQ-oriented passes 1 even with several parallel
+    /// jobs).
     pub fn from_map_reduce(strategy: StrategyKind, rounds: usize, run: MapReduceRun) -> Self {
+        let metrics = run.metrics.clone();
+        let round_metrics = run.round_metrics.clone();
         RunReport {
             strategy,
             rounds,
-            work: run.metrics.reducer_work,
-            metrics: Some(run.metrics),
-            round_metrics: run.round_metrics,
-            instances: run.instances,
+            work: metrics.reducer_work,
+            metrics: Some(metrics),
+            round_metrics,
+            output: ReportOutput::Collected {
+                instances: run.into_instances(),
+                distinct: OnceLock::new(),
+            },
         }
     }
 
-    /// Wraps a serial result.
+    /// Wraps a collect-mode serial result.
     pub fn from_serial(strategy: StrategyKind, run: SerialRun) -> Self {
+        let work = run.work;
         RunReport {
             strategy,
             rounds: 0,
-            instances: run.instances,
+            output: ReportOutput::Collected {
+                instances: run.into_instances(),
+                distinct: OnceLock::new(),
+            },
             metrics: None,
             round_metrics: Vec::new(),
-            work: run.work,
+            work,
         }
     }
 
-    /// Number of instances found.
+    /// Wraps a sink-mode map-reduce result: the instances went to the
+    /// caller's sink, the report carries only their count and the metrics.
+    pub fn streamed_map_reduce(strategy: StrategyKind, rounds: usize, stats: RunStats) -> Self {
+        RunReport {
+            strategy,
+            rounds,
+            output: ReportOutput::Streamed {
+                count: stats.outputs,
+            },
+            work: stats.metrics.reducer_work,
+            metrics: Some(stats.metrics),
+            round_metrics: stats.round_metrics,
+        }
+    }
+
+    /// Wraps a sink-mode serial result.
+    pub fn streamed_serial(strategy: StrategyKind, stats: SerialStats) -> Self {
+        RunReport {
+            strategy,
+            rounds: 0,
+            output: ReportOutput::Streamed {
+                count: stats.outputs,
+            },
+            metrics: None,
+            round_metrics: Vec::new(),
+            work: stats.work,
+        }
+    }
+
+    /// Upgrades a streamed report to a collected one by attaching the
+    /// instances a [`crate::sink::CollectSink`] gathered during the same run
+    /// (the `Vec`-returning `execute()` path).
+    pub(crate) fn with_collected(mut self, instances: Vec<Instance>) -> Self {
+        debug_assert_eq!(
+            self.count(),
+            instances.len(),
+            "collected instances must match the streamed count"
+        );
+        self.output = ReportOutput::Collected {
+            instances,
+            distinct: OnceLock::new(),
+        };
+        self
+    }
+
+    /// True when the instances were streamed to a sink instead of collected
+    /// into the report.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self.output, ReportOutput::Streamed { .. })
+    }
+
+    /// Number of instances found — the collected length, or the streamed
+    /// count for sink-mode runs (never a misleading 0).
     pub fn count(&self) -> usize {
-        self.instances.len()
+        match &self.output {
+            ReportOutput::Collected { instances, .. } => instances.len(),
+            ReportOutput::Streamed { count } => *count,
+        }
+    }
+
+    /// The collected instances. Empty for streamed reports — check
+    /// [`RunReport::is_streamed`] before concluding "no results" from an
+    /// empty slice; [`RunReport::count`] is always accurate.
+    pub fn instances(&self) -> &[Instance] {
+        match &self.output {
+            ReportOutput::Collected { instances, .. } => instances,
+            ReportOutput::Streamed { .. } => &[],
+        }
+    }
+
+    /// Consumes the report and returns the collected instances (empty for
+    /// streamed reports).
+    pub fn into_instances(self) -> Vec<Instance> {
+        match self.output {
+            ReportOutput::Collected { instances, .. } => instances,
+            ReportOutput::Streamed { .. } => Vec::new(),
+        }
     }
 
     /// Number of *distinct* instances (equals `count()` when the exactly-once
-    /// invariant holds).
+    /// invariant holds). Collect mode computes (and caches) the true value;
+    /// streamed reports return the count, since distinctness can only be
+    /// verified when the instances are retained — see
+    /// [`RunReport::verified_duplicates`].
     pub fn distinct(&self) -> usize {
-        let mut sorted = self.instances.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        sorted.len()
+        match &self.output {
+            ReportOutput::Collected {
+                instances,
+                distinct,
+            } => *distinct.get_or_init(|| count_distinct(instances)),
+            ReportOutput::Streamed { count } => *count,
+        }
     }
 
-    /// Duplicate discoveries (0 when the exactly-once invariant holds).
+    /// Duplicate discoveries. In collect mode this is measured
+    /// (`count() - distinct()`); streamed reports return 0 *by trust in the
+    /// exactly-once guarantee*, not by measurement — use
+    /// [`RunReport::verified_duplicates`] to distinguish.
     pub fn duplicates(&self) -> usize {
         self.count() - self.distinct()
+    }
+
+    /// Measured duplicate count: `Some` when the instances were collected and
+    /// could be checked, `None` for streamed runs (nothing was retained to
+    /// check against).
+    pub fn verified_duplicates(&self) -> Option<usize> {
+        match &self.output {
+            ReportOutput::Collected { .. } => Some(self.duplicates()),
+            ReportOutput::Streamed { .. } => None,
+        }
+    }
+
+    /// One honest line about the result for tables and summaries:
+    /// `"N instances collected"` or `"N instances streamed to a sink (not
+    /// retained)"` — so count-only runs never render as if nothing was found.
+    pub fn describe_output(&self) -> String {
+        match &self.output {
+            ReportOutput::Collected { instances, .. } => {
+                format!("{} instances collected", instances.len())
+            }
+            ReportOutput::Streamed { count } => {
+                format!("{count} instances streamed to a sink (not retained)")
+            }
+        }
     }
 
     /// Measured communication cost: key-value pairs actually shipped through
@@ -105,17 +244,16 @@ mod tests {
         let a = Instance::from_edge_set([(0, 1), (1, 2), (0, 2)]);
         let serial = RunReport::from_serial(
             StrategyKind::SerialGeneric,
-            SerialRun {
-                instances: vec![a.clone(), a.clone()],
-                work: 9,
-            },
+            SerialRun::new(vec![a.clone(), a.clone()], 9),
         );
         assert_eq!(serial.count(), 2);
         assert_eq!(serial.distinct(), 1);
         assert_eq!(serial.duplicates(), 1);
+        assert_eq!(serial.verified_duplicates(), Some(1));
         assert_eq!(serial.work, 9);
         assert_eq!(serial.rounds, 0);
         assert_eq!(serial.communication(), 0);
+        assert!(!serial.is_streamed());
         assert!(serial.metrics.is_none());
         assert!(serial.round_metrics.is_empty());
 
@@ -132,11 +270,13 @@ mod tests {
                     shuffle_records: 42,
                     shuffle_bytes: 840,
                     reducer_work: 7,
+                    outputs: 1,
                     ..JobMetrics::default()
                 },
             ),
         );
         assert_eq!(mr.count(), 1);
+        assert_eq!(mr.instances().len(), 1);
         assert_eq!(mr.communication(), 42);
         assert_eq!(mr.emitted_communication(), 45);
         assert_eq!(mr.shuffle_bytes(), 840);
@@ -144,5 +284,39 @@ mod tests {
         assert_eq!(mr.rounds, 1);
         assert_eq!(mr.round_metrics.len(), 1);
         assert_eq!(mr.round_metrics[0].name, "bucket-oriented");
+    }
+
+    #[test]
+    fn streamed_reports_count_honestly_without_instances() {
+        let stats = RunStats::single_round(
+            "bucket-oriented",
+            JobMetrics {
+                shuffle_records: 600,
+                outputs: 123,
+                reducer_work: 40,
+                ..JobMetrics::default()
+            },
+        );
+        let report = RunReport::streamed_map_reduce(StrategyKind::BucketOriented, 1, stats);
+        assert!(report.is_streamed());
+        assert_eq!(report.count(), 123);
+        assert!(report.instances().is_empty());
+        assert_eq!(report.distinct(), 123);
+        assert_eq!(report.duplicates(), 0);
+        assert_eq!(report.verified_duplicates(), None);
+        assert_eq!(report.work, 40);
+        assert!(report.describe_output().contains("123 instances streamed"));
+        assert_eq!(report.into_instances(), Vec::<Instance>::new());
+
+        let serial = RunReport::streamed_serial(
+            StrategyKind::SerialGeneric,
+            SerialStats {
+                outputs: 5,
+                work: 50,
+            },
+        );
+        assert_eq!(serial.count(), 5);
+        assert_eq!(serial.rounds, 0);
+        assert!(serial.describe_output().contains("streamed"));
     }
 }

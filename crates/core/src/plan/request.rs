@@ -84,6 +84,22 @@ impl<'g> EnumerationRequest<'g> {
         Planner::new().plan(self)
     }
 
+    /// Plans and executes the request in count-only mode: the instances flow
+    /// through a [`crate::sink::CountSink`], so no per-instance storage is
+    /// allocated anywhere. Returns the number of instances.
+    pub fn count(self) -> Result<usize, PlanError> {
+        Ok(self.plan()?.count().count())
+    }
+
+    /// Plans the request and streams every instance into `sink`; the returned
+    /// [`crate::plan::RunReport`] carries metrics and the streamed count.
+    pub fn run_with_sink(
+        self,
+        sink: &mut dyn crate::sink::InstanceSink,
+    ) -> Result<crate::plan::RunReport, PlanError> {
+        Ok(self.plan()?.run_with_sink(sink))
+    }
+
     /// The sample graph being enumerated.
     pub fn sample(&self) -> &SampleGraph {
         &self.sample

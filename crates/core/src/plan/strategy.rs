@@ -13,11 +13,16 @@ use crate::enumerate::variable_oriented;
 use crate::plan::cost::{CostEstimate, RoundCost};
 use crate::plan::report::RunReport;
 use crate::plan::request::EnumerationRequest;
-use crate::serial::{enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic};
-use crate::triangles::bucket_ordered::{run_bucket_ordered_triangles, triple_key_record_bytes};
-use crate::triangles::cascade::{cascade_record_bytes, run_cascade_triangles};
-use crate::triangles::multiway::{multiway_record_bytes, run_multiway_triangles};
-use crate::triangles::partition::run_partition_triangles;
+use crate::serial::{
+    enumerate_bounded_degree_into, enumerate_by_decomposition_into, enumerate_generic_into,
+};
+use crate::sink::{CollectSink, InstanceSink};
+use crate::triangles::bucket_ordered::{
+    run_bucket_ordered_triangles_into, triple_key_record_bytes,
+};
+use crate::triangles::cascade::{cascade_record_bytes, run_cascade_triangles_into};
+use crate::triangles::multiway::{multiway_record_bytes, run_multiway_triangles_into};
+use crate::triangles::partition::run_partition_triangles_into;
 use std::fmt;
 use subgraph_cq::cqs_for_sample;
 use subgraph_pattern::decompose::decompose;
@@ -122,12 +127,26 @@ pub trait Strategy {
     /// meaningful when [`Strategy::applicability`] returned `Ok`.
     fn estimate(&self, request: &EnumerationRequest<'_>) -> CostEstimate;
 
-    /// Runs the strategy. `chosen` is this strategy's own estimate for the
-    /// same request (as returned by [`Strategy::estimate`]); implementations
-    /// reuse its derived parameters — shares, bucket counts — instead of
-    /// re-deriving them, so planning work (e.g. the share solver) is not paid
-    /// twice.
-    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport;
+    /// Runs the strategy, streaming every instance into `sink` as it is
+    /// found — the report carries metrics and the streamed count, never the
+    /// instances. `chosen` is this strategy's own estimate for the same
+    /// request (as returned by [`Strategy::estimate`]); implementations reuse
+    /// its derived parameters — shares, bucket counts — instead of re-deriving
+    /// them, so planning work (e.g. the share solver) is not paid twice.
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport;
+
+    /// Runs the strategy and collects every instance into the report — a
+    /// thin [`CollectSink`] wrapper over [`Strategy::execute_into`].
+    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport {
+        let mut collected = CollectSink::new();
+        let report = self.execute_into(request, chosen, &mut collected);
+        report.with_collected(collected.into_items())
+    }
 }
 
 /// The full built-in strategy catalog, in tie-breaking order.
@@ -287,12 +306,18 @@ impl Strategy for BucketOriented {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport {
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
         let b = chosen.buckets.unwrap_or_else(|| {
             buckets_for_budget(request.sample().num_nodes(), request.reducer_budget())
         });
-        let run = run_bucket_oriented(request.sample(), request.graph(), b, request.config());
-        RunReport::from_map_reduce(self.kind(), 1, run)
+        let stats =
+            run_bucket_oriented(request.sample(), request.graph(), b, request.config(), sink);
+        RunReport::streamed_map_reduce(self.kind(), 1, stats)
     }
 }
 
@@ -339,10 +364,15 @@ impl Strategy for VariableOriented {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport {
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
         // The estimate already paid for the share optimization; rebuild the
         // job plan from its integer shares instead of solving again.
-        let run = if chosen.shares.len() == request.sample().num_nodes() {
+        let stats = if chosen.shares.len() == request.sample().num_nodes() {
             let plan = variable_oriented::VariableOrientedPlan {
                 cqs: cqs_for_sample(request.sample()),
                 optimal_shares: chosen.shares.clone(),
@@ -353,16 +383,17 @@ impl Strategy for VariableOriented {
                     .collect(),
                 predicted_replication: chosen.replication_per_edge,
             };
-            variable_oriented::run_with_plan(request.graph(), &plan, request.config())
+            variable_oriented::run_with_plan_into(request.graph(), &plan, request.config(), sink)
         } else {
             variable_oriented::run_variable_oriented(
                 request.sample(),
                 request.graph(),
                 request.reducer_budget(),
                 request.config(),
+                sink,
             )
         };
-        RunReport::from_map_reduce(self.kind(), 1, run)
+        RunReport::streamed_map_reduce(self.kind(), 1, stats)
     }
 }
 
@@ -425,16 +456,22 @@ impl Strategy for CqOriented {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, _chosen: &CostEstimate) -> RunReport {
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        _chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
         // Per-job shares are not carried in the estimate (each CQ has its
         // own), so the runner re-optimizes per query.
-        let run = run_cq_oriented(
+        let stats = run_cq_oriented(
             request.sample(),
             request.graph(),
             request.reducer_budget(),
             request.config(),
+            sink,
         );
-        RunReport::from_map_reduce(self.kind(), 1, run)
+        RunReport::streamed_map_reduce(self.kind(), 1, stats)
     }
 }
 
@@ -474,12 +511,17 @@ impl Strategy for BucketOrderedTriangles {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport {
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
         let b = chosen
             .buckets
             .unwrap_or_else(|| buckets_for_budget(3, request.reducer_budget()));
-        let run = run_bucket_ordered_triangles(request.graph(), b, request.config());
-        RunReport::from_map_reduce(self.kind(), 1, run)
+        let stats = run_bucket_ordered_triangles_into(request.graph(), b, request.config(), sink);
+        RunReport::streamed_map_reduce(self.kind(), 1, stats)
     }
 }
 
@@ -519,12 +561,17 @@ impl Strategy for PartitionTriangles {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport {
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
         let b = chosen
             .buckets
             .unwrap_or_else(|| partition_groups_for_budget(request.reducer_budget()));
-        let run = run_partition_triangles(request.graph(), b, request.config());
-        RunReport::from_map_reduce(self.kind(), 1, run)
+        let stats = run_partition_triangles_into(request.graph(), b, request.config(), sink);
+        RunReport::streamed_map_reduce(self.kind(), 1, stats)
     }
 }
 
@@ -577,12 +624,17 @@ impl Strategy for MultiwayTriangles {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, chosen: &CostEstimate) -> RunReport {
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
         let b = chosen
             .buckets
             .unwrap_or_else(|| cube_root_budget(request.reducer_budget()));
-        let run = run_multiway_triangles(request.graph(), b, request.config());
-        RunReport::from_map_reduce(self.kind(), 1, run)
+        let stats = run_multiway_triangles_into(request.graph(), b, request.config(), sink);
+        RunReport::streamed_map_reduce(self.kind(), 1, stats)
     }
 }
 
@@ -623,9 +675,14 @@ impl Strategy for CascadeTriangles {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, _chosen: &CostEstimate) -> RunReport {
-        let run = run_cascade_triangles(request.graph(), request.config());
-        RunReport::from_map_reduce(self.kind(), 2, run)
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        _chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
+        let stats = run_cascade_triangles_into(request.graph(), request.config(), sink);
+        RunReport::streamed_map_reduce(self.kind(), 2, stats)
     }
 }
 
@@ -676,9 +733,14 @@ impl Strategy for SerialDecomposition {
         )
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, _chosen: &CostEstimate) -> RunReport {
-        let run = enumerate_by_decomposition(request.sample(), request.graph());
-        RunReport::from_serial(self.kind(), run)
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        _chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
+        let stats = enumerate_by_decomposition_into(request.sample(), request.graph(), sink);
+        RunReport::streamed_serial(self.kind(), stats)
     }
 }
 
@@ -707,9 +769,14 @@ impl Strategy for SerialBoundedDegree {
         serial_estimate(self.kind(), "Thm 7.3", m * delta.powf(p as f64 - 2.0))
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, _chosen: &CostEstimate) -> RunReport {
-        let run = enumerate_bounded_degree(request.sample(), request.graph());
-        RunReport::from_serial(self.kind(), run)
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        _chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
+        let stats = enumerate_bounded_degree_into(request.sample(), request.graph(), sink);
+        RunReport::streamed_serial(self.kind(), stats)
     }
 }
 
@@ -735,15 +802,21 @@ impl Strategy for SerialGeneric {
         serial_estimate(self.kind(), "§6 oracle", m * delta.powf(p as f64 - 2.0))
     }
 
-    fn execute(&self, request: &EnumerationRequest<'_>, _chosen: &CostEstimate) -> RunReport {
-        let run = enumerate_generic(request.sample(), request.graph());
-        RunReport::from_serial(self.kind(), run)
+    fn execute_into(
+        &self,
+        request: &EnumerationRequest<'_>,
+        _chosen: &CostEstimate,
+        sink: &mut dyn InstanceSink,
+    ) -> RunReport {
+        let stats = enumerate_generic_into(request.sample(), request.graph(), sink);
+        RunReport::streamed_serial(self.kind(), stats)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serial::enumerate_generic;
     use subgraph_graph::generators;
     use subgraph_pattern::catalog;
 

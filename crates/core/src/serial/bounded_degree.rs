@@ -10,18 +10,35 @@
 //! emission rule has the same effect — see the note in
 //! [`crate::serial::decompose`]).
 
-use crate::result::SerialRun;
+use crate::result::{SerialRun, SerialStats};
+use crate::sink::{CollectSink, InstanceSink};
 use std::collections::HashSet;
 use subgraph_graph::{DataGraph, NodeId};
 use subgraph_pattern::{Instance, PatternNode, SampleGraph};
 
 /// Enumerates every instance of the connected sample graph `sample` in
-/// `graph`, with work `O(m · Δ^{p−2})`.
+/// `graph`, with work `O(m · Δ^{p−2})`, collecting the instances.
 ///
 /// # Panics
 /// Panics if the sample graph is not connected or has fewer than 2 nodes
 /// (Theorem 7.3 assumes a connected pattern with `p ≥ 2`).
 pub fn enumerate_bounded_degree(sample: &SampleGraph, graph: &DataGraph) -> SerialRun {
+    let mut collected = CollectSink::new();
+    let stats = enumerate_bounded_degree_into(sample, graph, &mut collected);
+    SerialRun::new(collected.into_items(), stats.work)
+}
+
+/// Streaming variant of [`enumerate_bounded_degree`]: instances go to `sink`
+/// after canonicalization. (The induction's layered partial-assignment lists
+/// and the automorphism de-duplicator remain internal working state.)
+///
+/// # Panics
+/// Panics under the same conditions as [`enumerate_bounded_degree`].
+pub fn enumerate_bounded_degree_into(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    sink: &mut dyn InstanceSink,
+) -> SerialStats {
     assert!(
         sample.num_nodes() >= 2,
         "Theorem 7.3 applies to patterns with at least two nodes"
@@ -105,15 +122,16 @@ pub fn enumerate_bounded_degree(sample: &SampleGraph, graph: &DataGraph) -> Seri
     // Canonicalize and de-duplicate (several assignments related by pattern
     // automorphisms map to the same instance).
     let mut seen: HashSet<Instance> = HashSet::new();
-    let mut instances = Vec::new();
+    let mut outputs = 0usize;
     for assignment in partial_assignments {
         let bound: Vec<NodeId> = assignment.into_iter().map(|a| a.unwrap()).collect();
         let instance = Instance::from_assignment(sample, &bound);
         if seen.insert(instance.clone()) {
-            instances.push(instance);
+            outputs += 1;
+            sink.accept(instance);
         }
     }
-    SerialRun { instances, work }
+    SerialStats { outputs, work }
 }
 
 #[cfg(test)]
@@ -128,8 +146,8 @@ mod tests {
         let oracle = enumerate_generic(sample, graph);
         assert_eq!(bounded.count(), oracle.count());
         assert_eq!(bounded.duplicates(), 0);
-        let mut a = bounded.instances.clone();
-        let mut b = oracle.instances.clone();
+        let mut a = bounded.instances().to_vec();
+        let mut b = oracle.instances().to_vec();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

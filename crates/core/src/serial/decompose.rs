@@ -16,18 +16,32 @@
 //! of instances. The candidate-combination count — the quantity the
 //! `O(n^q m^{(p−q)/2})` bound speaks about — is reported as `work`.
 
-use crate::result::SerialRun;
+use crate::result::{SerialRun, SerialStats};
 use crate::serial::odd_cycle::enumerate_odd_cycles;
+use crate::sink::{CollectSink, InstanceSink};
 use std::collections::HashSet;
 use subgraph_graph::{DataGraph, NodeId};
 use subgraph_pattern::decompose::{decompose, Decomposition, Piece};
 use subgraph_pattern::{Instance, PatternNode, SampleGraph};
 
 /// Enumerates every instance of `sample` in `graph` exactly once by the
-/// decomposition join of Theorem 7.2.
+/// decomposition join of Theorem 7.2, collecting the instances.
 pub fn enumerate_by_decomposition(sample: &SampleGraph, graph: &DataGraph) -> SerialRun {
     let decomposition = decompose(sample);
     enumerate_with_decomposition(sample, graph, &decomposition)
+}
+
+/// Streaming variant of [`enumerate_by_decomposition`]: instances go to
+/// `sink` as the join discovers them. (The join still keeps its `HashSet`
+/// de-duplicator — see the module docs — and the per-piece instance lists;
+/// those are working state of the algorithm, not result storage.)
+pub fn enumerate_by_decomposition_into(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    sink: &mut dyn InstanceSink,
+) -> SerialStats {
+    let decomposition = decompose(sample);
+    enumerate_with_decomposition_into(sample, graph, &decomposition, sink)
 }
 
 /// Same, with an explicit decomposition (exposed so ablation benches can
@@ -37,9 +51,21 @@ pub fn enumerate_with_decomposition(
     graph: &DataGraph,
     decomposition: &Decomposition,
 ) -> SerialRun {
+    let mut collected = CollectSink::new();
+    let stats = enumerate_with_decomposition_into(sample, graph, decomposition, &mut collected);
+    SerialRun::new(collected.into_items(), stats.work)
+}
+
+/// Streaming variant of [`enumerate_with_decomposition`].
+pub fn enumerate_with_decomposition_into(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    decomposition: &Decomposition,
+    sink: &mut dyn InstanceSink,
+) -> SerialStats {
     let p = sample.num_nodes();
     if p == 0 {
-        return SerialRun::default();
+        return SerialStats::default();
     }
     // Piece-level instance lists: each entry is (piece nodes in pattern space,
     // list of assignments, i.e. data nodes in the same order as the piece nodes).
@@ -71,8 +97,8 @@ pub fn enumerate_with_decomposition(
         .collect();
 
     let mut seen: HashSet<Instance> = HashSet::new();
-    let mut instances = Vec::new();
     let mut assignment: Vec<Option<NodeId>> = vec![None; p];
+    let mut stats = SerialStats { outputs: 0, work };
     join_pieces(
         sample,
         graph,
@@ -82,10 +108,10 @@ pub fn enumerate_with_decomposition(
         0,
         &mut assignment,
         &mut seen,
-        &mut instances,
-        &mut work,
+        sink,
+        &mut stats,
     );
-    SerialRun { instances, work }
+    stats
 }
 
 /// Enumerates the instances of one piece. Returns the piece's pattern nodes
@@ -121,7 +147,7 @@ fn piece_instances(
             let cycles = enumerate_odd_cycles(graph, k);
             *work += cycles.work;
             let mut assignments = Vec::new();
-            for inst in &cycles.instances {
+            for inst in cycles.instances() {
                 // Rebuild the cyclic order of this instance from its edges.
                 let cycle_sequence = cycle_order(inst.nodes(), inst.edges());
                 for start in 0..len {
@@ -190,19 +216,20 @@ fn join_pieces(
     piece_index: usize,
     assignment: &mut Vec<Option<NodeId>>,
     seen: &mut HashSet<Instance>,
-    instances: &mut Vec<Instance>,
-    work: &mut u64,
+    sink: &mut dyn InstanceSink,
+    stats: &mut SerialStats,
 ) {
     if piece_index == piece_nodes.len() {
         let bound: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
         let instance = Instance::from_assignment(sample, &bound);
         if seen.insert(instance.clone()) {
-            instances.push(instance);
+            stats.outputs += 1;
+            sink.accept(instance);
         }
         return;
     }
     'candidates: for candidate in &piece_assignments[piece_index] {
-        *work += 1;
+        stats.work += 1;
         // Node-disjointness with previously placed pieces.
         for &node in candidate {
             if assignment.contains(&Some(node)) {
@@ -229,8 +256,8 @@ fn join_pieces(
                 piece_index + 1,
                 assignment,
                 seen,
-                instances,
-                work,
+                sink,
+                stats,
             );
         }
         for &pattern_node in &piece_nodes[piece_index] {
@@ -251,8 +278,8 @@ mod tests {
         let oracle = enumerate_generic(sample, graph);
         assert_eq!(by_decomposition.count(), oracle.count(), "{sample:?}");
         assert_eq!(by_decomposition.duplicates(), 0);
-        let mut a = by_decomposition.instances.clone();
-        let mut b = oracle.instances.clone();
+        let mut a = by_decomposition.instances().to_vec();
+        let mut b = oracle.instances().to_vec();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

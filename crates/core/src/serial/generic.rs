@@ -7,22 +7,41 @@
 //! collections, the map-reduce strategies, the decomposition and
 //! bounded-degree algorithms) is tested against its output.
 
-use crate::result::SerialRun;
+use crate::result::{SerialRun, SerialStats};
+use crate::sink::{CollectSink, InstanceSink};
 use std::collections::HashSet;
 use subgraph_graph::{DataGraph, NodeId};
 use subgraph_pattern::{Instance, PatternNode, SampleGraph};
 
-/// Enumerates every instance of `sample` in `graph` exactly once.
+/// Enumerates every instance of `sample` in `graph` exactly once, collecting
+/// them into a [`SerialRun`] (thin [`CollectSink`] wrapper over
+/// [`enumerate_generic_into`]).
 pub fn enumerate_generic(sample: &SampleGraph, graph: &DataGraph) -> SerialRun {
+    let mut collected = CollectSink::new();
+    let stats = enumerate_generic_into(sample, graph, &mut collected);
+    SerialRun::new(collected.into_items(), stats.work)
+}
+
+/// Streaming variant: every instance goes to `sink` as it is discovered.
+///
+/// De-duplication (several assignments related by a pattern automorphism map
+/// to the same instance) still keeps a `HashSet` of the instances seen so
+/// far — that is working state of *this* oracle, not of the result path; the
+/// exactly-once algorithms of the paper (triangles, odd cycles, the
+/// map-reduce strategies) stream without any such set.
+pub fn enumerate_generic_into(
+    sample: &SampleGraph,
+    graph: &DataGraph,
+    sink: &mut dyn InstanceSink,
+) -> SerialStats {
     let p = sample.num_nodes();
     if p == 0 || p > graph.num_nodes() {
-        return SerialRun::default();
+        return SerialStats::default();
     }
     let plan = search_order(sample);
     let mut assignment: Vec<Option<NodeId>> = vec![None; p];
     let mut seen: HashSet<Instance> = HashSet::new();
-    let mut instances = Vec::new();
-    let mut work = 0u64;
+    let mut stats = SerialStats::default();
     extend(
         sample,
         graph,
@@ -30,10 +49,10 @@ pub fn enumerate_generic(sample: &SampleGraph, graph: &DataGraph) -> SerialRun {
         0,
         &mut assignment,
         &mut seen,
-        &mut instances,
-        &mut work,
+        sink,
+        &mut stats,
     );
-    SerialRun { instances, work }
+    stats
 }
 
 /// Order pattern nodes so that each one (after the first) touches an earlier one
@@ -81,14 +100,15 @@ fn extend(
     depth: usize,
     assignment: &mut Vec<Option<NodeId>>,
     seen: &mut HashSet<Instance>,
-    instances: &mut Vec<Instance>,
-    work: &mut u64,
+    sink: &mut dyn InstanceSink,
+    stats: &mut SerialStats,
 ) {
     if depth == plan.len() {
         let bound: Vec<NodeId> = assignment.iter().map(|a| a.unwrap()).collect();
         let instance = Instance::from_assignment(sample, &bound);
         if seen.insert(instance.clone()) {
-            instances.push(instance);
+            stats.outputs += 1;
+            sink.accept(instance);
         }
         return;
     }
@@ -103,7 +123,7 @@ fn extend(
         None => graph.nodes().collect(),
     };
     'next: for node in candidates {
-        *work += 1;
+        stats.work += 1;
         if assignment.contains(&Some(node)) {
             continue;
         }
@@ -120,8 +140,8 @@ fn extend(
             depth + 1,
             assignment,
             seen,
-            instances,
-            work,
+            sink,
+            stats,
         );
         assignment[var as usize] = None;
     }

@@ -11,9 +11,9 @@ pub mod odd_cycle;
 pub mod triangles;
 pub mod two_paths;
 
-pub use bounded_degree::enumerate_bounded_degree;
-pub use decompose::enumerate_by_decomposition;
-pub use generic::enumerate_generic;
-pub use odd_cycle::enumerate_odd_cycles;
-pub use triangles::enumerate_triangles_serial;
+pub use bounded_degree::{enumerate_bounded_degree, enumerate_bounded_degree_into};
+pub use decompose::{enumerate_by_decomposition, enumerate_by_decomposition_into};
+pub use generic::{enumerate_generic, enumerate_generic_into};
+pub use odd_cycle::{enumerate_odd_cycles, enumerate_odd_cycles_into};
+pub use triangles::{enumerate_triangles_into, enumerate_triangles_serial};
 pub use two_paths::properly_ordered_two_paths;

@@ -8,22 +8,36 @@
 //! trying every permutation and orientation of the chosen edges, and verifies
 //! the connecting edges with the O(1) edge index — a `(0, (2k+1)/2)`-algorithm.
 
-use crate::result::SerialRun;
+use crate::result::{SerialRun, SerialStats};
 use crate::serial::two_paths::properly_ordered_two_paths_with_order;
+use crate::sink::{CollectSink, InstanceSink};
 use subgraph_graph::{DataGraph, DegreeOrder, Edge, NodeId, NodeOrder};
 use subgraph_pattern::Instance;
 
-/// Enumerates every cycle of length `2k + 1` in `graph` exactly once.
+/// Enumerates every cycle of length `2k + 1` in `graph` exactly once,
+/// collecting the cycles (thin wrapper over [`enumerate_odd_cycles_into`]).
 ///
 /// `k = 1` finds triangles; the interesting cases are `k ≥ 2`. The running
 /// time follows the paper's analysis (`O(m^{3/2} · m^{k−1})` candidate work),
 /// so this is intended for the modest graph sizes the reducers see, not for
 /// whole web-scale graphs.
 pub fn enumerate_odd_cycles(graph: &DataGraph, k: usize) -> SerialRun {
+    let mut collected = CollectSink::new();
+    let stats = enumerate_odd_cycles_into(graph, k, &mut collected);
+    SerialRun::new(collected.into_items(), stats.work)
+}
+
+/// Streaming variant: each odd cycle goes to `sink` as it is assembled — the
+/// algorithm is exactly-once by construction (Theorem 7.1), so nothing is
+/// ever stored.
+pub fn enumerate_odd_cycles_into(
+    graph: &DataGraph,
+    k: usize,
+    sink: &mut dyn InstanceSink,
+) -> SerialStats {
     assert!(k >= 1, "cycle length 2k+1 needs k ≥ 1");
     let order = DegreeOrder::new(graph);
-    let mut instances = Vec::new();
-    let mut work = 0u64;
+    let mut stats = SerialStats::default();
 
     let two_paths = properly_ordered_two_paths_with_order(graph, &order);
     let edges: Vec<Edge> = graph.edges().to_vec();
@@ -44,11 +58,11 @@ pub fn enumerate_odd_cycles(graph: &DataGraph, k: usize) -> SerialRun {
             &forbidden,
             &mut chosen,
             &mut |set| {
-                assemble_cycles(graph, v1, v2, v_last, set, &mut instances, &mut work);
+                assemble_cycles(graph, v1, v2, v_last, set, sink, &mut stats);
             },
         );
     }
-    SerialRun { instances, work }
+    stats
 }
 
 /// Recursively chooses `remaining` node-disjoint edges (by increasing position
@@ -108,15 +122,15 @@ fn assemble_cycles(
     v2: NodeId,
     v_last: NodeId,
     set: &[Edge],
-    instances: &mut Vec<Instance>,
-    work: &mut u64,
+    sink: &mut dyn InstanceSink,
+    stats: &mut SerialStats,
 ) {
     let k_minus_1 = set.len();
     let mut permutation: Vec<usize> = (0..k_minus_1).collect();
     permute(&mut permutation, 0, &mut |perm| {
         // Each chosen edge can be traversed in either direction.
         for orientation in 0u32..(1 << k_minus_1) {
-            *work += 1;
+            stats.work += 1;
             let mut sequence: Vec<NodeId> = Vec::with_capacity(2 * k_minus_1 + 3);
             sequence.push(v1);
             sequence.push(v2);
@@ -136,7 +150,8 @@ fn assemble_cycles(
             if connecting_edges_exist(graph, &sequence) {
                 let cycle_edges =
                     (0..sequence.len()).map(|i| (sequence[i], sequence[(i + 1) % sequence.len()]));
-                instances.push(Instance::from_edge_set(cycle_edges));
+                stats.outputs += 1;
+                sink.accept(Instance::from_edge_set(cycle_edges));
             }
         }
     });
@@ -212,8 +227,8 @@ mod tests {
             let oracle = enumerate_generic(&catalog::cycle(5), &g);
             assert_eq!(fast.count(), oracle.count(), "seed {seed}");
             assert_eq!(fast.duplicates(), 0, "seed {seed}");
-            let mut a = fast.instances.clone();
-            let mut b = oracle.instances.clone();
+            let mut a = fast.instances().to_vec();
+            let mut b = oracle.instances().to_vec();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "seed {seed}");

@@ -8,11 +8,13 @@
 //! reports a triangle whenever the two endpoints are adjacent. Each triangle
 //! is reported exactly once: at its unique node that precedes the other two.
 
-use crate::result::SerialRun;
+use crate::result::{SerialRun, SerialStats};
+use crate::sink::{CollectSink, InstanceSink};
 use subgraph_graph::{ordering::later_neighbors, DataGraph, DegreeOrder, NodeOrder};
 use subgraph_pattern::Instance;
 
-/// Enumerates every triangle of `graph` exactly once in `O(m^{3/2})` time.
+/// Enumerates every triangle of `graph` exactly once in `O(m^{3/2})` time,
+/// collecting them (thin wrapper over [`enumerate_triangles_into`]).
 pub fn enumerate_triangles_serial(graph: &DataGraph) -> SerialRun {
     let order = DegreeOrder::new(graph);
     enumerate_triangles_with_order(graph, &order)
@@ -22,20 +24,39 @@ pub fn enumerate_triangles_serial(graph: &DataGraph) -> SerialRun {
 /// order, but correctness holds for any total order — which is what the
 /// reducers of Section 2.3 exploit with the bucket order).
 pub fn enumerate_triangles_with_order<O: NodeOrder>(graph: &DataGraph, order: &O) -> SerialRun {
-    let mut instances = Vec::new();
-    let mut work = 0u64;
+    let mut collected = CollectSink::new();
+    let stats = enumerate_triangles_with_order_into(graph, order, &mut collected);
+    SerialRun::new(collected.into_items(), stats.work)
+}
+
+/// Streaming variant with the degree order: each triangle goes to `sink` the
+/// moment it is found — the algorithm is exactly-once by construction, so no
+/// instance is ever stored anywhere.
+pub fn enumerate_triangles_into(graph: &DataGraph, sink: &mut dyn InstanceSink) -> SerialStats {
+    let order = DegreeOrder::new(graph);
+    enumerate_triangles_with_order_into(graph, &order, sink)
+}
+
+/// Streaming variant with an explicit node order.
+pub fn enumerate_triangles_with_order_into<O: NodeOrder>(
+    graph: &DataGraph,
+    order: &O,
+    sink: &mut dyn InstanceSink,
+) -> SerialStats {
+    let mut stats = SerialStats::default();
     for v in graph.nodes() {
         let later = later_neighbors(graph, order, v);
         for (i, &u) in later.iter().enumerate() {
             for &w in &later[i + 1..] {
-                work += 1;
+                stats.work += 1;
                 if graph.has_edge(u, w) {
-                    instances.push(Instance::from_edge_set([(v, u), (v, w), (u, w)]));
+                    stats.outputs += 1;
+                    sink.accept(Instance::from_edge_set([(v, u), (v, w), (u, w)]));
                 }
             }
         }
     }
-    SerialRun { instances, work }
+    stats
 }
 
 #[cfg(test)]
@@ -77,8 +98,8 @@ mod tests {
             let oracle = enumerate_generic(&catalog::triangle(), &g);
             assert_eq!(fast.count(), oracle.count(), "seed {seed}");
             assert_eq!(fast.duplicates(), 0);
-            let mut a = fast.instances.clone();
-            let mut b = oracle.instances.clone();
+            let mut a = fast.instances().to_vec();
+            let mut b = oracle.instances().to_vec();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b);

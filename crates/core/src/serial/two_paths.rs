@@ -57,7 +57,7 @@ pub fn two_paths_as_run(graph: &DataGraph) -> SerialRun {
         .iter()
         .map(|p| Instance::from_edge_set([(p.midpoint, p.first), (p.midpoint, p.second)]))
         .collect();
-    SerialRun { instances, work }
+    SerialRun::new(instances, work)
 }
 
 #[cfg(test)]
@@ -97,7 +97,7 @@ mod tests {
             let g = generators::gnm(30, 90, seed);
             let paths = properly_ordered_two_paths(&g);
             let triangles = crate::serial::triangles::enumerate_triangles_serial(&g);
-            for t in &triangles.instances {
+            for t in triangles.instances() {
                 let nodes = t.nodes();
                 let covered = paths.iter().any(|p| {
                     nodes.contains(&p.midpoint)

@@ -1,0 +1,90 @@
+//! Streaming instance sinks: the result path of every enumeration algorithm.
+//!
+//! The bucket-oriented schemes of the paper exist so that instance sets far
+//! larger than memory can be enumerated under a fixed reducer budget; a
+//! `Vec<Instance>` result API caps every run at the *output* size instead.
+//! Every algorithm in this crate therefore streams its results into an
+//! [`InstanceSink`] — the `Vec`-returning entry points are thin
+//! [`CollectSink`] wrappers — so counting runs ([`CountSink`]) allocate no
+//! per-instance storage at all.
+//!
+//! [`InstanceSink`] is the instance-specialized face of the engine's generic
+//! [`subgraph_mapreduce::sink::OutputSink`]: any `OutputSink<Instance>`
+//! implements it automatically, and a `&mut dyn InstanceSink` upcasts to the
+//! `&mut dyn OutputSink<Instance>` the engine's
+//! [`subgraph_mapreduce::Pipeline::run_with_sink`] consumes. The built-in
+//! sinks:
+//!
+//! | sink | retains | memory |
+//! |---|---|---|
+//! | [`CountSink`] | a count | O(1) |
+//! | [`CollectSink`]`<Instance>` | every instance (legacy `Vec` path) | O(output) |
+//! | [`SampleSink`]`<Instance>` | the `k` smallest instances (order-independent) | O(k) |
+//! | [`FnSink`] | nothing — invokes a callback per instance | O(1) + callback |
+//!
+//! Parallel delivery happens through per-reduce-worker shards folded back in
+//! worker order, which preserves the deterministic output order of
+//! [`subgraph_mapreduce::EngineConfig::deterministic`] runs — see the engine's
+//! [`subgraph_mapreduce::sink`] module for the shard protocol.
+
+pub use subgraph_mapreduce::sink::{
+    BufferShard, CollectSink, CountSink, FnSink, OutputSink, SampleSink, SinkShard,
+};
+use subgraph_pattern::Instance;
+
+/// A streaming receiver of enumeration results. Blanket-implemented for every
+/// [`OutputSink`]`<Instance>`, so the engine's sinks and any custom sink work
+/// unchanged; algorithms take `&mut dyn InstanceSink`.
+pub trait InstanceSink: OutputSink<Instance> {}
+
+impl<S: OutputSink<Instance> + ?Sized> InstanceSink for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(shift: u32) -> Instance {
+        Instance::from_edge_set([
+            (shift, shift + 1),
+            (shift + 1, shift + 2),
+            (shift, shift + 2),
+        ])
+    }
+
+    #[test]
+    fn engine_sinks_are_instance_sinks() {
+        fn drive(sink: &mut dyn InstanceSink) {
+            sink.accept(instance(0));
+            sink.accept(instance(3));
+        }
+        let mut count = CountSink::new();
+        drive(&mut count);
+        assert_eq!(count.count(), 2);
+
+        let mut collect = CollectSink::new();
+        drive(&mut collect);
+        assert_eq!(collect.items().len(), 2);
+
+        let mut sample = SampleSink::new(1);
+        drive(&mut sample);
+        assert_eq!(sample.into_sorted(), vec![instance(0)]);
+
+        let mut calls = 0usize;
+        {
+            let mut callback = FnSink::new(|_: Instance| calls += 1);
+            drive(&mut callback);
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn instance_sinks_upcast_to_engine_sinks() {
+        let mut collect: CollectSink<Instance> = CollectSink::new();
+        let dyn_sink: &mut dyn InstanceSink = &mut collect;
+        // The upcast the strategies rely on when handing the sink to the
+        // engine's Pipeline::run_with_sink.
+        let engine_sink: &mut dyn OutputSink<Instance> = dyn_sink;
+        engine_sink.accept(instance(7));
+        assert_eq!(collect.items().len(), 1);
+    }
+}

@@ -9,8 +9,9 @@
 //! cost is `b` per edge — a factor 3/2 better than Partition and 1.65 better
 //! than the plain multiway join at equal reducer counts (Figure 1).
 
-use crate::result::MapReduceRun;
-use crate::serial::triangles::enumerate_triangles_with_order;
+use crate::result::RunStats;
+use crate::serial::triangles::enumerate_triangles_with_order_into;
+use crate::sink::InstanceSink;
 use subgraph_graph::{BucketThenIdOrder, DataGraph, Edge};
 use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::Instance;
@@ -23,14 +24,15 @@ pub(crate) fn triple_key_record_bytes() -> usize {
 }
 
 /// Runs the Section 2.3 algorithm with `b` buckets as a declarative
-/// single-round [`Pipeline`].
+/// single-round [`Pipeline`], streaming each triangle into `sink`.
 ///
 /// Internal runner behind [`crate::plan::StrategyKind::BucketOrderedTriangles`].
-pub(crate) fn run_bucket_ordered_triangles(
+pub(crate) fn run_bucket_ordered_triangles_into(
     graph: &DataGraph,
     b: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     assert!(b >= 1, "at least one bucket is required");
     let order = BucketThenIdOrder::new(b);
     let num_nodes = graph.num_nodes();
@@ -47,44 +49,49 @@ pub(crate) fn run_bucket_ordered_triangles(
 
     let reducer = move |key: &[u32; 3], edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
         let local = DataGraph::from_edges(num_nodes, edges.iter().map(|e| e.endpoints()));
-        let run = enumerate_triangles_with_order(&local, &order);
-        ctx.add_work(run.work);
-        for instance in run.instances {
-            // A triangle is emitted only by the reducer whose key is the sorted
-            // bucket triple of its nodes. For triangles spanning two or three
-            // distinct buckets that reducer is the only one holding all three
-            // edges anyway; for triangles whose nodes share a single bucket `a`
-            // every reducer [a, a, *] holds the edges, and this check keeps the
-            // paper's "discovered by only one reducer" guarantee.
-            let mut triple: Vec<u32> = instance
-                .nodes()
-                .iter()
-                .map(|&v| order.bucket(v) as u32)
-                .collect();
-            triple.sort_unstable();
-            if triple.as_slice() == key {
-                ctx.emit(instance);
-            }
-        }
+        // The local enumeration streams straight through to the round's
+        // output: no per-reducer triangle buffer exists.
+        let work = {
+            let mut filter = crate::sink::FnSink::new(|instance: Instance| {
+                // A triangle is emitted only by the reducer whose key is the
+                // sorted bucket triple of its nodes. For triangles spanning
+                // two or three distinct buckets that reducer is the only one
+                // holding all three edges anyway; for triangles whose nodes
+                // share a single bucket `a` every reducer [a, a, *] holds the
+                // edges, and this check keeps the paper's "discovered by only
+                // one reducer" guarantee.
+                let mut triple: Vec<u32> = instance
+                    .nodes()
+                    .iter()
+                    .map(|&v| order.bucket(v) as u32)
+                    .collect();
+                triple.sort_unstable();
+                if triple.as_slice() == key {
+                    ctx.emit(instance);
+                }
+            });
+            enumerate_triangles_with_order_into(&local, &order, &mut filter).work
+        };
+        ctx.add_work(work);
     };
 
-    let (instances, report) = Pipeline::new()
+    let report = Pipeline::new()
         .round(Round::new("bucket-ordered", mapper, reducer))
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
 }
 
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::BucketOrderedTriangles and call plan()/execute() instead"
-)]
-pub fn bucket_ordered_triangles(
+/// Collect-mode wrapper over [`run_bucket_ordered_triangles_into`] (tests and
+/// in-crate comparisons).
+#[cfg(test)]
+pub(crate) fn run_bucket_ordered_triangles(
     graph: &DataGraph,
     b: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
-    run_bucket_ordered_triangles(graph, b, config)
+) -> crate::result::MapReduceRun {
+    let mut collected = crate::sink::CollectSink::new();
+    let stats = run_bucket_ordered_triangles_into(graph, b, config, &mut collected);
+    stats.into_run(collected.into_items())
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! The cascade runs as a true two-round [`Pipeline`]: the wedge round's
 //! reducer outputs flow through a [`Pipeline::prepare`] stage (which mixes in
 //! the closing edges) into the second round, and the returned
-//! [`MapReduceRun`] carries per-round metrics for both rounds.
+//! [`crate::result::RunStats`] carries per-round metrics for both rounds.
 //!
 //! Its communication cost is `2m` in round 1 plus `m +` (number of wedges) in
 //! round 2; on skewed graphs the wedge count is far larger than the `O(bm)`
@@ -21,7 +21,8 @@
 //! the multiway join. The implementation exists so the benchmark harness can
 //! measure that comparison.
 
-use crate::result::MapReduceRun;
+use crate::result::RunStats;
+use crate::sink::InstanceSink;
 use subgraph_graph::{DataGraph, Edge, NodeId};
 use subgraph_mapreduce::{EngineConfig, JobMetrics, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::Instance;
@@ -124,12 +125,17 @@ fn closing_round_spec() -> Round<'static, Round2Input, (NodeId, NodeId), Round2V
     Round::new("closing", mapper, reducer)
 }
 
-/// Runs the two-round cascade pipeline and returns the triangles plus the
-/// per-round and combined metrics (communication costs add).
+/// Runs the two-round cascade pipeline, streaming the triangles of the
+/// closing round into `sink`; the wedge round still materializes (its output
+/// feeds round 2), but the final round's reducers feed the sink directly.
 ///
 /// Internal runner behind [`crate::plan::StrategyKind::CascadeTriangles`].
-pub(crate) fn run_cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
-    let (instances, report) = Pipeline::new()
+pub(crate) fn run_cascade_triangles_into(
+    graph: &DataGraph,
+    config: &EngineConfig,
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
+    let report = Pipeline::new()
         .round(wedge_round_spec())
         .prepare(|wedges: Vec<Wedge>| {
             // The second round joins the wedge stream with the edge relation:
@@ -141,17 +147,20 @@ pub(crate) fn run_cascade_triangles(graph: &DataGraph, config: &EngineConfig) ->
                 .collect()
         })
         .round(closing_round_spec())
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
 }
 
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::CascadeTriangles and call plan()/execute() instead"
-)]
-pub fn cascade_triangles(graph: &DataGraph, config: &EngineConfig) -> MapReduceRun {
-    run_cascade_triangles(graph, config)
+/// Collect-mode wrapper over [`run_cascade_triangles_into`] (tests and
+/// in-crate comparisons).
+#[cfg(test)]
+pub(crate) fn run_cascade_triangles(
+    graph: &DataGraph,
+    config: &EngineConfig,
+) -> crate::result::MapReduceRun {
+    let mut collected = crate::sink::CollectSink::new();
+    let stats = run_cascade_triangles_into(graph, config, &mut collected);
+    stats.into_run(collected.into_items())
 }
 
 /// Runs only the first (wedge) round — exposed for tests and experiments that

@@ -16,11 +16,9 @@ pub mod cascade;
 pub mod multiway;
 pub mod partition;
 
-#[allow(deprecated)]
-pub use bucket_ordered::bucket_ordered_triangles;
-#[allow(deprecated)]
-pub use cascade::cascade_triangles;
-#[allow(deprecated)]
-pub use multiway::multiway_triangles;
-#[allow(deprecated)]
-pub use partition::partition_triangles;
+// The pre-planner free functions (`bucket_ordered_triangles`,
+// `partition_triangles`, `multiway_triangles`, `cascade_triangles`) are gone:
+// build an `EnumerationRequest` for the `"triangle"` pattern, force the
+// strategy if needed, and `plan()/execute()` (or `run_with_sink()` for
+// streaming results). `cascade::wedge_round` remains public for inspecting
+// the intermediate wedge stream.

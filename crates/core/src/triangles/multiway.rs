@@ -17,7 +17,8 @@
 //! measured `shuffle_records` per edge is exactly `3b − 2`; disabling them
 //! ([`EngineConfig::combiners`]) restores the naive `3b`.
 
-use crate::result::MapReduceRun;
+use crate::result::RunStats;
+use crate::sink::InstanceSink;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use subgraph_graph::{DataGraph, Edge, NodeId};
@@ -44,12 +45,14 @@ pub(crate) fn multiway_record_bytes() -> usize {
 
 /// Runs the Section 2.2 multiway-join triangle algorithm with `b` buckets per
 /// variable (`b³` potential reducers) as a declarative single-round
-/// [`Pipeline`] whose combiner merges coinciding role emissions.
-pub(crate) fn run_multiway_triangles(
+/// [`Pipeline`] whose combiner merges coinciding role emissions, streaming
+/// each triangle into `sink`.
+pub(crate) fn run_multiway_triangles_into(
     graph: &DataGraph,
     b: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     assert!(b >= 1, "at least one bucket per variable is required");
     let hash = move |v: NodeId| -> u32 { bucket_hash(v, b) };
 
@@ -115,10 +118,23 @@ pub(crate) fn run_multiway_triangles(
             }
         };
 
-    let (instances, report) = Pipeline::new()
+    let report = Pipeline::new()
         .round(Round::new("multiway", mapper, reducer).combiner(combiner))
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
+}
+
+/// Collect-mode wrapper over [`run_multiway_triangles_into`] (tests and
+/// in-crate comparisons).
+#[cfg(test)]
+pub(crate) fn run_multiway_triangles(
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+) -> crate::result::MapReduceRun {
+    let mut collected = crate::sink::CollectSink::new();
+    let stats = run_multiway_triangles_into(graph, b, config, &mut collected);
+    stats.into_run(collected.into_items())
 }
 
 fn bucket_hash(v: NodeId, b: usize) -> u32 {
@@ -127,15 +143,6 @@ fn bucket_hash(v: NodeId, b: usize) -> u32 {
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^= x >> 31;
     (x % b as u64) as u32
-}
-
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::MultiwayTriangles and call plan()/execute() instead"
-)]
-pub fn multiway_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) -> MapReduceRun {
-    run_multiway_triangles(graph, b, config)
 }
 
 #[cfg(test)]
@@ -198,7 +205,7 @@ mod tests {
         assert!(with.metrics.shuffle_records < without.metrics.shuffle_records);
         assert!(with.metrics.shuffle_bytes < without.metrics.shuffle_bytes);
         // Deterministic configs: byte-identical instance streams.
-        assert_eq!(with.instances, without.instances);
+        assert_eq!(with.instances(), without.instances());
         assert_eq!(with.metrics.reducer_work, without.metrics.reducer_work);
     }
 

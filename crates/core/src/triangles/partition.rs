@@ -11,19 +11,21 @@
 //! for that triangle (the group multiset completed with the smallest unused
 //! group numbers), which costs the same extra bookkeeping the paper mentions.
 
-use crate::result::MapReduceRun;
-use crate::serial::triangles::enumerate_triangles_with_order;
+use crate::result::RunStats;
+use crate::serial::triangles::enumerate_triangles_with_order_into;
+use crate::sink::InstanceSink;
 use subgraph_graph::{DataGraph, Edge, IdOrder, NodeId};
 use subgraph_mapreduce::{EngineConfig, MapContext, Pipeline, ReduceContext, Round};
 use subgraph_pattern::Instance;
 
 /// Runs the Partition algorithm with `b` node groups as a declarative
-/// single-round [`Pipeline`].
-pub(crate) fn run_partition_triangles(
+/// single-round [`Pipeline`], streaming each triangle into `sink`.
+pub(crate) fn run_partition_triangles_into(
     graph: &DataGraph,
     b: usize,
     config: &EngineConfig,
-) -> MapReduceRun {
+    sink: &mut dyn InstanceSink,
+) -> RunStats {
     assert!(b >= 3, "Partition needs at least 3 groups");
     let num_nodes = graph.num_nodes();
     let group = move |v: NodeId| -> u32 { hash_group(v, b) };
@@ -45,22 +47,39 @@ pub(crate) fn run_partition_triangles(
 
     let reducer = move |key: &[u32; 3], edges: &[Edge], ctx: &mut ReduceContext<Instance>| {
         let local = DataGraph::from_edges(num_nodes, edges.iter().map(|e| e.endpoints()));
-        let run = enumerate_triangles_with_order(&local, &IdOrder);
-        ctx.add_work(run.work);
-        for instance in run.instances {
-            // De-duplicate triangles that span fewer than three groups: emit
-            // only from the canonical reducer for the triangle's group set.
-            let groups: Vec<u32> = instance.nodes().iter().map(|&v| group(v)).collect();
-            if canonical_triple(&groups, b) == *key {
-                ctx.emit(instance);
-            }
-        }
+        // The local enumeration streams straight through to the round's
+        // output: no per-reducer triangle buffer exists.
+        let work = {
+            let mut filter = crate::sink::FnSink::new(|instance: Instance| {
+                // De-duplicate triangles that span fewer than three groups:
+                // emit only from the canonical reducer for the group set.
+                let groups: Vec<u32> = instance.nodes().iter().map(|&v| group(v)).collect();
+                if canonical_triple(&groups, b) == *key {
+                    ctx.emit(instance);
+                }
+            });
+            enumerate_triangles_with_order_into(&local, &IdOrder, &mut filter).work
+        };
+        ctx.add_work(work);
     };
 
-    let (instances, report) = Pipeline::new()
+    let report = Pipeline::new()
         .round(Round::new("partition", mapper, reducer))
-        .run(graph.edges(), config);
-    MapReduceRun::from_pipeline(instances, report)
+        .run_with_sink(graph.edges(), config, sink);
+    RunStats::from_pipeline(report)
+}
+
+/// Collect-mode wrapper over [`run_partition_triangles_into`] (tests and
+/// in-crate comparisons).
+#[cfg(test)]
+pub(crate) fn run_partition_triangles(
+    graph: &DataGraph,
+    b: usize,
+    config: &EngineConfig,
+) -> crate::result::MapReduceRun {
+    let mut collected = crate::sink::CollectSink::new();
+    let stats = run_partition_triangles_into(graph, b, config, &mut collected);
+    stats.into_run(collected.into_items())
 }
 
 /// The canonical reducer triple for a triangle whose nodes fall into `groups`:
@@ -90,15 +109,6 @@ fn hash_group(v: NodeId, b: usize) -> u32 {
     x = (x ^ (x >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
     x ^= x >> 33;
     (x % b as u64) as u32
-}
-
-/// Deprecated shim over the planner API.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an EnumerationRequest with StrategyKind::PartitionTriangles and call plan()/execute() instead"
-)]
-pub fn partition_triangles(graph: &DataGraph, b: usize, config: &EngineConfig) -> MapReduceRun {
-    run_partition_triangles(graph, b, config)
 }
 
 #[cfg(test)]

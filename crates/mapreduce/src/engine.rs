@@ -1,10 +1,9 @@
-//! Engine configuration, shard assignment, and the deprecated single-round
-//! [`run_job`] entry point (now a shim over [`crate::pipeline`]).
-
-use crate::metrics::JobMetrics;
-use crate::pipeline::{execute_round, Round};
-use crate::task::{MapContext, Mapper, ReduceContext, Reducer};
-use std::hash::Hash;
+//! Engine configuration and shard assignment.
+//!
+//! The pre-pipeline single-round `run_job` entry point is gone: build a
+//! [`crate::pipeline::Round`] and run it through a one-round
+//! [`crate::pipeline::Pipeline`] instead (`Pipeline::new().round(..).run(..)`
+//! or `run_with_sink(..)` for streaming output delivery).
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -16,7 +15,7 @@ pub struct EngineConfig {
     /// invoking the reducer, so reducer invocation order — and therefore the
     /// concatenated output order — is a pure function of the input and the
     /// thread count. If false, each shard's keys are visited in hash-map
-    /// iteration order: the *set* of outputs and all [`JobMetrics`] counters
+    /// iteration order: the *set* of outputs and all [`crate::JobMetrics`] counters
     /// are unchanged, but the output order is arbitrary (it follows the
     /// engine's FxHash grouping tables, so no ordering is guaranteed across
     /// runs or releases), so only opt out when the consumer sorts or
@@ -67,39 +66,6 @@ impl EngineConfig {
     }
 }
 
-/// Runs one map-reduce round over `inputs` and returns the reducer outputs
-/// together with the measured [`JobMetrics`].
-///
-/// The dataflow is exactly the paper's single round: every input record is
-/// mapped independently, the emitted pairs are grouped by key, and the reducer
-/// is invoked once per distinct key with all values for that key.
-#[deprecated(
-    since = "0.3.0",
-    note = "build a pipeline::Round (optionally with a combiner) and run it through \
-            Pipeline::new().round(..).run(..) instead"
-)]
-pub fn run_job<I, K, V, O, M, R>(
-    inputs: &[I],
-    mapper: &M,
-    reducer: &R,
-    config: &EngineConfig,
-) -> (Vec<O>, JobMetrics)
-where
-    I: Sync,
-    K: Hash + Eq + Ord + Send,
-    V: Send,
-    O: Send,
-    M: Mapper<I, K, V>,
-    R: Reducer<K, V, O>,
-{
-    let round = Round::new(
-        "job",
-        |input: &I, ctx: &mut MapContext<K, V>| mapper.map(input, ctx),
-        |key: &K, values: &[V], ctx: &mut ReduceContext<O>| reducer.reduce(key, values, ctx),
-    );
-    execute_round(inputs, &round, config)
-}
-
 /// Maps a 64-bit key hash onto `[0, shards)` with the multiply-shift
 /// ("fastrange") reduction `(hash * shards) >> 64`. Unlike `hash % shards`,
 /// this uses the hash's high bits, is division-free, and keeps shard loads
@@ -110,12 +76,34 @@ pub fn shard_for_hash(hash: u64, shards: usize) -> usize {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // run_job is kept as a shim; these tests pin its parity.
 mod tests {
     use super::*;
     use crate::hash::hash_of;
-    use crate::pipeline::Pipeline;
-    use crate::task::{MapContext, ReduceContext};
+    use crate::metrics::JobMetrics;
+    use crate::pipeline::{Pipeline, Round};
+    use crate::task::{MapContext, Mapper, ReduceContext, Reducer};
+    use std::hash::Hash;
+
+    /// One-round pipeline helper with the shape of the old `run_job` entry
+    /// point, so these engine-level tests stay focused on the dataflow.
+    fn run_round<I, K, V, O>(
+        inputs: &[I],
+        mapper: impl Mapper<I, K, V>,
+        reducer: impl Reducer<K, V, O>,
+        config: &EngineConfig,
+    ) -> (Vec<O>, JobMetrics)
+    where
+        I: Sync + Send + 'static,
+        K: Hash + Eq + Ord + Send,
+        V: Send,
+        O: Send + Clone + 'static,
+    {
+        let (outputs, report) = Pipeline::new()
+            .round(Round::new("job", mapper, reducer))
+            .run(inputs, config);
+        let metrics = report.rounds.into_iter().next().expect("one round").metrics;
+        (outputs, metrics)
+    }
 
     /// Word-count style job: count occurrences of each number modulo 10.
     fn modulo_count(inputs: &[u64], threads: usize) -> (Vec<(u64, usize)>, JobMetrics) {
@@ -124,10 +112,10 @@ mod tests {
             ctx.add_work(vs.len() as u64);
             ctx.emit((*k, vs.len()));
         };
-        run_job(
+        run_round(
             inputs,
-            &mapper,
-            &reducer,
+            mapper,
+            reducer,
             &EngineConfig::with_threads(threads),
         )
     }
@@ -150,39 +138,6 @@ mod tests {
     }
 
     #[test]
-    fn run_job_shim_matches_a_single_round_pipeline() {
-        // Satellite of the pipeline refactor: the deprecated shim and the
-        // pipeline path must agree on outputs and metrics, pair for pair.
-        let inputs: Vec<u64> = (0..600).map(|i| i * 11 % 203).collect();
-        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 13, x * 2);
-        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
-            ctx.add_work(vs.len() as u64);
-            ctx.emit((*k, vs.iter().sum()));
-        };
-        for threads in [1usize, 4] {
-            let config = EngineConfig::with_threads(threads);
-            let (shim_out, shim_metrics) = run_job(&inputs, &mapper, &reducer, &config);
-            let (pipe_out, report) = Pipeline::new()
-                .round(Round::new("job", mapper, reducer))
-                .run(&inputs, &config);
-            assert_eq!(shim_out, pipe_out, "threads={threads}");
-            assert_eq!(report.num_rounds(), 1);
-            let pipe_metrics = &report.rounds[0].metrics;
-            assert_eq!(shim_metrics.input_records, pipe_metrics.input_records);
-            assert_eq!(shim_metrics.key_value_pairs, pipe_metrics.key_value_pairs);
-            assert_eq!(shim_metrics.shuffle_records, pipe_metrics.shuffle_records);
-            assert_eq!(shim_metrics.shuffle_bytes, pipe_metrics.shuffle_bytes);
-            assert_eq!(shim_metrics.reducers_used, pipe_metrics.reducers_used);
-            assert_eq!(
-                shim_metrics.max_reducer_input,
-                pipe_metrics.max_reducer_input
-            );
-            assert_eq!(shim_metrics.reducer_work, pipe_metrics.reducer_work);
-            assert_eq!(shim_metrics.outputs, pipe_metrics.outputs);
-        }
-    }
-
-    #[test]
     fn results_are_independent_of_thread_count() {
         let inputs: Vec<u64> = (0..500).map(|i| i * 7 % 113).collect();
         let (mut serial, _) = modulo_count(&inputs, 1);
@@ -202,7 +157,7 @@ mod tests {
         };
         let reducer = |_k: &u64, vs: &[u64], ctx: &mut ReduceContext<usize>| ctx.emit(vs.len());
         let inputs: Vec<u64> = (0..50).collect();
-        let (_, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::serial());
+        let (_, metrics) = run_round(&inputs, mapper, reducer, &EngineConfig::serial());
         assert_eq!(metrics.key_value_pairs, 150);
         assert!((metrics.replication_per_input() - 3.0).abs() < 1e-12);
         assert_eq!(metrics.reducers_used, 52); // keys 0..=51
@@ -225,7 +180,7 @@ mod tests {
         let mapper = |_x: &u64, _ctx: &mut MapContext<u64, u64>| {};
         let reducer = |_k: &u64, _vs: &[u64], ctx: &mut ReduceContext<u64>| ctx.emit(1);
         let inputs: Vec<u64> = (0..10).collect();
-        let (outputs, metrics) = run_job(&inputs, &mapper, &reducer, &EngineConfig::default());
+        let (outputs, metrics) = run_round(&inputs, mapper, reducer, &EngineConfig::default());
         assert!(outputs.is_empty());
         assert_eq!(metrics.key_value_pairs, 0);
         assert_eq!(metrics.reducers_used, 0);
@@ -277,7 +232,7 @@ mod tests {
                 deterministic,
                 use_combiners: true,
             };
-            run_job(&inputs, &mapper, &reducer, &config)
+            run_round(&inputs, mapper, reducer, &config)
         };
         // Deterministic runs repeat exactly, in order.
         let (first, metrics_a) = run(true);
@@ -305,7 +260,7 @@ mod tests {
         };
         let inputs: Vec<u64> = (0..150).collect();
         let (outputs, metrics) =
-            run_job(&inputs, &mapper, &reducer, &EngineConfig::with_threads(3));
+            run_round(&inputs, mapper, reducer, &EngineConfig::with_threads(3));
         assert_eq!(metrics.reducers_used, 15);
         assert_eq!(outputs.len(), 15);
         assert!(outputs.iter().all(|(_, c)| *c == 10));

@@ -33,19 +33,25 @@
 //! their shard in parallel. The engine intentionally does not model network
 //! transfer, spilling, or fault tolerance — none of which affect the two cost
 //! measures above.
+//!
+//! Results leave the engine through streaming [`OutputSink`]s
+//! ([`Pipeline::run_with_sink`]): the final round's reduce workers feed one
+//! sink shard each, so a counting sink enumerates outputs far larger than
+//! memory without the engine ever materializing them. [`Pipeline::run`] is
+//! the collecting wrapper ([`CollectSink`]) over the same path.
 
 pub mod engine;
 pub mod hash;
 pub mod metrics;
 pub mod pipeline;
+pub mod sink;
 pub mod task;
 
-#[allow(deprecated)] // run_job stays exported so downstream shims keep working.
-pub use engine::run_job;
 pub use engine::{shard_for_hash, EngineConfig};
 pub use hash::{hash_of, FxBuildHasher, FxHasher};
 pub use metrics::JobMetrics;
 pub use pipeline::{Pipeline, PipelineReport, Round, RoundMetrics};
+pub use sink::{BufferShard, CollectSink, CountSink, FnSink, OutputSink, SampleSink, SinkShard};
 pub use task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 
 #[cfg(test)]

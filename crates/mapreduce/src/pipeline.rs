@@ -52,6 +52,7 @@
 use crate::engine::{shard_for_hash, EngineConfig};
 use crate::hash::{hash_for_shuffle, prehashed_map_with_capacity, Prehashed, PrehashedMap};
 use crate::metrics::JobMetrics;
+use crate::sink::{CollectSink, OutputSink, SinkShard};
 use crate::task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 use std::hash::Hash;
 use std::mem::size_of;
@@ -196,37 +197,56 @@ impl<I: Clone> StageInput<'_, I> {
     }
 }
 
-/// The composed stage chain of a [`Pipeline`].
+/// Where a pipeline's final outputs go: back to the caller as a `Vec`
+/// (legacy), or streamed into an [`OutputSink`] as the final round's reduce
+/// workers produce them.
+enum Destination<'d, T: Send + 'static> {
+    /// Materialize the outputs (they feed a later stage or the caller).
+    Materialize,
+    /// Stream the final round straight into the sink.
+    Stream(&'d mut dyn OutputSink<T>),
+}
+
+/// The composed stage chain of a [`Pipeline`]. Returns `Some(outputs)` when
+/// asked to materialize (or when the last stage cannot stream — an empty
+/// pipeline or a trailing `prepare`); `None` when the final round streamed
+/// its outputs into the destination sink.
 type Stages<'a, I, O> = Box<
-    dyn for<'s> FnOnce(StageInput<'s, I>, &EngineConfig, &mut PipelineReport) -> StageInput<'s, O>
+    dyn for<'s, 'd> FnOnce(
+            StageInput<'s, I>,
+            &EngineConfig,
+            &mut PipelineReport,
+            Destination<'d, O>,
+        ) -> Option<StageInput<'s, O>>
         + 'a,
 >;
 
 /// A chain of map-reduce rounds from inputs of type `I` to outputs of type
 /// `O`. Build with [`Pipeline::new`], add stages with [`Pipeline::round`] and
-/// [`Pipeline::prepare`], execute with [`Pipeline::run`].
-pub struct Pipeline<'a, I, O> {
+/// [`Pipeline::prepare`], execute with [`Pipeline::run`] (collect) or
+/// [`Pipeline::run_with_sink`] (stream the final round).
+pub struct Pipeline<'a, I, O: Send + 'static> {
     stages: Stages<'a, I, O>,
     num_rounds: usize,
 }
 
-impl<'a, I: 'a> Pipeline<'a, I, I> {
+impl<'a, I: Send + 'static> Pipeline<'a, I, I> {
     /// The empty pipeline (zero rounds): inputs pass through unchanged.
     pub fn new() -> Self {
         Pipeline {
-            stages: Box::new(|inputs, _, _| inputs),
+            stages: Box::new(|inputs, _, _, _| Some(inputs)),
             num_rounds: 0,
         }
     }
 }
 
-impl<'a, I: 'a> Default for Pipeline<'a, I, I> {
+impl<'a, I: Send + 'static> Default for Pipeline<'a, I, I> {
     fn default() -> Self {
         Pipeline::new()
     }
 }
 
-impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
+impl<'a, I: Send + 'static, T: Send + 'static> Pipeline<'a, I, T> {
     /// Appends a map-reduce round: the current stage outputs become the
     /// round's mapper inputs.
     pub fn round<K, V, O>(self, round: Round<'a, T, K, V, O>) -> Pipeline<'a, I, O>
@@ -234,18 +254,30 @@ impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
         T: Sync,
         K: Hash + Eq + Ord + Send + 'a,
         V: Send + 'a,
-        O: Send + 'a,
+        O: Send + 'a + 'static,
     {
         let prev = self.stages;
         Pipeline {
-            stages: Box::new(move |inputs, config, report| {
-                let intermediate = prev(inputs, config, report);
-                let (outputs, metrics) = execute_round(intermediate.as_slice(), &round, config);
-                report.rounds.push(RoundMetrics {
-                    name: round.name.clone(),
-                    metrics,
-                });
-                StageInput::Owned(outputs)
+            stages: Box::new(move |inputs, config, report, destination| {
+                let intermediate = prev(inputs, config, report, Destination::Materialize)
+                    .expect("a materialize destination always yields outputs");
+                let name = round.name.clone();
+                match destination {
+                    Destination::Materialize => {
+                        let (outputs, metrics) =
+                            execute_round(intermediate.as_slice(), &round, config);
+                        report.rounds.push(RoundMetrics { name, metrics });
+                        Some(StageInput::Owned(outputs))
+                    }
+                    Destination::Stream(sink) => {
+                        // The final round: reduce workers feed the sink's
+                        // shards directly; nothing is materialized here.
+                        let metrics =
+                            execute_round_into(intermediate.as_slice(), &round, config, sink);
+                        report.rounds.push(RoundMetrics { name, metrics });
+                        None
+                    }
+                }
             }),
             num_rounds: self.num_rounds + 1,
         }
@@ -257,11 +289,14 @@ impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
     pub fn prepare<O>(self, f: impl FnOnce(Vec<T>) -> Vec<O> + 'a) -> Pipeline<'a, I, O>
     where
         T: Clone,
+        O: Send + 'static,
     {
         let prev = self.stages;
         Pipeline {
-            stages: Box::new(move |inputs, config, report| {
-                StageInput::Owned(f(prev(inputs, config, report).into_vec()))
+            stages: Box::new(move |inputs, config, report, _destination| {
+                let intermediate = prev(inputs, config, report, Destination::Materialize)
+                    .expect("a materialize destination always yields outputs");
+                Some(StageInput::Owned(f(intermediate.into_vec())))
             }),
             num_rounds: self.num_rounds,
         }
@@ -275,14 +310,51 @@ impl<'a, I: 'a, T: 'a> Pipeline<'a, I, T> {
     /// Executes every round in order over the borrowed `inputs` and returns
     /// the final outputs together with the per-round metrics. The first round
     /// maps directly off the slice — callers pass `graph.edges()` (or any
-    /// slice) without cloning it per run.
+    /// slice) without cloning it per run. This is now a thin wrapper over
+    /// [`Pipeline::run_with_sink`] with a collecting destination.
     pub fn run(self, inputs: &[I], config: &EngineConfig) -> (Vec<T>, PipelineReport)
     where
         T: Clone,
     {
+        let mut sink = CollectSink::new();
+        let report = self.run_with_sink(inputs, config, &mut sink);
+        (sink.into_items(), report)
+    }
+
+    /// Executes every round in order, streaming the *final* round's reducer
+    /// outputs into `sink` instead of merging them into a `Vec`: each reduce
+    /// worker fills a private [`SinkShard`] as its reducers emit, and the
+    /// coordinator folds the shards back in worker order — so deterministic
+    /// configs deliver the exact order [`Pipeline::run`] would have returned,
+    /// and constant-memory sinks (e.g. [`crate::CountSink`]) make the output
+    /// path O(1) in the result size.
+    ///
+    /// Intermediate rounds still materialize their outputs (they are the next
+    /// round's mapper inputs); only the final round streams. Pipelines whose
+    /// last stage is not a round (zero rounds, trailing
+    /// [`Pipeline::prepare`]) fall back to pushing each record through
+    /// [`OutputSink::accept`].
+    pub fn run_with_sink(
+        self,
+        inputs: &[I],
+        config: &EngineConfig,
+        sink: &mut dyn OutputSink<T>,
+    ) -> PipelineReport
+    where
+        T: Clone,
+    {
         let mut report = PipelineReport::default();
-        let outputs = (self.stages)(StageInput::Borrowed(inputs), config, &mut report).into_vec();
-        (outputs, report)
+        if let Some(leftover) = (self.stages)(
+            StageInput::Borrowed(inputs),
+            config,
+            &mut report,
+            Destination::Stream(sink),
+        ) {
+            for value in leftover.into_vec() {
+                sink.accept(value);
+            }
+        }
+        report
     }
 }
 
@@ -320,29 +392,18 @@ struct MapOutcome<K, V> {
     partition_time: Duration,
 }
 
-/// What one reduce worker hands back.
+/// What one reduce worker hands back: its filled sink shard plus counters.
 struct ReduceOutcome<O> {
-    outputs: Vec<O>,
+    shard: Box<dyn SinkShard<O>>,
+    emitted: usize,
     work: u64,
     groups: usize,
     max_input: usize,
 }
 
-/// Executes one round over `inputs` and returns the reducer outputs with the
-/// measured [`JobMetrics`]. This is the engine behind both [`Pipeline::run`]
-/// and the deprecated single-round [`crate::run_job`] shim.
-///
-/// The round is a two-phase parallel exchange. Each **map worker** maps its
-/// chunk, hashes every emitted key exactly once (FxHash), and partitions
-/// its own records into `threads` buckets keyed by [`shard_for_hash`] —
-/// combining first when a combiner is attached, in which case the grouping
-/// reuses the same per-key hash. The **coordinator** only transposes bucket
-/// ownership (worker-major to reducer-major); it never touches a record. Each
-/// **reduce worker** then groups the buckets destined for it — reusing the
-/// precomputed hashes via [`Prehashed`] — sorts its keys when
-/// [`EngineConfig::deterministic`] is set, and reduces. Debug builds assert
-/// the hash-once invariant on every worker (see
-/// [`crate::hash::debug_hash_count`]).
+/// Executes one round over `inputs`, collecting the reducer outputs into a
+/// `Vec` — the materializing wrapper over [`execute_round_into`] used for
+/// intermediate pipeline rounds (whose outputs feed the next round).
 pub(crate) fn execute_round<I, K, V, O>(
     inputs: &[I],
     round: &Round<'_, I, K, V, O>,
@@ -352,7 +413,41 @@ where
     I: Sync,
     K: Hash + Eq + Ord + Send,
     V: Send,
-    O: Send,
+    O: Send + 'static,
+{
+    let mut collected = CollectSink::new();
+    let metrics = execute_round_into(inputs, round, config, &mut collected);
+    (collected.into_items(), metrics)
+}
+
+/// Executes one round over `inputs`, streaming the reducer outputs into
+/// `sink`, and returns the measured [`JobMetrics`]. This is the engine behind
+/// [`Pipeline::run`] and [`Pipeline::run_with_sink`].
+///
+/// The round is a two-phase parallel exchange. Each **map worker** maps its
+/// chunk, hashes every emitted key exactly once (FxHash), and partitions
+/// its own records into `threads` buckets keyed by [`shard_for_hash`] —
+/// combining first when a combiner is attached, in which case the grouping
+/// reuses the same per-key hash. The **coordinator** only transposes bucket
+/// ownership (worker-major to reducer-major); it never touches a record. Each
+/// **reduce worker** then groups the buckets destined for it — reusing the
+/// precomputed hashes via [`Prehashed`] — sorts its keys when
+/// [`EngineConfig::deterministic`] is set, and reduces **straight into a
+/// private shard of `sink`** ([`OutputSink::new_shard`]); the coordinator
+/// folds the shards back in worker order, so no stage ever merges the outputs
+/// into an engine-owned `Vec`. Debug builds assert the hash-once invariant on
+/// every worker (see [`crate::hash::debug_hash_count`]).
+pub(crate) fn execute_round_into<I, K, V, O>(
+    inputs: &[I],
+    round: &Round<'_, I, K, V, O>,
+    config: &EngineConfig,
+    sink: &mut dyn OutputSink<O>,
+) -> JobMetrics
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send + 'static,
 {
     let threads = config.num_threads.max(1);
     let combine = config.use_combiners;
@@ -487,13 +582,18 @@ where
     // Each reduce worker owns a disjoint set of keys (its shard). It groups
     // its inbox with the precomputed hashes, so per-key value order is
     // (map-worker order, within-worker order) and therefore deterministic.
+    // Outputs stream into one private sink shard per worker, created here in
+    // worker order so the fold below can preserve deterministic output order.
     let deterministic = config.deterministic;
     let reducer = &*round.reducer;
     let reduce_start = Instant::now();
+    let sink_shards: Vec<Box<dyn SinkShard<O>>> =
+        (0..inboxes.len()).map(|_| sink.new_shard()).collect();
     let reduced: Vec<ReduceOutcome<O>> = std::thread::scope(|scope| {
         let handles: Vec<_> = inboxes
             .into_iter()
-            .map(|inbox| {
+            .zip(sink_shards)
+            .map(|(inbox, sink_shard)| {
                 scope.spawn(move || {
                     #[cfg(debug_assertions)]
                     let _ = crate::hash::debug_hash_count::take();
@@ -540,11 +640,11 @@ where
                     }
                     let group_count = groups.len();
                     let max_input = groups.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
-                    let mut ctx = ReduceContext::new();
+                    let mut ctx = ReduceContext::with_shard(sink_shard);
                     for (key, values) in &groups {
                         reducer.reduce(key, values, &mut ctx);
                     }
-                    let (outputs, work) = ctx.into_parts();
+                    let (shard, work, emitted) = ctx.into_parts();
                     #[cfg(debug_assertions)]
                     debug_assert_eq!(
                         crate::hash::debug_hash_count::take(),
@@ -552,7 +652,8 @@ where
                         "hash-once invariant: reduce-side grouping reuses precomputed hashes"
                     );
                     ReduceOutcome {
-                        outputs,
+                        shard,
+                        emitted,
                         work,
                         groups: group_count,
                         max_input,
@@ -573,15 +674,15 @@ where
         .max()
         .unwrap_or(0);
 
-    // Reserve once, then append: one move per output record, no re-growth.
-    let total_outputs: usize = reduced.iter().map(|outcome| outcome.outputs.len()).sum();
-    let mut outputs = Vec::with_capacity(total_outputs);
-    for mut outcome in reduced {
+    // Fold the worker shards back into the sink, in worker order — for a
+    // collecting sink this is the old reserve-and-append merge; for a
+    // counting sink no record was ever buffered anywhere.
+    for outcome in reduced {
         metrics.reducer_work += outcome.work;
-        outputs.append(&mut outcome.outputs);
+        metrics.outputs += outcome.emitted;
+        sink.fold(outcome.shard);
     }
-    metrics.outputs = outputs.len();
-    (outputs, metrics)
+    metrics
 }
 
 #[cfg(test)]
@@ -783,6 +884,145 @@ mod tests {
         // Partitioning happens inside the map workers, so its critical-path
         // time can never exceed the whole map phase.
         assert!(metrics.partition_time <= metrics.map_time);
+    }
+
+    /// Per-round metrics with wall-clock timings zeroed, so two runs can be
+    /// compared counter for counter.
+    fn counters_of(report: &PipelineReport) -> Vec<(String, JobMetrics)> {
+        report
+            .rounds
+            .iter()
+            .map(|round| {
+                let mut metrics = round.metrics.clone();
+                metrics.map_time = Duration::ZERO;
+                metrics.partition_time = Duration::ZERO;
+                metrics.shuffle_time = Duration::ZERO;
+                metrics.reduce_time = Duration::ZERO;
+                (round.name.clone(), metrics)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_with_sink_collect_matches_run_exactly() {
+        // The legacy Vec path is a CollectSink wrapper, so outputs and every
+        // metric must agree pair for pair, at every thread count.
+        let inputs: Vec<u64> = (0..900).map(|i| i * 31 % 257).collect();
+        for threads in [1usize, 2, 8] {
+            for combine in [true, false] {
+                let config = EngineConfig::with_threads(threads).combiners(combine);
+                let (outputs, report) = Pipeline::new()
+                    .round(counting_round(combine))
+                    .run(&inputs, &config);
+                let mut collected = crate::sink::CollectSink::new();
+                let sink_report = Pipeline::new()
+                    .round(counting_round(combine))
+                    .run_with_sink(&inputs, &config, &mut collected);
+                assert_eq!(
+                    collected.into_items(),
+                    outputs,
+                    "threads={threads} combine={combine}"
+                );
+                assert_eq!(
+                    counters_of(&sink_report),
+                    counters_of(&report),
+                    "threads={threads} combine={combine}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_sink_counts_without_changing_any_metric() {
+        let inputs: Vec<u64> = (0..1200).map(|i| i * 7 % 401).collect();
+        for threads in [1usize, 3, 8] {
+            let config = EngineConfig::with_threads(threads);
+            let (outputs, report) = Pipeline::new()
+                .round(counting_round(true))
+                .run(&inputs, &config);
+            let mut counter = crate::sink::CountSink::new();
+            let count_report = Pipeline::new().round(counting_round(true)).run_with_sink(
+                &inputs,
+                &config,
+                &mut counter,
+            );
+            assert_eq!(counter.count(), outputs.len(), "threads={threads}");
+            // Byte-identical metrics: the output path never affects what the
+            // mappers emit, the combiner merges, or the shuffle ships.
+            assert_eq!(
+                counters_of(&count_report),
+                counters_of(&report),
+                "threads={threads}"
+            );
+            assert_eq!(count_report.combined().outputs, outputs.len());
+        }
+    }
+
+    #[test]
+    fn only_the_final_round_streams_in_a_multi_round_pipeline() {
+        let inputs: Vec<u64> = (0..300).collect();
+        let build = || {
+            Pipeline::new()
+                .round(counting_round(true))
+                .round(Round::new(
+                    "echo",
+                    |&(k, c): &(u64, u64), ctx: &mut MapContext<u64, u64>| ctx.emit(k, c),
+                    |k: &u64, cs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+                        ctx.emit((*k, cs[0]))
+                    },
+                ))
+        };
+        let config = EngineConfig::with_threads(4);
+        let (outputs, report) = build().run(&inputs, &config);
+        let mut counter = crate::sink::CountSink::new();
+        let sink_report = build().run_with_sink(&inputs, &config, &mut counter);
+        assert_eq!(counter.count(), outputs.len());
+        assert_eq!(sink_report.num_rounds(), 2);
+        assert_eq!(counters_of(&sink_report), counters_of(&report));
+    }
+
+    #[test]
+    fn sink_mode_handles_non_round_tails() {
+        // A zero-round pipeline and a trailing prepare cannot stream from
+        // reduce workers; the records fall back to OutputSink::accept.
+        let mut collected = crate::sink::CollectSink::new();
+        let report =
+            Pipeline::new().run_with_sink(&[1u64, 2, 3], &EngineConfig::serial(), &mut collected);
+        assert_eq!(collected.into_items(), vec![1, 2, 3]);
+        assert_eq!(report.num_rounds(), 0);
+
+        let inputs: Vec<u64> = (0..50).collect();
+        let mut counter = crate::sink::CountSink::new();
+        let report = Pipeline::new()
+            .round(counting_round(true))
+            .prepare(|counts: Vec<(u64, u64)>| {
+                counts.into_iter().filter(|(k, _)| k % 2 == 0).collect()
+            })
+            .run_with_sink(&inputs, &EngineConfig::serial(), &mut counter);
+        assert_eq!(counter.count(), 5);
+        assert_eq!(report.num_rounds(), 1);
+    }
+
+    #[test]
+    fn deterministic_sink_delivery_preserves_the_exact_output_order() {
+        // FnSink callbacks see records in the same order the Vec path returns.
+        let inputs: Vec<u64> = (0..500).map(|i| i * 13 % 149).collect();
+        for threads in [2usize, 8] {
+            let config = EngineConfig::with_threads(threads);
+            let (outputs, _) = Pipeline::new()
+                .round(counting_round(true))
+                .run(&inputs, &config);
+            let mut seen = Vec::new();
+            let delivered = {
+                let mut sink = crate::sink::FnSink::new(|pair: (u64, u64)| seen.push(pair));
+                Pipeline::new()
+                    .round(counting_round(true))
+                    .run_with_sink(&inputs, &config, &mut sink);
+                sink.count()
+            };
+            assert_eq!(delivered, outputs.len());
+            assert_eq!(seen, outputs, "threads={threads}");
+        }
     }
 
     /// The hash-once invariant is asserted inside every map and reduce worker

@@ -1,5 +1,7 @@
 //! Mapper and reducer traits plus their emission contexts.
 
+use crate::sink::SinkShard;
+
 /// Collects the key-value pairs emitted by a mapper (each emission is one
 /// unit of communication cost). The engine reuses one context for all of a
 /// map worker's records, so emissions accumulate instead of paying one
@@ -30,26 +32,42 @@ impl<K, V> MapContext<K, V> {
     }
 }
 
-/// Collects reducer output and the reducer's self-reported computation cost.
-/// The engine reuses one context for all keys a reduce worker owns, so
-/// outputs append into one pre-existing buffer rather than allocating a fresh
-/// vector per reducer invocation.
+/// Streams reducer output into a [`SinkShard`] and tracks the reducer's
+/// self-reported computation cost. The engine gives each reduce worker one
+/// context for all the keys it owns; every [`ReduceContext::emit`] goes
+/// straight to the worker's sink shard — a buffering shard on the legacy
+/// `Vec`-collecting path, a constant-memory shard for counting sinks — so
+/// the engine itself never materializes a `Vec` of final outputs.
 pub struct ReduceContext<O> {
-    outputs: Vec<O>,
+    shard: Box<dyn SinkShard<O>>,
+    emitted: usize,
     work: u64,
 }
 
 impl<O> ReduceContext<O> {
-    pub(crate) fn new() -> Self {
+    /// A context that buffers its outputs into a plain [`BufferShard`]
+    /// (tests drive reducers directly through this).
+    #[cfg(test)]
+    pub(crate) fn buffered() -> Self
+    where
+        O: Send + 'static,
+    {
+        ReduceContext::with_shard(Box::new(crate::sink::BufferShard(Vec::new())))
+    }
+
+    /// A context that streams into the given worker shard.
+    pub(crate) fn with_shard(shard: Box<dyn SinkShard<O>>) -> Self {
         ReduceContext {
-            outputs: Vec::new(),
+            shard,
+            emitted: 0,
             work: 0,
         }
     }
 
     /// Emits one output record.
     pub fn emit(&mut self, output: O) {
-        self.outputs.push(output);
+        self.emitted += 1;
+        self.shard.accept(output);
     }
 
     /// Adds `units` to the reducer's computation-cost counter. The paper's
@@ -63,11 +81,13 @@ impl<O> ReduceContext<O> {
 
     /// Number of outputs emitted so far.
     pub fn output_len(&self) -> usize {
-        self.outputs.len()
+        self.emitted
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<O>, u64) {
-        (self.outputs, self.work)
+    /// Dismantles the context: the filled shard, the work counter, and the
+    /// number of emitted records.
+    pub(crate) fn into_parts(self) -> (Box<dyn SinkShard<O>>, u64, usize) {
+        (self.shard, self.work, self.emitted)
     }
 }
 
@@ -141,6 +161,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::BufferShard;
 
     #[test]
     fn map_context_counts_emissions() {
@@ -153,14 +174,19 @@ mod tests {
 
     #[test]
     fn reduce_context_tracks_outputs_and_work() {
-        let mut ctx: ReduceContext<u64> = ReduceContext::new();
+        let mut ctx: ReduceContext<u64> = ReduceContext::buffered();
         ctx.emit(7);
         ctx.add_work(5);
         ctx.add_work(3);
         assert_eq!(ctx.output_len(), 1);
-        let (outputs, work) = ctx.into_parts();
-        assert_eq!(outputs, vec![7]);
+        let (shard, work, emitted) = ctx.into_parts();
+        let buffered = shard
+            .into_any()
+            .downcast::<BufferShard<u64>>()
+            .expect("buffered context uses a BufferShard");
+        assert_eq!(buffered.0, vec![7]);
         assert_eq!(work, 8);
+        assert_eq!(emitted, 1);
     }
 
     #[test]
@@ -173,8 +199,10 @@ mod tests {
         let reducer = |_k: &u32, vs: &[u32], ctx: &mut ReduceContext<u32>| {
             ctx.emit(vs.iter().sum());
         };
-        let mut rctx = ReduceContext::new();
+        let mut rctx = ReduceContext::buffered();
         reducer.reduce(&1, &[1, 2, 3], &mut rctx);
-        assert_eq!(rctx.into_parts().0, vec![6]);
+        let (shard, _, _) = rctx.into_parts();
+        let buffered = shard.into_any().downcast::<BufferShard<u32>>().unwrap();
+        assert_eq!(buffered.0, vec![6]);
     }
 }

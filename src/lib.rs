@@ -72,9 +72,39 @@
 //! A reducer budget of 1 means "no cluster": the planner then chooses among
 //! the convertible serial algorithms of Sections 6–7 instead.
 //!
+//! ## Streaming results (graphs whose output exceeds memory)
+//!
+//! Collecting a `Vec<Instance>` bounds a run by its *output* size. Every
+//! strategy also streams: hand the plan an
+//! [`InstanceSink`](prelude::InstanceSink) and no per-instance storage is
+//! allocated anywhere — counting is O(1) memory whatever the instance count:
+//!
+//! ```
+//! use subgraph_mr::prelude::*;
+//!
+//! let data_graph = generators::gnm(300, 2_000, 11);
+//! let plan = EnumerationRequest::named("triangle", &data_graph)
+//!     .unwrap()
+//!     .reducers(64)
+//!     .plan()
+//!     .unwrap();
+//! // Count-only: a CountSink flows through the engine's sharded delivery.
+//! let counted = plan.count();
+//! assert!(counted.is_streamed());
+//! // Same counters and count as the collect path, without the storage.
+//! let collected = plan.execute();
+//! assert_eq!(counted.count(), collected.count());
+//! assert_eq!(counted.communication(), collected.communication());
+//!
+//! // Or keep just the k smallest instances, or run a callback per instance:
+//! let mut sample = SampleSink::new(10);
+//! plan.run_with_sink(&mut sample);
+//! assert!(sample.len() <= 10);
+//! ```
+//!
 //! See `docs/PLANNER.md` for the strategy-to-paper-section map and
-//! `docs/ENGINE.md` for the Pipeline/Round/Combiner execution model and the
-//! metrics glossary.
+//! `docs/ENGINE.md` for the Pipeline/Round/Combiner execution model, the
+//! "Output sinks" section, and the metrics glossary.
 
 pub use subgraph_core as core;
 pub use subgraph_cq as cq;
@@ -91,10 +121,16 @@ pub mod prelude {
         StrategyKind,
     };
     pub use subgraph_core::serial::{
-        enumerate_bounded_degree, enumerate_by_decomposition, enumerate_generic,
-        enumerate_odd_cycles, enumerate_triangles_serial,
+        enumerate_bounded_degree, enumerate_bounded_degree_into, enumerate_by_decomposition,
+        enumerate_by_decomposition_into, enumerate_generic, enumerate_generic_into,
+        enumerate_odd_cycles, enumerate_odd_cycles_into, enumerate_triangles_into,
+        enumerate_triangles_serial,
     };
-    pub use subgraph_core::{MapReduceRun, SerialRun};
+    /// Streaming result sinks: count, collect, sample, callback.
+    pub use subgraph_core::sink::{
+        CollectSink, CountSink, FnSink, InstanceSink, OutputSink, SampleSink,
+    };
+    pub use subgraph_core::{MapReduceRun, RunStats, SerialRun, SerialStats};
     pub use subgraph_cq::{cqs_for_sample, cycle_cqs, evaluate_cqs, merge_by_orientation};
     pub use subgraph_graph::{generators, DataGraph, GraphBuilder, NodeId};
     pub use subgraph_mapreduce::{
@@ -102,15 +138,4 @@ pub mod prelude {
     };
     pub use subgraph_pattern::{catalog, Instance, SampleGraph};
     pub use subgraph_shares::{optimize_shares, CostExpression};
-
-    // Deprecated shims, re-exported so existing downstream code keeps
-    // compiling (with a deprecation warning at the call site).
-    #[allow(deprecated)]
-    pub use subgraph_core::enumerate::{
-        bucket_oriented_enumerate, cq_oriented_enumerate, variable_oriented_enumerate,
-    };
-    #[allow(deprecated)]
-    pub use subgraph_core::triangles::{
-        bucket_ordered_triangles, multiway_triangles, partition_triangles,
-    };
 }

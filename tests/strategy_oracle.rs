@@ -89,12 +89,12 @@ fn every_mr_strategy_matches_the_oracle_multiset_across_thread_counts() {
     ] {
         for seed in 0..2u64 {
             for (family, graph) in test_graphs(seed) {
-                let oracle = sorted_instances(enumerate_generic(&sample, &graph).instances);
+                let oracle = sorted_instances(enumerate_generic(&sample, &graph).into_instances());
                 for (kind, k) in mr_strategies(&sample) {
                     for threads in THREAD_COUNTS {
                         let report = run(&sample, &graph, kind, k, threads);
                         assert_eq!(
-                            sorted_instances(report.instances),
+                            sorted_instances(report.into_instances()),
                             oracle,
                             "{case} {family} seed={seed} {kind} threads={threads}"
                         );
@@ -113,11 +113,11 @@ fn serial_strategies_match_the_oracle_multiset() {
         ("lollipop", catalog::lollipop()),
     ] {
         for (family, graph) in test_graphs(3) {
-            let oracle = sorted_instances(enumerate_generic(&sample, &graph).instances);
+            let oracle = sorted_instances(enumerate_generic(&sample, &graph).into_instances());
             for kind in serial_strategies(&sample) {
                 let report = run(&sample, &graph, kind, 1, 1);
                 assert_eq!(
-                    sorted_instances(report.instances),
+                    sorted_instances(report.into_instances()),
                     oracle,
                     "{case} {family} {kind}"
                 );
@@ -137,7 +137,8 @@ fn deterministic_mode_repeats_the_exact_instance_order() {
                 // EngineConfig::with_threads defaults to deterministic = true:
                 // the streams must agree in order, not merely as multisets.
                 assert_eq!(
-                    first.instances, second.instances,
+                    first.instances(),
+                    second.instances(),
                     "{family} {kind} threads={threads}"
                 );
             }
@@ -165,7 +166,8 @@ fn multiway_combiner_is_transparent_to_the_result_stream() {
                 .unwrap()
                 .execute();
             assert_eq!(
-                with.instances, without.instances,
+                with.instances(),
+                without.instances(),
                 "{family} threads={threads}"
             );
             let with_metrics = with.metrics.as_ref().unwrap();
@@ -191,7 +193,7 @@ fn planner_choice_matches_the_oracle_on_both_graph_families() {
         ("square", catalog::square()),
     ] {
         for (family, graph) in test_graphs(13) {
-            let oracle = sorted_instances(enumerate_generic(&sample, &graph).instances);
+            let oracle = sorted_instances(enumerate_generic(&sample, &graph).into_instances());
             for threads in THREAD_COUNTS {
                 for k in [1usize, 96] {
                     let report = EnumerationRequest::new(sample.clone(), &graph)
@@ -201,7 +203,7 @@ fn planner_choice_matches_the_oracle_on_both_graph_families() {
                         .unwrap()
                         .execute();
                     assert_eq!(
-                        sorted_instances(report.instances),
+                        sorted_instances(report.into_instances()),
                         oracle,
                         "{case} {family} k={k} threads={threads}"
                     );
