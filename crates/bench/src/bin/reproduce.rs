@@ -7,7 +7,7 @@
 //!
 //! Run with no arguments to list the available reproductions.
 
-use subgraph_bench::{computation, cq_tables, figures, planner_table, share_tables};
+use subgraph_bench::{cli_table, computation, cq_tables, figures, planner_table, share_tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +23,7 @@ fn main() {
             "shuffle-quick" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(true)),
             "sink" => print!("{}", subgraph_bench::sink_bench::sink_throughput(false)),
             "sink-quick" => print!("{}", subgraph_bench::sink_bench::sink_throughput(true)),
+            "cli" => print!("{}", cli_table::cli_parity()),
             "fig1" => print!("{}", figures::figure1()),
             "fig2" => print!("{}", figures::figure2()),
             "cascade" => print!("{}", figures::cascade_comparison()),
@@ -60,6 +61,7 @@ fn print_usage() {
          shuffle-quick         the same sweep in CI smoke mode\n  \
          sink                  streaming-sink sweep: count-only >=1M-edge graph (writes BENCH_sink.json)\n  \
          sink-quick            the same sweep in CI smoke mode\n  \
+         cli                   CLI parity: enumerate line count vs count per catalog pattern\n  \
          fig1                  Figure 1  (asymptotic triangle comparison)\n  \
          fig2                  Figure 2  (specific reducer counts)\n  \
          cascade               Section 2 motivation (1-round vs 2-round cascade)\n  \

@@ -29,12 +29,14 @@
 //! | strategy choice (Sections 2, 4, 6-7) | [`planner_table::planner_choices`] |
 //! | shuffle throughput sweep (engine perf trajectory) | [`shuffle::shuffle_throughput`] |
 //! | streaming-sink sweep (count-only, ≥ 1M edges, peak RSS) | [`sink_bench::sink_throughput`] |
+//! | CLI parity (`enumerate \| wc -l` vs `count`) | [`cli_table::cli_parity`] |
 //!
 //! The measured columns drive every algorithm through the
 //! `EnumerationRequest`/`Planner` API of `subgraph-core`; [`harness`] is the
 //! dependency-free criterion-compatible micro-bench harness the `benches/`
 //! targets run on.
 
+pub mod cli_table;
 pub mod computation;
 pub mod cq_tables;
 pub mod figures;

@@ -1,0 +1,950 @@
+//! The `subgraph` command-line tool: the dataset-to-output path of the whole
+//! workspace.
+//!
+//! The paper's motivating workload is enumerating sample-graph instances in
+//! real social-network snapshots; this crate is the entry point that actually
+//! takes an edge-list file (or a generator spec) and produces instances.
+//! Four subcommands wire the stack end-to-end:
+//!
+//! * `enumerate` — load a [`GraphSource`], plan an
+//!   [`EnumerationRequest`] for a catalog pattern, and stream every instance
+//!   through a serializing sink ([`NdjsonSink`], [`CsvSink`],
+//!   [`EdgeListSink`]) to a file or stdout. No `Vec<Instance>` is ever
+//!   materialized.
+//! * `count` — the same plan through the zero-allocation
+//!   [`subgraph_core::CountSink`] path: one number out, O(1) result memory.
+//! * `explain` — print the planner's cost table
+//!   ([`subgraph_core::ExecutionPlan::explain`]) for a request *without*
+//!   running it.
+//! * `catalog` — list every named pattern with node/edge counts and
+//!   automorphism group sizes ([`subgraph_pattern::catalog::entries`]).
+//!
+//! A fifth helper, `generate`, materializes any graph spec as an edge-list
+//! file so the other subcommands (and external tools) have something to read.
+//!
+//! The crate is a thin library plus a `main` shim so that the bench harness
+//! and the integration tests drive exactly the code the binary runs:
+//!
+//! ```
+//! use subgraph_cli::{run, Command};
+//!
+//! let cmd = Command::parse(&["count", "--generate", "gnp:60,0.1,7", "--pattern", "triangle"])
+//!     .unwrap();
+//! let mut stdout = Vec::new();
+//! run(&cmd, &mut stdout).unwrap();
+//! let printed: usize = String::from_utf8(stdout).unwrap().trim().parse().unwrap();
+//! assert!(printed > 0);
+//! ```
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use subgraph_core::sink::SerializeSink;
+use subgraph_core::{
+    CsvSink, EdgeListSink, EnumerationRequest, NdjsonSink, PlanError, RunReport, StrategyKind,
+};
+use subgraph_graph::io::write_edge_list;
+use subgraph_graph::{DataGraph, GraphSource, SourceError};
+use subgraph_mapreduce::EngineConfig;
+use subgraph_pattern::catalog;
+
+/// Output serialization of `enumerate`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// One JSON object per line (`{"nodes":[…],"edges":[[u,v],…]}`).
+    Ndjson,
+    /// CSV with a `nodes,edges` header.
+    Csv,
+    /// Edge-list dialect: `# instance k` comments plus `u v` lines.
+    EdgeList,
+}
+
+impl Format {
+    fn parse(name: &str) -> Option<Format> {
+        match name {
+            "ndjson" => Some(Format::Ndjson),
+            "csv" => Some(Format::Csv),
+            "edges" | "edge-list" => Some(Format::EdgeList),
+            _ => None,
+        }
+    }
+}
+
+/// Everything `enumerate`, `count` and `explain` share: which graph, which
+/// pattern, and how to plan/run the request.
+#[derive(Clone, Debug)]
+pub struct RequestOpts {
+    /// Where the data graph comes from.
+    pub source: GraphSource,
+    /// Catalog pattern name (`triangle`, `c5`, `k4`, …).
+    pub pattern: String,
+    /// Reducer budget `k` (defaults to
+    /// [`subgraph_core::plan::request::DEFAULT_REDUCERS`]).
+    pub reducers: Option<usize>,
+    /// Worker threads for the engine (defaults to available parallelism).
+    pub threads: Option<usize>,
+    /// Force a strategy instead of letting the planner choose.
+    pub strategy: Option<StrategyKind>,
+}
+
+impl RequestOpts {
+    fn load_graph(&self) -> Result<DataGraph, CliError> {
+        Ok(self.source.load()?)
+    }
+
+    fn request<'g>(&self, graph: &'g DataGraph) -> Result<EnumerationRequest<'g>, CliError> {
+        let mut request = EnumerationRequest::named(&self.pattern, graph).map_err(|e| match e {
+            PlanError::UnknownPattern(name) => CliError::Run(format!(
+                "unknown pattern {name:?} — run `subgraph catalog` for the list"
+            )),
+            other => CliError::from(other),
+        })?;
+        if let Some(k) = self.reducers {
+            request = request.reducers(k);
+        }
+        if let Some(t) = self.threads {
+            request = request.engine(EngineConfig::with_threads(t));
+        }
+        if let Some(kind) = self.strategy {
+            request = request.strategy(kind);
+        }
+        Ok(request)
+    }
+}
+
+/// A parsed `subgraph` invocation.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Stream every instance to a writer in the chosen [`Format`].
+    Enumerate {
+        /// The request to run.
+        opts: RequestOpts,
+        /// Serialization format (default ndjson).
+        format: Format,
+        /// Output file; `None` streams to stdout.
+        output: Option<PathBuf>,
+        /// Print the run report to stderr afterwards.
+        verbose: bool,
+    },
+    /// Count instances through the zero-allocation sink path.
+    Count {
+        /// The request to run.
+        opts: RequestOpts,
+        /// Print the run report to stderr after the count.
+        verbose: bool,
+    },
+    /// Print the planner's cost table without running the request.
+    Explain {
+        /// The request to plan.
+        opts: RequestOpts,
+    },
+    /// List the pattern catalog.
+    Catalog,
+    /// Materialize a graph source as an edge-list file.
+    Generate {
+        /// The graph to materialize (usually a generator spec).
+        source: GraphSource,
+        /// Output file; `None` streams to stdout.
+        output: Option<PathBuf>,
+    },
+}
+
+/// How an invocation failed, carrying the process exit code to use.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments (exit code 2): the message plus the usage text.
+    Usage(String),
+    /// A runtime failure (exit code 1): unreadable file, failing plan, I/O.
+    Run(String),
+    /// The downstream consumer closed stdout (`enumerate … | head`). Not a
+    /// failure: the binary exits 0 without a message, like any well-behaved
+    /// pipeline stage.
+    BrokenPipe,
+}
+
+impl CliError {
+    /// The conventional process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Run(_) => 1,
+            CliError::BrokenPipe => 0,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+            CliError::BrokenPipe => write!(f, "broken pipe"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SourceError> for CliError {
+    fn from(e: SourceError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+impl From<PlanError> for CliError {
+    fn from(e: PlanError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::BrokenPipe {
+            CliError::BrokenPipe
+        } else {
+            CliError::Run(format!("i/o error: {e}"))
+        }
+    }
+}
+
+/// The usage text `subgraph --help` (and every usage error) prints.
+pub const USAGE: &str = "usage: subgraph <subcommand> [options]
+
+subcommands:
+  enumerate   stream every instance of a pattern to stdout or a file
+  count       count instances (zero per-instance allocation)
+  explain     print the planner's cost table without running anything
+  catalog     list the named patterns
+  generate    write a graph spec out as an edge-list file
+
+input (enumerate / count / explain take exactly one):
+  --input <file>        read a SNAP-style edge list (`u v` per line, # comments)
+  --generate <spec>     synthesize a graph: gnm:<n>,<m>[,seed]
+                        gnp:<n>,<p>[,seed] | power-law:<n>,<m>,<gamma>[,seed]
+
+request options:
+  --pattern <name>      catalog pattern (see `subgraph catalog`); required
+  --reducers <k>        reducer budget the plan is optimized for (default 64;
+                        <= 1 plans a serial algorithm)
+  --threads <t>         engine worker threads (default: all cores)
+  --strategy <name>     force a strategy (e.g. bucket-oriented, cq-oriented)
+
+output options:
+  --format <fmt>        enumerate serialization: ndjson (default) | csv | edges
+  --output <file>       write results there instead of stdout
+  --verbose             print the run report to stderr
+
+examples:
+  subgraph generate gnp:10000,0.002,7 --output graph.txt
+  subgraph count --input graph.txt --pattern triangle
+  subgraph enumerate --input graph.txt --pattern triangle --format ndjson
+  subgraph explain --generate power-law:100000,500000,2.5 --pattern lollipop --reducers 750
+";
+
+impl Command {
+    /// Parses a full argument vector (without the program name).
+    pub fn parse(args: &[&str]) -> Result<Command, CliError> {
+        let usage = |msg: String| CliError::Usage(msg);
+        let (sub, rest) = args
+            .split_first()
+            .ok_or_else(|| usage("missing subcommand".into()))?;
+        // `subgraph --help` / `-h` / `help`: the empty usage message makes
+        // `run_main` print the usage text on stdout and exit 0.
+        if matches!(*sub, "--help" | "-h" | "help") {
+            return Err(usage(String::new()));
+        }
+
+        // Uniform flag scan; each subcommand validates what applies to it.
+        let mut input: Option<String> = None;
+        let mut generate: Option<String> = None;
+        let mut pattern: Option<String> = None;
+        let mut format: Option<String> = None;
+        let mut output: Option<PathBuf> = None;
+        let mut reducers: Option<usize> = None;
+        let mut threads: Option<usize> = None;
+        let mut strategy: Option<String> = None;
+        let mut verbose = false;
+        let mut positional: Vec<String> = Vec::new();
+
+        let mut it = rest.iter();
+        while let Some(&arg) = it.next() {
+            let mut value = |flag: &str| -> Result<String, CliError> {
+                it.next()
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+            };
+            match arg {
+                "--input" => input = Some(value("--input")?),
+                "--generate" => generate = Some(value("--generate")?),
+                "--pattern" => pattern = Some(value("--pattern")?),
+                "--format" => format = Some(value("--format")?),
+                "--output" | "-o" => output = Some(PathBuf::from(value("--output")?)),
+                "--reducers" => {
+                    reducers = Some(value("--reducers")?.parse().map_err(|_| {
+                        CliError::Usage("--reducers needs a non-negative integer".into())
+                    })?)
+                }
+                "--threads" => {
+                    threads = Some(value("--threads")?.parse().map_err(|_| {
+                        CliError::Usage("--threads needs a positive integer".into())
+                    })?)
+                }
+                "--strategy" => strategy = Some(value("--strategy")?),
+                "--verbose" | "-v" => verbose = true,
+                "--help" | "-h" => return Err(usage("".into())),
+                flag if flag.starts_with('-') => {
+                    return Err(usage(format!("unknown option {flag}")))
+                }
+                other => positional.push(other.to_string()),
+            }
+        }
+
+        let request_opts = |need: &str| -> Result<RequestOpts, CliError> {
+            let source = match (&input, &generate) {
+                (Some(path), None) => GraphSource::file(path),
+                (None, Some(spec)) => GraphSource::parse_generator(spec)
+                    .map_err(|e| CliError::Usage(e.to_string()))?,
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--input and --generate are mutually exclusive".into(),
+                    ))
+                }
+                (None, None) => {
+                    return Err(CliError::Usage(format!(
+                        "{need} needs a graph: --input <file> or --generate <spec>"
+                    )))
+                }
+            };
+            let pattern = pattern
+                .clone()
+                .ok_or_else(|| CliError::Usage(format!("{need} needs --pattern <name>")))?;
+            let strategy = match &strategy {
+                None => None,
+                Some(name) => Some(parse_strategy(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown strategy {name:?} (one of: {})",
+                        strategy_names().join(", ")
+                    ))
+                })?),
+            };
+            Ok(RequestOpts {
+                source,
+                pattern,
+                reducers,
+                threads,
+                strategy,
+            })
+        };
+
+        let no_positionals = |sub: &str| -> Result<(), CliError> {
+            if positional.is_empty() {
+                Ok(())
+            } else {
+                Err(CliError::Usage(format!(
+                    "{sub} takes no positional arguments (got {positional:?})"
+                )))
+            }
+        };
+        // A flag a subcommand does not consume is an error, not a silent
+        // no-op (`count --output x` must not pretend a file was written).
+        let reject = |sub: &str, flag: &str, given: bool| -> Result<(), CliError> {
+            if given {
+                Err(CliError::Usage(format!("{sub} does not take {flag}")))
+            } else {
+                Ok(())
+            }
+        };
+
+        match *sub {
+            "enumerate" => {
+                no_positionals("enumerate")?;
+                let format = match &format {
+                    None => Format::Ndjson,
+                    Some(name) => Format::parse(name).ok_or_else(|| {
+                        usage(format!(
+                            "unknown format {name:?} (one of: ndjson, csv, edges)"
+                        ))
+                    })?,
+                };
+                Ok(Command::Enumerate {
+                    opts: request_opts("enumerate")?,
+                    format,
+                    output,
+                    verbose,
+                })
+            }
+            "count" => {
+                no_positionals("count")?;
+                reject("count", "--format", format.is_some())?;
+                reject("count", "--output", output.is_some())?;
+                Ok(Command::Count {
+                    opts: request_opts("count")?,
+                    verbose,
+                })
+            }
+            "explain" => {
+                no_positionals("explain")?;
+                reject("explain", "--format", format.is_some())?;
+                reject("explain", "--output", output.is_some())?;
+                reject("explain", "--verbose", verbose)?;
+                Ok(Command::Explain {
+                    opts: request_opts("explain")?,
+                })
+            }
+            "catalog" => {
+                no_positionals("catalog")?;
+                for (flag, given) in [
+                    ("--input", input.is_some()),
+                    ("--generate", generate.is_some()),
+                    ("--pattern", pattern.is_some()),
+                    ("--format", format.is_some()),
+                    ("--output", output.is_some()),
+                    ("--reducers", reducers.is_some()),
+                    ("--threads", threads.is_some()),
+                    ("--strategy", strategy.is_some()),
+                    ("--verbose", verbose),
+                ] {
+                    reject("catalog", flag, given)?;
+                }
+                Ok(Command::Catalog)
+            }
+            "generate" => {
+                for (flag, given) in [
+                    ("--pattern", pattern.is_some()),
+                    ("--format", format.is_some()),
+                    ("--reducers", reducers.is_some()),
+                    ("--threads", threads.is_some()),
+                    ("--strategy", strategy.is_some()),
+                    ("--verbose", verbose),
+                ] {
+                    reject("generate", flag, given)?;
+                }
+                let source = match (positional.as_slice(), &generate, &input) {
+                    ([spec], None, None) => spec
+                        .parse::<GraphSource>()
+                        .map_err(|e| usage(e.to_string()))?,
+                    ([], Some(spec), None) => GraphSource::parse_generator(spec)
+                        .map_err(|e| usage(e.to_string()))?,
+                    ([], None, Some(path)) => GraphSource::file(path),
+                    _ => {
+                        return Err(usage(
+                            "generate takes exactly one spec: `subgraph generate gnp:1000,0.01 [-o out.txt]`"
+                                .into(),
+                        ))
+                    }
+                };
+                Ok(Command::Generate { source, output })
+            }
+            other => Err(usage(format!("unknown subcommand {other:?}"))),
+        }
+    }
+}
+
+/// Every forceable strategy name, in tie-breaking order.
+pub fn strategy_names() -> Vec<String> {
+    StrategyKind::all().iter().map(|k| k.to_string()).collect()
+}
+
+/// Resolves a strategy name as printed by [`StrategyKind`]'s `Display`.
+pub fn parse_strategy(name: &str) -> Option<StrategyKind> {
+    StrategyKind::all()
+        .into_iter()
+        .find(|k| k.to_string() == name)
+}
+
+/// What a streaming run produced, for `--verbose` reporting and the parity
+/// checks.
+#[derive(Debug)]
+pub struct StreamSummary {
+    /// Instances serialized to the writer.
+    pub written: usize,
+    /// The engine's run report (streamed mode: count + metrics, no
+    /// instances).
+    pub report: RunReport,
+}
+
+/// Runs `enumerate` against an arbitrary writer: plans the request, streams
+/// every instance through the chosen serializing sink (no `Vec<Instance>`
+/// anywhere), flushes, and returns the summary. This is the function both the
+/// binary and the parity tests call.
+pub fn enumerate_to_writer<W: Write + Send>(
+    opts: &RequestOpts,
+    format: Format,
+    writer: W,
+) -> Result<StreamSummary, CliError> {
+    let graph = opts.load_graph()?;
+    let plan = opts.request(&graph)?.plan()?;
+    stream_plan(&plan, format, writer)
+}
+
+/// Runs `enumerate` into a file. The input graph is loaded and the request
+/// fully planned *before* the file is created, so a bad input or pattern
+/// never truncates an existing output file; errors from the write phase name
+/// the file.
+pub fn enumerate_to_file(
+    opts: &RequestOpts,
+    format: Format,
+    path: &std::path::Path,
+) -> Result<StreamSummary, CliError> {
+    let graph = opts.load_graph()?;
+    let plan = opts.request(&graph)?.plan()?;
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::Run(format!("cannot create {}: {e}", path.display())))?;
+    stream_plan(&plan, format, io::BufWriter::new(file)).map_err(|e| name_output_path(e, path))
+}
+
+/// Streams a planned enumeration through the serializing sink for `format`.
+fn stream_plan<W: Write + Send>(
+    plan: &subgraph_core::ExecutionPlan<'_>,
+    format: Format,
+    writer: W,
+) -> Result<StreamSummary, CliError> {
+    let (written, report) = match format {
+        Format::Ndjson => {
+            let mut sink = NdjsonSink::new(writer);
+            let report = plan.run_with_sink(&mut sink);
+            (sink.finish()?, report)
+        }
+        Format::Csv => {
+            let mut sink = CsvSink::new(writer);
+            let report = plan.run_with_sink(&mut sink);
+            (sink.finish()?, report)
+        }
+        Format::EdgeList => {
+            let mut sink = EdgeListSink::new(writer);
+            let report = plan.run_with_sink(&mut sink);
+            (sink.finish()?, report)
+        }
+    };
+    debug_assert_eq!(written, report.count());
+    Ok(StreamSummary { written, report })
+}
+
+/// Runs `count`: the zero-allocation [`subgraph_core::CountSink`] path.
+pub fn count_instances(opts: &RequestOpts) -> Result<RunReport, CliError> {
+    let graph = opts.load_graph()?;
+    let request = opts.request(&graph)?;
+    Ok(request.plan()?.count())
+}
+
+/// Runs `explain`: plans without executing and returns the cost table.
+pub fn explain_request(opts: &RequestOpts) -> Result<String, CliError> {
+    let graph = opts.load_graph()?;
+    let request = opts.request(&graph)?;
+    Ok(request.plan()?.explain())
+}
+
+/// Renders the `catalog` table.
+pub fn catalog_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>5} {:>5} {:>6} {:>6}  {}\n",
+        "pattern", "nodes", "edges", "|Aut|", "CQs", "description"
+    ));
+    for entry in catalog::entries() {
+        out.push_str(&format!(
+            "{:<22} {:>5} {:>5} {:>6} {:>6}  {}\n",
+            entry.name,
+            entry.sample.num_nodes(),
+            entry.sample.num_edges(),
+            entry.automorphisms(),
+            entry.order_classes(),
+            entry.description,
+        ));
+    }
+    out.push_str(
+        "\nfamilies: cN/cycleN, kN/cliqueN, starN, pathN, hypercubeD (any size up to 16 nodes)\n",
+    );
+    out
+}
+
+/// Attaches `path` to a runtime error so write failures name the file being
+/// written (broken pipes stay silent).
+fn name_output_path(e: CliError, path: &std::path::Path) -> CliError {
+    match e {
+        CliError::Run(msg) => CliError::Run(format!("writing {}: {msg}", path.display())),
+        other => other,
+    }
+}
+
+/// Executes a parsed command, writing primary output to `stdout` (the real
+/// stdout in the binary, a buffer in tests). `enumerate`/`generate` honour
+/// `--output` by writing the payload to the file instead; everything the user
+/// reads as *feedback* (verbose reports) goes to stderr in the binary shim,
+/// returned here as the second tuple element. The writer is `Send` so
+/// `enumerate` can stream into it directly (the engine's sinks deliver from
+/// worker threads).
+pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<String>, CliError> {
+    match cmd {
+        Command::Catalog => {
+            stdout.write_all(catalog_table().as_bytes())?;
+            Ok(None)
+        }
+        Command::Explain { opts } => {
+            stdout.write_all(explain_request(opts)?.as_bytes())?;
+            Ok(None)
+        }
+        Command::Count { opts, verbose } => {
+            let report = count_instances(opts)?;
+            writeln!(stdout, "{}", report.count())?;
+            Ok(verbose.then(|| report.render()))
+        }
+        Command::Enumerate {
+            opts,
+            format,
+            output,
+            verbose,
+        } => {
+            let summary = match output {
+                Some(path) => enumerate_to_file(opts, *format, path)?,
+                None => enumerate_to_writer(opts, *format, io::BufWriter::new(&mut *stdout))?,
+            };
+            Ok(verbose.then(|| {
+                format!(
+                    "{} instances written\n{}",
+                    summary.written,
+                    summary.report.render()
+                )
+            }))
+        }
+        Command::Generate { source, output } => {
+            let (graph, stats) = source.load_with_stats()?;
+            match output {
+                Some(path) => {
+                    let file = std::fs::File::create(path).map_err(|e| {
+                        CliError::Run(format!("cannot create {}: {e}", path.display()))
+                    })?;
+                    let mut writer = io::BufWriter::new(file);
+                    write_edge_list(&graph, &mut writer)
+                        .and_then(|()| writer.flush())
+                        .map_err(|e| name_output_path(CliError::from(e), path))?;
+                }
+                None => {
+                    let mut writer = io::BufWriter::new(&mut *stdout);
+                    write_edge_list(&graph, &mut writer)?;
+                    writer.flush()?;
+                }
+            }
+            let mut note = format!(
+                "wrote {} nodes, {} edges from {source}",
+                graph.num_nodes(),
+                graph.num_edges()
+            );
+            if let Some(stats) = stats {
+                note.push_str(&format!(
+                    " (cleaned {} duplicate edges, {} self-loops)",
+                    stats.duplicate_edges, stats.self_loops
+                ));
+            }
+            Ok(Some(note))
+        }
+    }
+}
+
+/// The whole binary in one callable: parse, run, report. Returns the process
+/// exit code. The binary's `main` is a one-line wrapper, so tests (and the
+/// bench harness) can exercise exactly what the executable does.
+pub fn run_main(args: &[&str]) -> i32 {
+    let cmd = match Command::parse(args) {
+        Ok(cmd) => cmd,
+        Err(CliError::Usage(msg)) => {
+            if msg.is_empty() {
+                // --help: usage on stdout, success.
+                print!("{USAGE}");
+                return 0;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 2;
+        }
+        Err(e) => return report_error(e),
+    };
+
+    let mut stdout = io::stdout();
+    match run(&cmd, &mut stdout) {
+        Ok(feedback) => {
+            if let Some(text) = feedback {
+                eprint!("{text}");
+                if !text.ends_with('\n') {
+                    eprintln!();
+                }
+            }
+            0
+        }
+        Err(e) => report_error(e),
+    }
+}
+
+/// Prints a runtime error to stderr (silently for [`CliError::BrokenPipe`])
+/// and returns the exit code.
+fn report_error(e: CliError) -> i32 {
+    if !matches!(e, CliError::BrokenPipe) {
+        eprintln!("error: {e}");
+    }
+    e.exit_code()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Command {
+        Command::parse(args).unwrap()
+    }
+
+    #[test]
+    fn parses_enumerate_with_every_flag() {
+        let cmd = parse(&[
+            "enumerate",
+            "--generate",
+            "gnm:50,120,9",
+            "--pattern",
+            "triangle",
+            "--format",
+            "csv",
+            "--output",
+            "/tmp/out.csv",
+            "--reducers",
+            "27",
+            "--threads",
+            "2",
+            "--strategy",
+            "multiway-triangles",
+            "--verbose",
+        ]);
+        match cmd {
+            Command::Enumerate {
+                opts,
+                format,
+                output,
+                verbose,
+            } => {
+                assert_eq!(opts.pattern, "triangle");
+                assert_eq!(opts.reducers, Some(27));
+                assert_eq!(opts.threads, Some(2));
+                assert_eq!(opts.strategy, Some(StrategyKind::MultiwayTriangles));
+                assert_eq!(format, Format::Csv);
+                assert_eq!(output, Some(PathBuf::from("/tmp/out.csv")));
+                assert!(verbose);
+            }
+            other => panic!("expected Enumerate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_errors_are_specific() {
+        let err = |args: &[&str]| match Command::parse(args) {
+            Err(CliError::Usage(msg)) => msg,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        assert!(err(&["count", "--pattern", "triangle"]).contains("--input"));
+        assert!(err(&["count", "--generate", "gnp:9,0.5", "--input", "x"]).contains("mutually"));
+        assert!(err(&["enumerate", "--generate", "gnp:9,0.5"]).contains("--pattern"));
+        assert!(
+            err(&["count", "--generate", "nope:1", "--pattern", "triangle"])
+                .contains("unknown generator")
+        );
+        assert!(err(&["frobnicate"]).contains("unknown subcommand"));
+        assert!(err(&["count", "--bogus"]).contains("unknown option"));
+        assert!(err(&[
+            "enumerate",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "--format",
+            "xml"
+        ])
+        .contains("unknown format"));
+        assert!(err(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "--strategy",
+            "quantum"
+        ])
+        .contains("unknown strategy"));
+    }
+
+    #[test]
+    fn count_and_enumerate_agree_on_a_generated_graph() {
+        let opts = RequestOpts {
+            source: "gnp:60,0.1,7".parse().unwrap(),
+            pattern: "triangle".to_string(),
+            reducers: Some(16),
+            threads: Some(2),
+            strategy: None,
+        };
+        let report = count_instances(&opts).unwrap();
+        let mut buf = Vec::new();
+        let summary = enumerate_to_writer(&opts, Format::Ndjson, &mut buf).unwrap();
+        assert_eq!(summary.written, report.count());
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), report.count());
+        assert!(text.lines().all(|l| l.starts_with("{\"nodes\":[")));
+    }
+
+    #[test]
+    fn explain_mentions_the_pattern_and_candidates() {
+        let opts = RequestOpts {
+            source: "gnm:60,300,9".parse().unwrap(),
+            pattern: "lollipop".to_string(),
+            reducers: Some(750),
+            threads: None,
+            strategy: None,
+        };
+        let text = explain_request(&opts).unwrap();
+        assert!(text.contains("\"lollipop\""));
+        assert!(text.contains("candidates (cheapest first):"));
+        assert!(text.contains("bucket-oriented"));
+    }
+
+    #[test]
+    fn catalog_table_lists_every_entry() {
+        let table = catalog_table();
+        for entry in catalog::entries() {
+            assert!(table.contains(entry.name), "missing {}", entry.name);
+        }
+        assert!(table.contains("|Aut|"));
+    }
+
+    #[test]
+    fn run_count_prints_one_number() {
+        let cmd = parse(&[
+            "count",
+            "--generate",
+            "gnp:60,0.1,7",
+            "--pattern",
+            "triangle",
+        ]);
+        let mut out = Vec::new();
+        let feedback = run(&cmd, &mut out).unwrap();
+        assert!(feedback.is_none());
+        let text = String::from_utf8(out).unwrap();
+        let _: usize = text.trim().parse().expect("count output is a number");
+    }
+
+    #[test]
+    fn unknown_pattern_error_points_at_the_catalog() {
+        let opts = RequestOpts {
+            source: "gnp:10,0.5,1".parse().unwrap(),
+            pattern: "dodecahedron".to_string(),
+            reducers: None,
+            threads: None,
+            strategy: None,
+        };
+        let err = count_instances(&opts).unwrap_err();
+        assert!(err.to_string().contains("subgraph catalog"));
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn missing_input_file_error_names_the_path() {
+        let opts = RequestOpts {
+            source: GraphSource::file("/no/such/snapshot.txt"),
+            pattern: "triangle".to_string(),
+            reducers: None,
+            threads: None,
+            strategy: None,
+        };
+        let err = count_instances(&opts).unwrap_err();
+        assert!(err.to_string().contains("/no/such/snapshot.txt"));
+    }
+
+    #[test]
+    fn inapplicable_flags_are_rejected_not_ignored() {
+        let err = |args: &[&str]| match Command::parse(args) {
+            Err(CliError::Usage(msg)) => msg,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        let base = ["count", "--generate", "gnp:9,0.5", "--pattern", "triangle"];
+        let with = |extra: &[&'static str]| -> Vec<&'static str> { [&base[..], extra].concat() };
+        assert!(err(&with(&["--output", "x.txt"])).contains("does not take --output"));
+        assert!(err(&with(&["--format", "csv"])).contains("does not take --format"));
+        assert!(err(&["catalog", "--pattern", "triangle"]).contains("does not take --pattern"));
+        assert!(err(&[
+            "explain",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "-v"
+        ])
+        .contains("does not take --verbose"));
+        assert!(
+            err(&["generate", "gnp:9,0.5", "--threads", "2"]).contains("does not take --threads")
+        );
+    }
+
+    #[test]
+    fn failed_enumerate_never_truncates_an_existing_output_file() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("precious.ndjson");
+        std::fs::write(&out, "previous results\n").unwrap();
+
+        // Unreadable input graph.
+        let bad_input = RequestOpts {
+            source: GraphSource::file("/no/such/graph.txt"),
+            pattern: "triangle".to_string(),
+            reducers: None,
+            threads: None,
+            strategy: None,
+        };
+        let err = enumerate_to_file(&bad_input, Format::Ndjson, &out).unwrap_err();
+        assert!(err.to_string().contains("/no/such/graph.txt"));
+        assert!(
+            !err.to_string().contains("precious.ndjson"),
+            "a load failure must not be labelled as a write failure: {err}"
+        );
+
+        // Unknown pattern.
+        let bad_pattern = RequestOpts {
+            source: "gnp:10,0.5,1".parse().unwrap(),
+            pattern: "dodecahedron".to_string(),
+            ..bad_input
+        };
+        enumerate_to_file(&bad_pattern, Format::Ndjson, &out).unwrap_err();
+
+        assert_eq!(
+            std::fs::read_to_string(&out).unwrap(),
+            "previous results\n",
+            "failed runs must leave the output file untouched"
+        );
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn generate_then_count_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("generated.txt");
+        let gen = parse(&[
+            "generate",
+            "gnp:80,0.08,3",
+            "--output",
+            path.to_str().unwrap(),
+        ]);
+        let mut out = Vec::new();
+        run(&gen, &mut out).unwrap();
+
+        let from_file = RequestOpts {
+            source: GraphSource::file(&path),
+            pattern: "triangle".to_string(),
+            reducers: Some(16),
+            threads: Some(1),
+            strategy: None,
+        };
+        let from_generator = RequestOpts {
+            source: "gnp:80,0.08,3".parse().unwrap(),
+            ..from_file.clone()
+        };
+        assert_eq!(
+            count_instances(&from_file).unwrap().count(),
+            count_instances(&from_generator).unwrap().count(),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

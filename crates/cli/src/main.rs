@@ -1,0 +1,9 @@
+//! The `subgraph` binary: a one-line shim over [`subgraph_cli::run_main`] so
+//! the tests and the bench harness drive exactly the code the executable
+//! runs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    std::process::exit(subgraph_cli::run_main(&args));
+}

@@ -1,0 +1,142 @@
+//! The PR's acceptance check: for every catalog pattern, the line count of
+//! `subgraph enumerate --format ndjson` equals `subgraph count` on the same
+//! input at engine thread counts {1, 2, 8} — streamed through the serializing
+//! sinks, never materialized as a `Vec<Instance>`.
+
+use subgraph_cli::{count_instances, enumerate_to_writer, Format, RequestOpts};
+use subgraph_graph::GraphSource;
+use subgraph_pattern::catalog;
+
+/// A temp edge-list file shared by the tests; regenerated per call so tests
+/// stay independent under any test-runner thread count.
+fn edge_list_fixture(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("subgraph-cli-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    // Small on purpose: the sweep below runs 10 patterns x 3 thread counts,
+    // and the large-pattern bucket schemes fan out over hundreds of CQs.
+    let graph = subgraph_graph::generators::gnp_sparse(26, 0.11, 23);
+    subgraph_graph::io::write_edge_list_file(&graph, &path).unwrap();
+    path
+}
+
+fn opts(source: GraphSource, pattern: &str, threads: usize) -> RequestOpts {
+    RequestOpts {
+        source,
+        pattern: pattern.to_string(),
+        // A modest budget keeps the bucket schemes' replication small on the
+        // larger patterns while still planning map-reduce strategies.
+        reducers: Some(16),
+        threads: Some(threads),
+        strategy: None,
+    }
+}
+
+#[test]
+fn ndjson_line_count_matches_count_for_every_pattern_and_thread_count() {
+    let path = edge_list_fixture("parity.txt");
+    for entry in catalog::entries() {
+        // The count is thread-independent (pinned by the engine's own parity
+        // suites), so plan it once: planning alone is expensive for 8-node
+        // patterns (hypercube3 fans out over 8!/48 = 840 CQ order classes),
+        // and each CLI invocation re-plans.
+        let expected = count_instances(&opts(GraphSource::file(&path), entry.name, 2))
+            .unwrap_or_else(|e| panic!("count {}: {e}", entry.name))
+            .count();
+        for threads in [1usize, 2, 8] {
+            let o = opts(GraphSource::file(&path), entry.name, threads);
+            let mut buf = Vec::new();
+            let summary = enumerate_to_writer(&o, Format::Ndjson, &mut buf)
+                .unwrap_or_else(|e| panic!("enumerate {} @ {threads}t: {e}", entry.name));
+            let text = String::from_utf8(buf).unwrap();
+            assert_eq!(
+                text.lines().count(),
+                expected,
+                "ndjson line count vs count for {} at {} threads",
+                entry.name,
+                threads
+            );
+            assert_eq!(summary.written, expected);
+            assert!(
+                summary.report.is_streamed(),
+                "enumerate must stream, not collect"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_format_serializes_the_same_number_of_instances() {
+    let path = edge_list_fixture("formats.txt");
+    let o = opts(GraphSource::file(&path), "triangle", 2);
+    let expected = count_instances(&o).unwrap().count();
+    assert!(expected > 0, "fixture graph must contain triangles");
+
+    let mut ndjson = Vec::new();
+    assert_eq!(
+        enumerate_to_writer(&o, Format::Ndjson, &mut ndjson)
+            .unwrap()
+            .written,
+        expected
+    );
+    assert_eq!(String::from_utf8(ndjson).unwrap().lines().count(), expected);
+
+    let mut csv = Vec::new();
+    assert_eq!(
+        enumerate_to_writer(&o, Format::Csv, &mut csv)
+            .unwrap()
+            .written,
+        expected
+    );
+    let csv_text = String::from_utf8(csv).unwrap();
+    assert_eq!(csv_text.lines().count(), expected + 1, "header + rows");
+    assert!(csv_text.starts_with("nodes,edges\n"));
+
+    let mut edges = Vec::new();
+    assert_eq!(
+        enumerate_to_writer(&o, Format::EdgeList, &mut edges)
+            .unwrap()
+            .written,
+        expected
+    );
+    let edge_text = String::from_utf8(edges).unwrap();
+    assert_eq!(
+        edge_text
+            .lines()
+            .filter(|l| l.starts_with("# instance"))
+            .count(),
+        expected
+    );
+}
+
+#[test]
+fn deterministic_engine_makes_ndjson_output_identical_across_runs() {
+    let path = edge_list_fixture("deterministic.txt");
+    let render = || {
+        let mut buf = Vec::new();
+        enumerate_to_writer(
+            &opts(GraphSource::file(&path), "triangle", 2),
+            Format::Ndjson,
+            &mut buf,
+        )
+        .unwrap();
+        String::from_utf8(buf).unwrap()
+    };
+    assert_eq!(render(), render());
+}
+
+#[test]
+fn forced_strategies_stream_the_same_count() {
+    let path = edge_list_fixture("strategies.txt");
+    let baseline = count_instances(&opts(GraphSource::file(&path), "triangle", 2))
+        .unwrap()
+        .count();
+    for strategy in ["bucket-oriented", "multiway-triangles", "cascade-triangles"] {
+        let mut o = opts(GraphSource::file(&path), "triangle", 2);
+        o.strategy = subgraph_cli::parse_strategy(strategy);
+        assert!(o.strategy.is_some(), "{strategy} must parse");
+        let mut buf = Vec::new();
+        let summary = enumerate_to_writer(&o, Format::Ndjson, &mut buf).unwrap();
+        assert_eq!(summary.written, baseline, "strategy {strategy}");
+    }
+}

@@ -43,4 +43,7 @@ pub use plan::{
     StrategyKind,
 };
 pub use result::{MapReduceRun, RunStats, SerialRun, SerialStats};
-pub use sink::{CollectSink, CountSink, FnSink, InstanceSink, OutputSink, SampleSink};
+pub use sink::{
+    CollectSink, CountSink, CsvSink, EdgeListSink, FnSink, InstanceSink, NdjsonSink, OutputSink,
+    SampleSink, SerializeSink,
+};

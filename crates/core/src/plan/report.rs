@@ -216,6 +216,39 @@ impl RunReport {
         }
     }
 
+    /// A human-readable multi-line summary of the run — what the `subgraph`
+    /// CLI prints after a `count`/`enumerate` and what table generators embed.
+    /// Serial strategies render without the map-reduce counters; streamed and
+    /// collected runs both describe their output honestly (via
+    /// [`RunReport::describe_output`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "strategy: {} ({} round{})\n",
+            self.strategy,
+            self.rounds,
+            if self.rounds == 1 { "" } else { "s" },
+        ));
+        out.push_str(&format!("output:   {}\n", self.describe_output()));
+        if let Some(verified) = self.verified_duplicates() {
+            out.push_str(&format!("          {verified} duplicate discoveries\n"));
+        }
+        if let Some(metrics) = &self.metrics {
+            out.push_str(&format!(
+                "shuffle:  {} pairs shipped ({} emitted before combining, {} bytes)\n",
+                metrics.shuffle_records, metrics.key_value_pairs, metrics.shuffle_bytes,
+            ));
+            for round in &self.round_metrics {
+                out.push_str(&format!(
+                    "          round {}: {} pairs shipped, {} outputs\n",
+                    round.name, round.metrics.shuffle_records, round.metrics.outputs,
+                ));
+            }
+        }
+        out.push_str(&format!("work:     {}\n", self.work));
+        out
+    }
+
     /// Measured communication cost: key-value pairs actually shipped through
     /// the shuffle(s), i.e. after map-side combining. 0 for serial strategies,
     /// which ship nothing; identical to [`RunReport::emitted_communication`]
@@ -318,5 +351,40 @@ mod tests {
         assert_eq!(serial.count(), 5);
         assert_eq!(serial.rounds, 0);
         assert!(serial.describe_output().contains("streamed"));
+    }
+
+    #[test]
+    fn render_summarizes_both_serial_and_map_reduce_runs() {
+        let a = Instance::from_edge_set([(0, 1), (1, 2), (0, 2)]);
+        let serial =
+            RunReport::from_serial(StrategyKind::SerialGeneric, SerialRun::new(vec![a], 9));
+        let text = serial.render();
+        assert!(text.contains("strategy: serial-generic (0 rounds)"));
+        assert!(text.contains("1 instances collected"));
+        assert!(text.contains("0 duplicate discoveries"));
+        assert!(text.contains("work:     9"));
+        assert!(!text.contains("shuffle:"), "serial runs ship nothing");
+
+        let streamed = RunReport::streamed_map_reduce(
+            StrategyKind::BucketOriented,
+            1,
+            RunStats::single_round(
+                "bucket-oriented",
+                JobMetrics {
+                    key_value_pairs: 45,
+                    shuffle_records: 42,
+                    shuffle_bytes: 840,
+                    reducer_work: 7,
+                    outputs: 3,
+                    ..JobMetrics::default()
+                },
+            ),
+        );
+        let text = streamed.render();
+        assert!(text.contains("strategy: bucket-oriented (1 round)"));
+        assert!(text.contains("3 instances streamed"));
+        assert!(text.contains("42 pairs shipped (45 emitted before combining, 840 bytes)"));
+        assert!(text.contains("round bucket-oriented"));
+        assert!(!text.contains("duplicate discoveries"));
     }
 }

@@ -21,11 +21,40 @@
 //! | [`CollectSink`]`<Instance>` | every instance (legacy `Vec` path) | O(output) |
 //! | [`SampleSink`]`<Instance>` | the `k` smallest instances (order-independent) | O(k) |
 //! | [`FnSink`] | nothing — invokes a callback per instance | O(1) + callback |
+//! | [`NdjsonSink`] | nothing — writes one JSON object per line | O(1) + writer |
+//! | [`CsvSink`] | nothing — writes one CSV row per instance | O(1) + writer |
+//! | [`EdgeListSink`] | nothing — writes each instance's edges as `u v` lines | O(1) + writer |
+//!
+//! The three serializing sinks are the file-backed result path of the
+//! `subgraph` CLI: they wrap any [`std::io::Write`] (hand them a
+//! [`std::io::BufWriter`] around a file, or a locked stdout), stream each
+//! instance as text the moment the engine delivers it, and defer I/O errors
+//! to [`SerializeSink::finish`] so `accept` stays infallible for the engine:
+//!
+//! ```
+//! use subgraph_core::sink::{NdjsonSink, SerializeSink};
+//! use subgraph_core::sink::OutputSink;
+//! use subgraph_pattern::Instance;
+//!
+//! let mut out = Vec::new();
+//! let mut sink = NdjsonSink::new(&mut out);
+//! sink.accept(Instance::from_edge_set([(0, 1), (1, 2), (0, 2)]));
+//! assert_eq!(sink.finish().unwrap(), 1); // flushes, returns records written
+//! assert_eq!(
+//!     String::from_utf8(out).unwrap(),
+//!     "{\"nodes\":[0,1,2],\"edges\":[[0,1],[0,2],[1,2]]}\n"
+//! );
+//! ```
 //!
 //! Parallel delivery happens through per-reduce-worker shards folded back in
 //! worker order, which preserves the deterministic output order of
 //! [`subgraph_mapreduce::EngineConfig::deterministic`] runs — see the engine's
-//! [`subgraph_mapreduce::sink`] module for the shard protocol.
+//! [`subgraph_mapreduce::sink`] module for the shard protocol. The
+//! serializing sinks use the default buffering shard, so under a
+//! deterministic engine config the file content is a pure function of the
+//! input and the thread count.
+
+use std::io::{self, Write};
 
 pub use subgraph_mapreduce::sink::{
     BufferShard, CollectSink, CountSink, FnSink, OutputSink, SampleSink, SinkShard,
@@ -38,6 +67,220 @@ use subgraph_pattern::Instance;
 pub trait InstanceSink: OutputSink<Instance> {}
 
 impl<S: OutputSink<Instance> + ?Sized> InstanceSink for S {}
+
+// ---- serializing sinks ------------------------------------------------------
+
+/// Common surface of the text-writing sinks ([`NdjsonSink`], [`CsvSink`],
+/// [`EdgeListSink`]): because [`OutputSink::accept`] is infallible, write
+/// errors are latched instead of surfaced per record, and [`finish`] reports
+/// the first one after flushing.
+///
+/// [`finish`]: SerializeSink::finish
+pub trait SerializeSink {
+    /// Flushes the writer and reports the outcome: the number of instances
+    /// serialized, or the first I/O error hit while writing (subsequent
+    /// records were skipped once a write failed).
+    fn finish(self) -> io::Result<usize>;
+
+    /// Instances successfully serialized so far.
+    fn written(&self) -> usize;
+}
+
+/// Shared write-state of the serializing sinks: the writer, the success
+/// count and the first latched error.
+struct TextWriter<W: Write> {
+    writer: W,
+    written: usize,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TextWriter<W> {
+    fn new(writer: W) -> Self {
+        TextWriter {
+            writer,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Runs `emit` against the writer unless an earlier write already failed;
+    /// latches the first error.
+    fn emit_record(&mut self, emit: impl FnOnce(&mut W) -> io::Result<()>) {
+        if self.error.is_some() {
+            return;
+        }
+        match emit(&mut self.writer) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn finish(mut self) -> io::Result<usize> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.written)
+    }
+}
+
+/// Streams instances as newline-delimited JSON, one object per line:
+/// `{"nodes":[…],"edges":[[u,v],…]}` with nodes and edges in canonical
+/// (sorted) order. One instance per line is what makes `enumerate | wc -l`
+/// equal `count`, and what downstream `jq`/dataframe tooling expects.
+pub struct NdjsonSink<W: Write + Send> {
+    inner: TextWriter<W>,
+}
+
+impl<W: Write + Send> NdjsonSink<W> {
+    /// Wraps `writer`. Hand in a [`io::BufWriter`] for file targets.
+    pub fn new(writer: W) -> Self {
+        NdjsonSink {
+            inner: TextWriter::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> SerializeSink for NdjsonSink<W> {
+    fn finish(self) -> io::Result<usize> {
+        self.inner.finish()
+    }
+
+    fn written(&self) -> usize {
+        self.inner.written
+    }
+}
+
+impl<W: Write + Send> OutputSink<Instance> for NdjsonSink<W> {
+    fn accept(&mut self, instance: Instance) {
+        self.inner.emit_record(|w| {
+            w.write_all(b"{\"nodes\":[")?;
+            for (i, node) in instance.nodes().iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "{node}")?;
+            }
+            w.write_all(b"],\"edges\":[")?;
+            for (i, (u, v)) in instance.edges().iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b",")?;
+                }
+                write!(w, "[{u},{v}]")?;
+            }
+            w.write_all(b"]}\n")
+        });
+    }
+}
+
+/// Streams instances as CSV with a `nodes,edges` header: per row the sorted
+/// node ids space-separated in the first column and the canonical edges as
+/// `u-v` pairs space-separated in the second. Neither column can contain a
+/// comma or a quote, so no CSV escaping is needed.
+pub struct CsvSink<W: Write + Send> {
+    inner: TextWriter<W>,
+    header_pending: bool,
+}
+
+impl<W: Write + Send> CsvSink<W> {
+    /// Wraps `writer`; the header row is written before the first instance.
+    pub fn new(writer: W) -> Self {
+        CsvSink {
+            inner: TextWriter::new(writer),
+            header_pending: true,
+        }
+    }
+
+    /// Writes the `nodes,edges` header exactly once, latching any error like
+    /// a record write. Called before the first row and at finish time, so an
+    /// empty result is still valid CSV.
+    fn write_header_if_pending(&mut self) {
+        if !std::mem::take(&mut self.header_pending) || self.inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.inner.writer.write_all(b"nodes,edges\n") {
+            self.inner.error = Some(e);
+        }
+    }
+}
+
+impl<W: Write + Send> SerializeSink for CsvSink<W> {
+    fn finish(mut self) -> io::Result<usize> {
+        self.write_header_if_pending();
+        self.inner.finish()
+    }
+
+    fn written(&self) -> usize {
+        self.inner.written
+    }
+}
+
+impl<W: Write + Send> OutputSink<Instance> for CsvSink<W> {
+    fn accept(&mut self, instance: Instance) {
+        self.write_header_if_pending();
+        self.inner.emit_record(|w| {
+            for (i, node) in instance.nodes().iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b" ")?;
+                }
+                write!(w, "{node}")?;
+            }
+            w.write_all(b",")?;
+            for (i, (u, v)) in instance.edges().iter().enumerate() {
+                if i > 0 {
+                    w.write_all(b" ")?;
+                }
+                write!(w, "{u}-{v}")?;
+            }
+            w.write_all(b"\n")
+        });
+    }
+}
+
+/// Streams instances in the edge-list dialect of
+/// [`subgraph_graph::io::write_edge_list`]: per instance a
+/// `# instance <k>: nodes …` comment followed by one canonical `u v` line per
+/// edge, so any tool (including this repo's own reader) that skips `#`
+/// comments can re-read the union of the instances as a graph.
+pub struct EdgeListSink<W: Write + Send> {
+    inner: TextWriter<W>,
+}
+
+impl<W: Write + Send> EdgeListSink<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        EdgeListSink {
+            inner: TextWriter::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> SerializeSink for EdgeListSink<W> {
+    fn finish(self) -> io::Result<usize> {
+        self.inner.finish()
+    }
+
+    fn written(&self) -> usize {
+        self.inner.written
+    }
+}
+
+impl<W: Write + Send> OutputSink<Instance> for EdgeListSink<W> {
+    fn accept(&mut self, instance: Instance) {
+        let index = self.inner.written;
+        self.inner.emit_record(|w| {
+            write!(w, "# instance {index}: nodes")?;
+            for node in instance.nodes() {
+                write!(w, " {node}")?;
+            }
+            w.write_all(b"\n")?;
+            for (u, v) in instance.edges() {
+                writeln!(w, "{u} {v}")?;
+            }
+            Ok(())
+        });
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -86,5 +329,107 @@ mod tests {
         let engine_sink: &mut dyn OutputSink<Instance> = dyn_sink;
         engine_sink.accept(instance(7));
         assert_eq!(collect.items().len(), 1);
+    }
+
+    #[test]
+    fn ndjson_sink_writes_one_canonical_object_per_line() {
+        let mut out = Vec::new();
+        let mut sink = NdjsonSink::new(&mut out);
+        sink.accept(instance(0));
+        sink.accept(instance(5));
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.finish().unwrap(), 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"nodes\":[0,1,2],\"edges\":[[0,1],[0,2],[1,2]]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"nodes\":[5,6,7],\"edges\":[[5,6],[5,7],[6,7]]}"
+        );
+    }
+
+    #[test]
+    fn csv_sink_writes_header_then_rows() {
+        let mut out = Vec::new();
+        let mut sink = CsvSink::new(&mut out);
+        sink.accept(instance(1));
+        sink.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "nodes,edges\n1 2 3,1-2 1-3 2-3\n"
+        );
+    }
+
+    #[test]
+    fn csv_sink_emits_the_header_even_with_no_rows() {
+        let mut out = Vec::new();
+        let sink = CsvSink::new(&mut out);
+        assert_eq!(sink.finish().unwrap(), 0);
+        assert_eq!(String::from_utf8(out).unwrap(), "nodes,edges\n");
+    }
+
+    #[test]
+    fn edge_list_sink_numbers_instances_and_is_readable_back() {
+        let mut out = Vec::new();
+        let mut sink = EdgeListSink::new(&mut out);
+        sink.accept(instance(0));
+        sink.accept(instance(10));
+        sink.finish().unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("# instance 0: nodes 0 1 2\n0 1\n0 2\n1 2\n"));
+        assert!(text.contains("# instance 1: nodes 10 11 12\n"));
+        // The repo's own reader skips the comments and sees the edge union.
+        let g = subgraph_graph::io::read_edge_list(std::io::BufReader::new(&out[..])).unwrap();
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn serializing_sinks_latch_the_first_write_error() {
+        /// Fails every write after the first `allow` bytes-calls.
+        struct FailingWriter {
+            allow: usize,
+        }
+        impl Write for FailingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.allow == 0 {
+                    return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+                }
+                self.allow -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut sink = NdjsonSink::new(FailingWriter { allow: 1 });
+        sink.accept(instance(0)); // fails mid-record
+        sink.accept(instance(3)); // skipped: error already latched
+        assert_eq!(sink.written(), 0);
+        let err = sink.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn serializing_sinks_preserve_worker_fold_order() {
+        // Drive the shard protocol the way the engine coordinator does.
+        let mut out = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut out);
+            let mut shard_a = OutputSink::<Instance>::new_shard(&sink);
+            let mut shard_b = OutputSink::<Instance>::new_shard(&sink);
+            shard_a.accept(instance(0));
+            shard_b.accept(instance(5));
+            sink.fold(shard_a);
+            sink.fold(shard_b);
+            assert_eq!(sink.finish().unwrap(), 2);
+        }
+        let text = String::from_utf8(out).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("[0,1,2]"), "worker order preserved: {first}");
     }
 }

@@ -1,27 +1,75 @@
 //! Plain-text edge-list I/O.
 //!
-//! The format is the usual whitespace-separated `u v` per line, with `#`
-//! comments, which is how public social-network snapshots (the paper's
-//! motivating inputs) are distributed.
+//! The format is the usual whitespace-separated `u v` per line, with `#` (or
+//! `%`) comments, which is how public social-network snapshots (the paper's
+//! motivating inputs) are distributed. Real snapshot files are messy, and the
+//! reader is hardened accordingly:
+//!
+//! * CRLF (`\r\n`) line endings are accepted — the `\r` is stripped with the
+//!   rest of the surrounding whitespace.
+//! * Leading/trailing whitespace and blank lines are ignored; any run of
+//!   whitespace separates the two endpoints.
+//! * Duplicate edges (in either orientation) collapse to one edge and
+//!   self-loops are dropped, matching the paper's simple-graph assumption —
+//!   both are counted in [`ReadStats`] so callers can report them.
+//! * Tokens after the first two (weights, timestamps — common in exported
+//!   snapshots) are ignored, but the lines carrying them are counted in
+//!   [`ReadStats::extra_token_lines`] so the leniency is visible.
+//! * A line whose first two tokens are not node ids fails with
+//!   [`EdgeListError::Parse`] naming the 1-based line number and quoting the
+//!   offending content.
+//!
+//! Reading from a path ([`read_edge_list_file`]) attaches the path to any I/O
+//! failure, so the error a CLI prints names the file that could not be read.
 
 use crate::builder::GraphBuilder;
 use crate::graph::{DataGraph, NodeId};
 use std::io::{self, BufRead, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors arising while parsing an edge list.
 #[derive(Debug)]
 pub enum EdgeListError {
-    /// Underlying I/O failure.
-    Io(io::Error),
+    /// Underlying I/O failure. `path` is the file being read when the source
+    /// is known (the `*_file` entry points attach it), `None` for in-memory
+    /// readers.
+    Io {
+        /// The file that could not be read, if the reader knows it.
+        path: Option<PathBuf>,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
     /// A line that is neither a comment, blank, nor a `u v` pair.
-    Parse { line_number: usize, content: String },
+    Parse {
+        /// 1-based line number of the offending line.
+        line_number: usize,
+        /// The offending line, verbatim.
+        content: String,
+    },
+}
+
+impl EdgeListError {
+    /// Attaches `path` to an I/O error that does not carry one yet, so errors
+    /// surfaced through file-based entry points always name the file.
+    fn with_path(self, path: &Path) -> Self {
+        match self {
+            EdgeListError::Io { path: None, source } => EdgeListError::Io {
+                path: Some(path.to_path_buf()),
+                source,
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for EdgeListError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Io {
+                path: Some(path),
+                source,
+            } => write!(f, "cannot read {}: {source}", path.display()),
+            EdgeListError::Io { path: None, source } => write!(f, "i/o error: {source}"),
             EdgeListError::Parse {
                 line_number,
                 content,
@@ -30,17 +78,49 @@ impl std::fmt::Display for EdgeListError {
     }
 }
 
-impl std::error::Error for EdgeListError {}
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io { source, .. } => Some(source),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
 
 impl From<io::Error> for EdgeListError {
-    fn from(e: io::Error) -> Self {
-        EdgeListError::Io(e)
+    fn from(source: io::Error) -> Self {
+        EdgeListError::Io { path: None, source }
     }
+}
+
+/// What the reader cleaned up while parsing: input hygiene counters for
+/// callers that want to report them (the CLI's verbose mode does).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Non-comment, non-blank lines parsed as edges (before cleaning).
+    pub edge_lines: usize,
+    /// Self-loops (`u u`) dropped.
+    pub self_loops: usize,
+    /// Duplicate edges collapsed (counted at build time, in either
+    /// orientation: `1 2` and `2 1` are the same undirected edge).
+    pub duplicate_edges: usize,
+    /// Lines carrying tokens beyond `u v` (weights, timestamps); the extra
+    /// tokens are ignored, these lines still contribute their edge.
+    pub extra_token_lines: usize,
 }
 
 /// Parses an edge list from any buffered reader.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DataGraph, EdgeListError> {
+    read_edge_list_with_stats(reader).map(|(graph, _)| graph)
+}
+
+/// Parses an edge list and reports the input hygiene counters alongside the
+/// graph.
+pub fn read_edge_list_with_stats<R: BufRead>(
+    reader: R,
+) -> Result<(DataGraph, ReadStats), EdgeListError> {
     let mut builder = GraphBuilder::new(0);
+    let mut stats = ReadStats::default();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -59,6 +139,10 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DataGraph, EdgeListError>
         };
         match (u, v) {
             (Ok(u), Ok(v)) => {
+                stats.edge_lines += 1;
+                if parts.next().is_some() {
+                    stats.extra_token_lines += 1;
+                }
                 builder.add_edge(u, v);
             }
             _ => {
@@ -69,13 +153,29 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DataGraph, EdgeListError>
             }
         }
     }
-    Ok(builder.build())
+    stats.self_loops = builder.dropped_self_loops();
+    let kept_insertions = builder.pending_edges();
+    let graph = builder.build();
+    stats.duplicate_edges = kept_insertions - graph.num_edges();
+    Ok((graph, stats))
 }
 
-/// Reads an edge list from a file path.
+/// Reads an edge list from a file path. I/O failures name the path.
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DataGraph, EdgeListError> {
-    let file = std::fs::File::open(path)?;
-    read_edge_list(io::BufReader::new(file))
+    read_edge_list_file_with_stats(path).map(|(graph, _)| graph)
+}
+
+/// Reads an edge list from a file path, reporting hygiene counters. I/O
+/// failures name the path.
+pub fn read_edge_list_file_with_stats<P: AsRef<Path>>(
+    path: P,
+) -> Result<(DataGraph, ReadStats), EdgeListError> {
+    let path = path.as_ref();
+    let attach = |e: EdgeListError| e.with_path(path);
+    let file = std::fs::File::open(path)
+        .map_err(EdgeListError::from)
+        .map_err(attach)?;
+    read_edge_list_with_stats(io::BufReader::new(file)).map_err(attach)
 }
 
 /// Writes the canonical edge list (`lo hi` per line) to any writer.
@@ -95,7 +195,9 @@ pub fn write_edge_list<W: Write>(graph: &DataGraph, mut writer: W) -> io::Result
 /// Writes the edge list to a file path.
 pub fn write_edge_list_file<P: AsRef<Path>>(graph: &DataGraph, path: P) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
-    write_edge_list(graph, io::BufWriter::new(file))
+    let mut writer = io::BufWriter::new(file);
+    write_edge_list(graph, &mut writer)?;
+    writer.flush()
 }
 
 #[cfg(test)]
@@ -123,18 +225,109 @@ mod tests {
     }
 
     #[test]
-    fn malformed_line_is_reported_with_its_number() {
+    fn crlf_line_endings_are_accepted() {
+        let text = "# exported on windows\r\n0 1\r\n1 2\r\n\r\n2 3\r\n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn leading_and_trailing_whitespace_is_ignored() {
+        let text = "  0 1\t\n\t1    2  \n   \n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_and_are_counted() {
+        // The same undirected edge in both orientations, plus a true repeat.
+        let text = "0 1\n1 0\n0 1\n1 2\n";
+        let (g, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.edge_lines, 4);
+        assert_eq!(stats.duplicate_edges, 2);
+        assert_eq!(stats.self_loops, 0);
+    }
+
+    #[test]
+    fn self_loops_are_dropped_and_counted() {
+        let text = "0 0\n0 1\n2 2\n";
+        let (g, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(stats.self_loops, 2);
+        assert_eq!(stats.edge_lines, 3);
+    }
+
+    #[test]
+    fn extra_trailing_tokens_are_ignored_but_counted() {
+        // Weighted / timestamped exports carry a third column.
+        let text = "0 1 1082040961\n1 2\n2 3 0.5 extra\n";
+        let (g, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(stats.edge_lines, 3);
+        assert_eq!(stats.extra_token_lines, 2);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_number_and_content() {
         let text = "0 1\nnot-an-edge\n";
         let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
         match err {
-            EdgeListError::Parse { line_number, .. } => assert_eq!(line_number, 2),
-            other => panic!("unexpected error: {other}"),
+            EdgeListError::Parse {
+                line_number,
+                ref content,
+            } => {
+                assert_eq!(line_number, 2);
+                assert_eq!(content, "not-an-edge");
+            }
+            ref other => panic!("unexpected error: {other}"),
         }
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("not-an-edge"));
     }
 
     #[test]
     fn missing_second_endpoint_is_an_error() {
         let text = "0\n";
         assert!(read_edge_list(io::BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn negative_and_overflowing_ids_are_parse_errors() {
+        for text in ["-1 2\n", "0 99999999999999999999\n"] {
+            let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
+            assert!(matches!(err, EdgeListError::Parse { line_number: 1, .. }));
+        }
+    }
+
+    #[test]
+    fn file_errors_name_the_path() {
+        let err = read_edge_list_file("/definitely/not/a/real/file.txt").unwrap_err();
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("/definitely/not/a/real/file.txt"),
+            "error must name the file: {rendered}"
+        );
+        match err {
+            EdgeListError::Io { path: Some(p), .. } => {
+                assert_eq!(p, PathBuf::from("/definitely/not/a/real/file.txt"))
+            }
+            other => panic!("expected a path-carrying Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_the_graph() {
+        let g = generators::power_law(60, 150, 2.5, 11);
+        let dir = std::env::temp_dir().join("subgraph-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let parsed = read_edge_list_file(&path).unwrap();
+        assert_eq!(parsed.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
     }
 }

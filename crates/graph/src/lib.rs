@@ -28,11 +28,13 @@ pub mod graph;
 pub mod io;
 pub mod ordering;
 pub mod rng;
+pub mod source;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use graph::{DataGraph, Edge, NodeId};
 pub use ordering::{BucketThenIdOrder, DegreeOrder, IdOrder, NodeOrder};
+pub use source::{GraphSource, SourceError};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,309 @@
+//! [`GraphSource`]: one description of where a data graph comes from.
+//!
+//! The workloads the paper targets arrive two ways: as edge-list snapshot
+//! files (the real social networks of Section 1.1) and as synthetic
+//! generator families (the analyses of Sections 2, 6 and 7). `GraphSource`
+//! unifies both behind a single loadable value, so a CLI flag, a benchmark
+//! table and a test can all say "this graph" the same way.
+//!
+//! Generator sources are written as compact specs:
+//!
+//! ```text
+//! gnm:<n>,<m>[,<seed>]           uniformly random G(n, m)
+//! gnp:<n>,<p>[,<seed>]           sparse-sampled G(n, p) (Batagelj–Brandes)
+//! power-law:<n>,<m>,<gamma>[,<seed>]   Chung–Lu with exponent gamma
+//! ```
+//!
+//! ```
+//! use subgraph_graph::source::GraphSource;
+//!
+//! let source: GraphSource = "gnp:100,0.05,7".parse().unwrap();
+//! let graph = source.load().unwrap();
+//! assert_eq!(graph.num_nodes(), 100);
+//! ```
+
+use crate::generators;
+use crate::graph::DataGraph;
+use crate::io::{read_edge_list_file_with_stats, EdgeListError, ReadStats};
+use std::fmt;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Seed used when a generator spec omits one, so specs without a seed are
+/// still reproducible run to run.
+pub const DEFAULT_SEED: u64 = 1;
+
+/// Where a data graph comes from: an edge-list file or a deterministic
+/// synthetic generator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSource {
+    /// An edge-list file in the SNAP-style `u v` per line format.
+    File(PathBuf),
+    /// Uniformly random `G(n, m)`.
+    Gnm { n: usize, m: usize, seed: u64 },
+    /// `G(n, p)` sampled with the sparse-friendly gap-skipping generator.
+    Gnp { n: usize, p: f64, seed: u64 },
+    /// Chung–Lu power-law graph with ~`m` expected edges and exponent
+    /// `gamma`.
+    PowerLaw {
+        n: usize,
+        m: usize,
+        gamma: f64,
+        seed: u64,
+    },
+}
+
+impl GraphSource {
+    /// A file source.
+    pub fn file(path: impl Into<PathBuf>) -> Self {
+        GraphSource::File(path.into())
+    }
+
+    /// Parses a generator spec (`gnm:…`, `gnp:…`, `power-law:…`). Unlike the
+    /// [`FromStr`] impl this never falls back to interpreting the string as a
+    /// file path, so a mistyped generator name is an error instead of a
+    /// confusing "file not found".
+    pub fn parse_generator(spec: &str) -> Result<Self, SourceError> {
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| SourceError::bad_spec(spec, "expected <generator>:<args>"))?;
+        let args: Vec<&str> = rest.split(',').map(str::trim).collect();
+        let bad = |reason: &str| SourceError::bad_spec(spec, reason);
+        let parse_usize =
+            |s: &str| -> Result<usize, SourceError> { s.parse().map_err(|_| bad("bad integer")) };
+        let parse_f64 =
+            |s: &str| -> Result<f64, SourceError> { s.parse().map_err(|_| bad("bad number")) };
+        let parse_seed = |s: Option<&&str>| -> Result<u64, SourceError> {
+            match s {
+                Some(s) => s.parse().map_err(|_| bad("bad seed")),
+                None => Ok(DEFAULT_SEED),
+            }
+        };
+        match kind {
+            "gnm" => {
+                if !(2..=3).contains(&args.len()) {
+                    return Err(bad("expected gnm:<n>,<m>[,<seed>]"));
+                }
+                Ok(GraphSource::Gnm {
+                    n: parse_usize(args[0])?,
+                    m: parse_usize(args[1])?,
+                    seed: parse_seed(args.get(2))?,
+                })
+            }
+            "gnp" => {
+                if !(2..=3).contains(&args.len()) {
+                    return Err(bad("expected gnp:<n>,<p>[,<seed>]"));
+                }
+                let p = parse_f64(args[1])?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(bad("edge probability must be in [0, 1]"));
+                }
+                Ok(GraphSource::Gnp {
+                    n: parse_usize(args[0])?,
+                    p,
+                    seed: parse_seed(args.get(2))?,
+                })
+            }
+            "power-law" => {
+                if !(3..=4).contains(&args.len()) {
+                    return Err(bad("expected power-law:<n>,<m>,<gamma>[,<seed>]"));
+                }
+                let gamma = parse_f64(args[2])?;
+                if gamma <= 1.0 {
+                    return Err(bad("power-law exponent must exceed 1"));
+                }
+                Ok(GraphSource::PowerLaw {
+                    n: parse_usize(args[0])?,
+                    m: parse_usize(args[1])?,
+                    gamma,
+                    seed: parse_seed(args.get(3))?,
+                })
+            }
+            other => Err(SourceError::bad_spec(
+                spec,
+                &format!("unknown generator {other:?} (try gnm, gnp, power-law)"),
+            )),
+        }
+    }
+
+    /// Loads the graph: reads the file or runs the generator.
+    pub fn load(&self) -> Result<DataGraph, SourceError> {
+        self.load_with_stats().map(|(graph, _)| graph)
+    }
+
+    /// Loads the graph; file sources also report the reader's input-hygiene
+    /// counters (generator sources return `None`).
+    pub fn load_with_stats(&self) -> Result<(DataGraph, Option<ReadStats>), SourceError> {
+        match self {
+            GraphSource::File(path) => {
+                let (graph, stats) =
+                    read_edge_list_file_with_stats(path).map_err(SourceError::Read)?;
+                Ok((graph, Some(stats)))
+            }
+            GraphSource::Gnm { n, m, seed } => Ok((generators::gnm(*n, *m, *seed), None)),
+            GraphSource::Gnp { n, p, seed } => Ok((generators::gnp_sparse(*n, *p, *seed), None)),
+            GraphSource::PowerLaw { n, m, gamma, seed } => {
+                Ok((generators::power_law(*n, *m, *gamma, *seed), None))
+            }
+        }
+    }
+}
+
+impl fmt::Display for GraphSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphSource::File(path) => write!(f, "{}", path.display()),
+            GraphSource::Gnm { n, m, seed } => write!(f, "gnm:{n},{m},{seed}"),
+            GraphSource::Gnp { n, p, seed } => write!(f, "gnp:{n},{p},{seed}"),
+            GraphSource::PowerLaw { n, m, gamma, seed } => {
+                write!(f, "power-law:{n},{m},{gamma},{seed}")
+            }
+        }
+    }
+}
+
+impl FromStr for GraphSource {
+    type Err = SourceError;
+
+    /// Parses a generator spec, falling back to a file path when the string
+    /// names no known generator family. `gnm:`/`gnp:`/`power-law:` prefixes
+    /// always parse as generators (a malformed spec is an error, not a file).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let looks_like_generator = ["gnm:", "gnp:", "power-law:"]
+            .iter()
+            .any(|prefix| s.starts_with(prefix));
+        if looks_like_generator {
+            GraphSource::parse_generator(s)
+        } else {
+            Ok(GraphSource::file(s))
+        }
+    }
+}
+
+/// Why a [`GraphSource`] could not be parsed or loaded.
+#[derive(Debug)]
+pub enum SourceError {
+    /// The generator spec string is malformed.
+    BadSpec {
+        /// The spec as given.
+        spec: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Reading an edge-list file failed.
+    Read(EdgeListError),
+}
+
+impl SourceError {
+    fn bad_spec(spec: &str, reason: &str) -> Self {
+        SourceError::BadSpec {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::BadSpec { spec, reason } => {
+                write!(f, "bad graph spec {spec:?}: {reason}")
+            }
+            SourceError::Read(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::BadSpec { .. } => None,
+            SourceError::Read(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_specs_parse_and_load() {
+        let gnm: GraphSource = "gnm:50,120,9".parse().unwrap();
+        assert_eq!(
+            gnm,
+            GraphSource::Gnm {
+                n: 50,
+                m: 120,
+                seed: 9
+            }
+        );
+        assert_eq!(gnm.load().unwrap().num_edges(), 120);
+
+        let gnp: GraphSource = "gnp:100,0.05".parse().unwrap();
+        match gnp {
+            GraphSource::Gnp { n: 100, seed, .. } => assert_eq!(seed, DEFAULT_SEED),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let pl: GraphSource = "power-law:200,400,2.5,3".parse().unwrap();
+        let g = pl.load().unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn loads_are_deterministic_per_seed() {
+        let a: GraphSource = "gnp:300,0.02,5".parse().unwrap();
+        let b: GraphSource = "gnp:300,0.02,5".parse().unwrap();
+        assert_eq!(a.load().unwrap().num_edges(), b.load().unwrap().num_edges());
+    }
+
+    #[test]
+    fn malformed_generator_specs_do_not_fall_back_to_files() {
+        for spec in [
+            "gnp:100",
+            "gnm:10,banana",
+            "gnp:10,2.0",
+            "power-law:9,9,0.5",
+        ] {
+            let err = spec.parse::<GraphSource>().unwrap_err();
+            assert!(matches!(err, SourceError::BadSpec { .. }), "{spec}");
+        }
+        // But unknown strings are paths (the file may simply not exist yet).
+        let src: GraphSource = "data/soc-Epinions1.txt".parse().unwrap();
+        assert_eq!(src, GraphSource::file("data/soc-Epinions1.txt"));
+    }
+
+    #[test]
+    fn unknown_generator_name_via_parse_generator_is_an_error() {
+        let err = GraphSource::parse_generator("grid:3,3").unwrap_err();
+        assert!(err.to_string().contains("unknown generator"));
+    }
+
+    #[test]
+    fn file_sources_report_read_stats_and_errors_name_the_path() {
+        let err = GraphSource::file("/no/such/graph.txt").load().unwrap_err();
+        assert!(err.to_string().contains("/no/such/graph.txt"));
+
+        let dir = std::env::temp_dir().join("subgraph-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "0 1\n1 0\n2 2\n1 2\n").unwrap();
+        let (graph, stats) = GraphSource::file(&path).load_with_stats().unwrap();
+        let stats = stats.expect("file sources carry stats");
+        assert_eq!(graph.num_edges(), 2);
+        assert_eq!(stats.duplicate_edges, 1);
+        assert_eq!(stats.self_loops, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_round_trips_generator_specs() {
+        for spec in ["gnm:50,120,9", "gnp:100,0.05,1", "power-law:200,400,2.5,3"] {
+            let src: GraphSource = spec.parse().unwrap();
+            assert_eq!(src.to_string(), spec);
+            assert_eq!(src.to_string().parse::<GraphSource>().unwrap(), src);
+        }
+    }
+}

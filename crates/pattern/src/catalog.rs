@@ -1,5 +1,29 @@
 //! Named sample graphs used throughout the paper.
+//!
+//! Every pattern the paper analyses is available by name through
+//! [`by_name`] — fixed figures (`triangle`, `square`, `lollipop`,
+//! `pentagon-with-chord`, `bowtie-bridge`) and parameterized families
+//! (`c5`/`cycle5`, `k4`/`clique4`, `star5`, `path4`, `hypercube3`). This is
+//! the vocabulary of [`EnumerationRequest::named`] in `subgraph-core` and of
+//! the `subgraph` CLI's `--pattern` flag; `subgraph catalog` renders the
+//! [`entries`] table.
+//!
+//! ```
+//! use subgraph_pattern::catalog;
+//!
+//! let lollipop = catalog::by_name("lollipop").unwrap();
+//! assert_eq!(lollipop.num_nodes(), 4);
+//! assert_eq!(lollipop.num_edges(), 4);
+//!
+//! // The same patterns, with their metadata, as a browsable table:
+//! let entries = catalog::entries();
+//! let triangle = entries.iter().find(|e| e.name == "triangle").unwrap();
+//! assert_eq!(triangle.automorphisms(), 6); // |Aut(K3)| = 3!
+//! ```
+//!
+//! [`EnumerationRequest::named`]: https://docs.rs/subgraph-core
 
+use crate::automorphism::automorphism_group;
 use crate::sample::{PatternNode, SampleGraph};
 
 /// The triangle `K_3` (Section 2).
@@ -92,6 +116,93 @@ pub fn bowtie_bridge() -> SampleGraph {
 /// The 4-clique `K_4` (used in decomposition and share examples).
 pub fn k4() -> SampleGraph {
     clique(4)
+}
+
+/// One browsable catalog pattern: the name [`by_name`] resolves, the sample
+/// graph itself and a one-line description with its paper pointer.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// The name [`by_name`] resolves (for families, a representative member —
+    /// `c5` stands for every `cN`).
+    pub name: &'static str,
+    /// Where the pattern appears in the paper, in one line.
+    pub description: &'static str,
+    /// The sample graph.
+    pub sample: SampleGraph,
+}
+
+impl CatalogEntry {
+    /// Size of the automorphism group `|Aut(S)|` (computed exhaustively —
+    /// patterns are tiny). The number of conjunctive queries Theorem 3.1
+    /// assigns the pattern is `p! / |Aut(S)|`.
+    pub fn automorphisms(&self) -> usize {
+        automorphism_group(&self.sample).len()
+    }
+
+    /// The Theorem 3.1 conjunctive-query count `p! / |Aut(S)|`.
+    pub fn order_classes(&self) -> usize {
+        let p = self.sample.num_nodes();
+        (1..=p).product::<usize>() / self.automorphisms()
+    }
+}
+
+/// The browsable pattern catalog: every fixed pattern plus one representative
+/// member of each parameterized family, with names [`by_name`] resolves.
+/// This is the list the `subgraph catalog` CLI subcommand prints and the
+/// pattern sweep the CLI parity checks run over.
+pub fn entries() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "triangle",
+            description: "K3, the running example of Sections 1-2",
+            sample: triangle(),
+        },
+        CatalogEntry {
+            name: "square",
+            description: "C4 with the node naming of Figure 3",
+            sample: square(),
+        },
+        CatalogEntry {
+            name: "lollipop",
+            description: "triangle with a pendant node (Figure 4)",
+            sample: lollipop(),
+        },
+        CatalogEntry {
+            name: "pentagon-with-chord",
+            description: "C5 plus a chord: odd Hamilton cycle plus edges (Theorem 7.1)",
+            sample: pentagon_with_chord(),
+        },
+        CatalogEntry {
+            name: "bowtie-bridge",
+            description: "two triangles joined by a bridge, decomposable (Theorem 7.2)",
+            sample: bowtie_bridge(),
+        },
+        CatalogEntry {
+            name: "c5",
+            description: "the cycle family cN / cycleN (Figure 8), shown at N = 5",
+            sample: cycle(5),
+        },
+        CatalogEntry {
+            name: "k4",
+            description: "the clique family kN / cliqueN, shown at N = 4",
+            sample: clique(4),
+        },
+        CatalogEntry {
+            name: "star5",
+            description: "the star family starN (the Θ(mΔ^{p-2}) example of §7.3), N = 5",
+            sample: star(5),
+        },
+        CatalogEntry {
+            name: "path4",
+            description: "the path family pathN, shown at N = 4",
+            sample: path(4),
+        },
+        CatalogEntry {
+            name: "hypercube3",
+            description: "the hypercube family hypercubeD (regular, Theorem 4.1), D = 3",
+            sample: hypercube(3),
+        },
+    ]
 }
 
 /// Looks a catalog pattern up by name, the form the planner's request builder
@@ -208,6 +319,36 @@ mod tests {
         assert_eq!(by_name("hypercube64"), None); // must not overflow the shift
         assert_eq!(by_name("hypercube9999"), None);
         assert_eq!(by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn every_entry_name_resolves_to_its_own_sample() {
+        let entries = entries();
+        assert!(entries.len() >= 10);
+        for entry in &entries {
+            let resolved = by_name(entry.name)
+                .unwrap_or_else(|| panic!("entry {:?} must resolve via by_name", entry.name));
+            assert_eq!(resolved, entry.sample, "entry {:?}", entry.name);
+            assert!(!entry.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn entry_automorphism_counts_match_the_paper() {
+        let find = |name: &str| {
+            entries()
+                .into_iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("no entry {name}"))
+        };
+        assert_eq!(find("triangle").automorphisms(), 6); // 3!
+        assert_eq!(find("square").automorphisms(), 8); // dihedral D4
+        assert_eq!(find("lollipop").automorphisms(), 2); // swap Y, Z
+        assert_eq!(find("lollipop").order_classes(), 12); // Figure 5's 12 CQs
+        assert_eq!(find("k4").automorphisms(), 24); // 4!
+        assert_eq!(find("c5").automorphisms(), 10); // dihedral D5
+        assert_eq!(find("star5").automorphisms(), 24); // leaves permute: 4!
+        assert_eq!(find("hypercube3").automorphisms(), 48);
     }
 
     #[test]

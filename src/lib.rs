@@ -17,6 +17,11 @@
 //! | [`mapreduce`] | `subgraph-mapreduce` | instrumented in-process map-reduce engine: multi-round pipelines, map-side combiners |
 //! | [`core`] | `subgraph-core` | the paper's algorithms behind the cost-driven `Planner`/`ExecutionPlan` API |
 //!
+//! Two more workspace crates sit outside the facade: `subgraph-cli` builds
+//! the `subgraph` binary (`enumerate`/`count`/`explain`/`catalog`/`generate`
+//! over edge-list files and generator specs — see `docs/CLI.md`), and
+//! `subgraph-bench` regenerates the paper's tables and figures.
+//!
 //! ## Quick start
 //!
 //! Everything goes through one entry point: build an
@@ -126,13 +131,15 @@ pub mod prelude {
         enumerate_odd_cycles, enumerate_odd_cycles_into, enumerate_triangles_into,
         enumerate_triangles_serial,
     };
-    /// Streaming result sinks: count, collect, sample, callback.
+    /// Streaming result sinks: count, collect, sample, callback, and the
+    /// file-backed serializers the CLI writes through.
     pub use subgraph_core::sink::{
-        CollectSink, CountSink, FnSink, InstanceSink, OutputSink, SampleSink,
+        CollectSink, CountSink, CsvSink, EdgeListSink, FnSink, InstanceSink, NdjsonSink,
+        OutputSink, SampleSink, SerializeSink,
     };
     pub use subgraph_core::{MapReduceRun, RunStats, SerialRun, SerialStats};
     pub use subgraph_cq::{cqs_for_sample, cycle_cqs, evaluate_cqs, merge_by_orientation};
-    pub use subgraph_graph::{generators, DataGraph, GraphBuilder, NodeId};
+    pub use subgraph_graph::{generators, DataGraph, GraphBuilder, GraphSource, NodeId};
     pub use subgraph_mapreduce::{
         Combiner, EngineConfig, JobMetrics, Pipeline, PipelineReport, Round, RoundMetrics,
     };
