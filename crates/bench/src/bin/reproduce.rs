@@ -23,6 +23,8 @@ fn main() {
             "shuffle-quick" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(true)),
             "sink" => print!("{}", subgraph_bench::sink_bench::sink_throughput(false)),
             "sink-quick" => print!("{}", subgraph_bench::sink_bench::sink_throughput(true)),
+            "serve" => print!("{}", subgraph_bench::serve_bench::serve_amortization(false)),
+            "serve-quick" => print!("{}", subgraph_bench::serve_bench::serve_amortization(true)),
             "cli" => print!("{}", cli_table::cli_parity()),
             "fig1" => print!("{}", figures::figure1()),
             "fig2" => print!("{}", figures::figure2()),
@@ -61,6 +63,8 @@ fn print_usage() {
          shuffle-quick         the same sweep in CI smoke mode\n  \
          sink                  streaming-sink sweep: count-only >=1M-edge graph (writes BENCH_sink.json)\n  \
          sink-quick            the same sweep in CI smoke mode\n  \
+         serve                 serve amortization: warm cached queries vs one-shot (writes BENCH_serve.json)\n  \
+         serve-quick           the same comparison in CI smoke mode\n  \
          cli                   CLI parity: enumerate line count vs count per catalog pattern\n  \
          fig1                  Figure 1  (asymptotic triangle comparison)\n  \
          fig2                  Figure 2  (specific reducer counts)\n  \

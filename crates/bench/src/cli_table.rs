@@ -32,6 +32,7 @@ pub fn cli_parity() -> String {
         };
         let count = count_instances(&opts)
             .unwrap_or_else(|e| panic!("count {}: {e}", entry.name))
+            .0
             .count();
         let mut buf = Vec::new();
         enumerate_to_writer(&opts, Format::Ndjson, &mut buf)
@@ -65,7 +66,7 @@ mod tests {
             threads: Some(2),
             strategy: None,
         };
-        let count = super::count_instances(&opts).unwrap().count();
+        let count = super::count_instances(&opts).unwrap().0.count();
         let mut buf = Vec::new();
         super::enumerate_to_writer(&opts, super::Format::Ndjson, &mut buf).unwrap();
         assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), count);

@@ -29,6 +29,7 @@
 //! | strategy choice (Sections 2, 4, 6-7) | [`planner_table::planner_choices`] |
 //! | shuffle throughput sweep (engine perf trajectory) | [`shuffle::shuffle_throughput`] |
 //! | streaming-sink sweep (count-only, ≥ 1M edges, peak RSS) | [`sink_bench::sink_throughput`] |
+//! | serve amortization (warm cached queries vs one-shot) | [`serve_bench::serve_amortization`] |
 //! | CLI parity (`enumerate \| wc -l` vs `count`) | [`cli_table::cli_parity`] |
 //!
 //! The measured columns drive every algorithm through the
@@ -43,6 +44,7 @@ pub mod figures;
 pub mod harness;
 pub mod planner_table;
 pub mod report;
+pub mod serve_bench;
 pub mod share_tables;
 pub mod shuffle;
 pub mod sink_bench;

@@ -1,0 +1,376 @@
+//! Serve amortization benchmark: warm cached count queries against a running
+//! server vs the one-shot `subgraph count` path, on the same edge-list file.
+//!
+//! The server exists to amortize the per-query fixed costs — reading and
+//! indexing the graph, computing its statistics and node orders, and running
+//! the planner's cost model — across a query stream. This bench pins that
+//! win: every one-shot run pays process startup (the comparison invokes the
+//! actual `subgraph` binary when it sits next to this bench binary, falling
+//! back to the in-process library path otherwise) + file parse + index +
+//! plan + execute, while every warm served query pays HTTP round-trip +
+//! cached-plan resume + execute only. Both paths run the identical serial
+//! plan (reducer budget 1), the regime a long-lived service targets:
+//! interactive queries over a loaded snapshot, where execution is
+//! milliseconds and the fixed costs dominate the one-shot path.
+//!
+//! Writes `BENCH_serve.json` at the repository root (full mode) or a scratch
+//! file under `target/` (quick CI mode); the written file is re-read and
+//! validated, and a malformed file panics, which fails the CI smoke step.
+//!
+//! Entry points: `cargo run -p subgraph-bench --bin reproduce -- serve` /
+//! `serve-quick`.
+
+use crate::report::Table;
+use crate::shuffle::validate_json;
+use std::time::Instant;
+use subgraph_cli::{count_instances, RequestOpts};
+use subgraph_graph::{generators, GraphSource};
+use subgraph_serve::{client, spawn, GraphStore, QueryEngine, ServerConfig};
+
+/// Latency summary over one timed loop.
+#[derive(Clone, Debug)]
+pub struct LatencySample {
+    /// Timed runs (after one untimed warm-up).
+    pub runs: usize,
+    /// Mean per-query wall time, seconds.
+    pub mean_secs: f64,
+    /// Fastest query, seconds.
+    pub min_secs: f64,
+}
+
+impl LatencySample {
+    fn from_times(times: &[f64]) -> Self {
+        LatencySample {
+            runs: times.len(),
+            mean_secs: times.iter().sum::<f64>() / times.len() as f64,
+            min_secs: times.iter().cloned().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// The full comparison outcome.
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    /// `"quick"` (CI smoke) or `"full"`.
+    pub mode: &'static str,
+    /// Nodes of the G(n, m) input graph.
+    pub n: usize,
+    /// Edges of the input graph.
+    pub m: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// The triangle count both paths must agree on.
+    pub count: usize,
+    /// Per-query engine threads (pinned identically on both paths).
+    pub threads: usize,
+    /// How the one-shot side ran: `"cli-process"` (the real `subgraph`
+    /// binary, including process startup) or `"in-process"` (library call).
+    pub one_shot_mode: &'static str,
+    /// One-shot path: startup + file parse + index + plan + execute per query.
+    pub one_shot: LatencySample,
+    /// Served path: HTTP round-trip + cached-plan resume + execute.
+    pub served: LatencySample,
+    /// Plan-cache hits observed during the served loop.
+    pub cache_hits: u64,
+    /// Plan-cache misses (exactly the one cold query).
+    pub cache_misses: u64,
+    /// `one_shot.mean_secs / served.mean_secs`.
+    pub speedup_mean: f64,
+}
+
+impl ServeBenchReport {
+    /// Renders the `reproduce serve` table.
+    pub fn table(&self) -> String {
+        let mut table = Table::new(
+            "Serve amortization — warm cached count queries vs one-shot subgraph count",
+            &["path", "runs", "mean (ms)", "min (ms)"],
+        );
+        let one_shot_label = format!("one-shot ({})", self.one_shot_mode);
+        for (path, sample) in [
+            (one_shot_label.as_str(), &self.one_shot),
+            ("served (warm)", &self.served),
+        ] {
+            table.row(&[
+                path.to_string(),
+                sample.runs.to_string(),
+                format!("{:.3}", sample.mean_secs * 1e3),
+                format!("{:.3}", sample.min_secs * 1e3),
+            ]);
+        }
+        table.note(&format!(
+            "{} mode: G(n = {}, m = {}) seed {}, triangle count {}, {} engine thread(s) per query",
+            self.mode, self.n, self.m, self.seed, self.count, self.threads,
+        ));
+        table.note(&format!(
+            "speedup {:.1}x mean; plan cache: {} hits, {} misses over the served loop",
+            self.speedup_mean, self.cache_hits, self.cache_misses,
+        ));
+        table.note(&format!(
+            "written to {}",
+            if self.mode == "quick" {
+                "target/BENCH_serve.quick.json"
+            } else {
+                "BENCH_serve.json"
+            },
+        ));
+        table.render()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let sample = |s: &LatencySample| {
+            format!(
+                "{{ \"runs\": {}, \"mean_secs\": {:.9}, \"min_secs\": {:.9} }}",
+                s.runs, s.mean_secs, s.min_secs
+            )
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"serve_amortization\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str("  \"workload\": {\n");
+        out.push_str("    \"graph\": \"gnm\",\n");
+        out.push_str(&format!("    \"n\": {},\n", self.n));
+        out.push_str(&format!("    \"m\": {},\n", self.m));
+        out.push_str(&format!("    \"seed\": {},\n", self.seed));
+        out.push_str("    \"pattern\": \"triangle\",\n");
+        out.push_str("    \"mode\": \"count\",\n");
+        out.push_str(&format!("    \"threads\": {},\n", self.threads));
+        out.push_str(&format!("    \"count\": {}\n", self.count));
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"one_shot_mode\": \"{}\",\n",
+            self.one_shot_mode
+        ));
+        out.push_str(&format!("  \"one_shot\": {},\n", sample(&self.one_shot)));
+        out.push_str(&format!("  \"served\": {},\n", sample(&self.served)));
+        out.push_str("  \"plan_cache\": {\n");
+        out.push_str(&format!("    \"hits\": {},\n", self.cache_hits));
+        out.push_str(&format!("    \"misses\": {}\n", self.cache_misses));
+        out.push_str("  },\n");
+        out.push_str(&format!("  \"speedup_mean\": {:.2}\n", self.speedup_mean));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs the comparison. Both paths count triangles on the same edge-list
+/// file at the same engine thread count; only the fixed per-query costs
+/// differ.
+pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
+    let (mode, n, m, one_shot_runs, served_runs) = if quick {
+        ("quick", 30_000usize, 60_000usize, 3usize, 30usize)
+    } else {
+        ("full", 150_000usize, 300_000usize, 10usize, 100usize)
+    };
+    let seed = 20_260_807u64;
+    let threads = 1usize;
+
+    // Materialize the input file both paths read.
+    let graph = generators::gnm(n, m, seed);
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+    std::fs::create_dir_all(&dir).expect("target directory");
+    let input = dir.join(format!("serve_bench_input_{mode}.txt"));
+    subgraph_graph::io::write_edge_list_file(&graph, &input)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", input.display()));
+
+    // One-shot path: `subgraph count --input <file> --pattern triangle
+    // --reducers 1` — startup, load, index, plan, run, every time. The real
+    // binary is preferred (that is what a user's one-shot query pays); when
+    // it has not been built, the in-process library path stands in.
+    let opts = RequestOpts {
+        source: GraphSource::file(&input),
+        pattern: "triangle".to_string(),
+        // Budget 1 plans the serial family on both paths: execution is
+        // interactive-fast, so the fixed costs are what the numbers compare.
+        reducers: Some(1),
+        threads: Some(threads),
+        strategy: None,
+    };
+    let cli = find_subgraph_binary();
+    let one_shot_mode = if cli.is_some() {
+        "cli-process"
+    } else {
+        "in-process"
+    };
+    let one_shot_count = |cli: &Option<std::path::PathBuf>| match cli {
+        Some(bin) => cli_count(bin, &input, threads),
+        None => {
+            let (report, _) = count_instances(&opts).expect("one-shot count");
+            report.count()
+        }
+    };
+    let count = one_shot_count(&cli); // warm-up (page cache, binary pages)
+    let mut one_shot_times = Vec::with_capacity(one_shot_runs);
+    for _ in 0..one_shot_runs {
+        let start = Instant::now();
+        let measured = one_shot_count(&cli);
+        one_shot_times.push(start.elapsed().as_secs_f64());
+        assert_eq!(measured, count, "one-shot count is stable");
+    }
+
+    // Served path: load once, then warm queries against the running server.
+    let store = GraphStore::open(&GraphSource::file(&input)).expect("server-side load");
+    let engine = QueryEngine::new(store, 16, threads);
+    let config = ServerConfig {
+        listen: Some("127.0.0.1:0".to_string()),
+        pool: 2,
+        cache_capacity: 16,
+        threads_per_query: threads,
+        ..ServerConfig::default()
+    };
+    let server = spawn(engine, &config).expect("server starts");
+    let addr = server.tcp_addr().expect("tcp listener bound");
+    let target = "/query?pattern=triangle&reducers=1";
+    let warm = client::get(&addr, target).expect("cold query");
+    assert_eq!(warm.status, 200, "{}", warm.text());
+    let mut served_times = Vec::with_capacity(served_runs);
+    for _ in 0..served_runs {
+        let start = Instant::now();
+        let resp = client::get(&addr, target).expect("warm query");
+        served_times.push(start.elapsed().as_secs_f64());
+        let body = resp.text();
+        assert!(
+            body.contains(&format!("\"count\":{count}")),
+            "served count disagrees with one-shot: {body}"
+        );
+        assert!(
+            body.contains("\"cache_hit\":true"),
+            "warm query must hit: {body}"
+        );
+    }
+    let cache_hits = server.engine().cache().hits();
+    let cache_misses = server.engine().cache().misses();
+    server.shutdown();
+
+    let one_shot = LatencySample::from_times(&one_shot_times);
+    let served = LatencySample::from_times(&served_times);
+    let speedup_mean = one_shot.mean_secs / served.mean_secs;
+    ServeBenchReport {
+        mode,
+        n,
+        m,
+        seed,
+        count,
+        threads,
+        one_shot_mode,
+        one_shot,
+        served,
+        cache_hits,
+        cache_misses,
+        speedup_mean,
+    }
+}
+
+/// Locates the `subgraph` release binary next to the running bench binary
+/// (same directory, or its parent when running from `target/<p>/deps`).
+fn find_subgraph_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for dir in [dir, dir.parent()?] {
+        let candidate = dir.join(format!("subgraph{}", std::env::consts::EXE_SUFFIX));
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Runs one `subgraph count` process and returns the count it printed.
+fn cli_count(bin: &std::path::Path, input: &std::path::Path, threads: usize) -> usize {
+    let output = std::process::Command::new(bin)
+        .arg("count")
+        .arg("--input")
+        .arg(input)
+        .args(["--pattern", "triangle", "--reducers", "1"])
+        .args(["--threads", &threads.to_string()])
+        .output()
+        .expect("running the subgraph binary");
+    assert!(
+        output.status.success(),
+        "subgraph count failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout)
+        .trim()
+        .parse()
+        .expect("subgraph count prints the count")
+}
+
+/// Path of the tracked benchmark file: `BENCH_serve.json` at the repo root.
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+/// Scratch path the quick (CI smoke) run writes to, under `target/`.
+pub fn quick_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_serve.quick.json")
+}
+
+/// Runs the comparison and writes its JSON — `BENCH_serve.json` at the
+/// repository root in full mode, a scratch file under `target/` in quick
+/// mode. The written file is re-read and validated; quick mode additionally
+/// validates the tracked repo-root file when present. Returns the table.
+pub fn serve_amortization(quick: bool) -> String {
+    let report = run_serve_bench(quick);
+    let path = if quick {
+        quick_json_path()
+    } else {
+        bench_json_path()
+    };
+    std::fs::write(&path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let written = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot re-read {}: {e}", path.display()));
+    validate_json(&written).unwrap_or_else(|e| panic!("{} is malformed JSON: {e}", path.display()));
+    if quick {
+        let tracked = bench_json_path();
+        if let Ok(contents) = std::fs::read_to_string(&tracked) {
+            validate_json(&contents)
+                .unwrap_or_else(|e| panic!("{} is malformed JSON: {e}", tracked.display()));
+        }
+    }
+    report.table()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_report() -> ServeBenchReport {
+        ServeBenchReport {
+            mode: "quick",
+            n: 100,
+            m: 300,
+            seed: 1,
+            count: 42,
+            threads: 1,
+            one_shot_mode: "cli-process",
+            one_shot: LatencySample {
+                runs: 3,
+                mean_secs: 0.050,
+                min_secs: 0.045,
+            },
+            served: LatencySample {
+                runs: 30,
+                mean_secs: 0.005,
+                min_secs: 0.004,
+            },
+            cache_hits: 30,
+            cache_misses: 1,
+            speedup_mean: 10.0,
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_table_reports_the_speedup() {
+        let report = micro_report();
+        validate_json(&report.to_json()).expect("generated JSON must validate");
+        assert!(report.to_json().contains("\"speedup_mean\": 10.00"));
+        let table = report.table();
+        assert!(table.contains("one-shot"));
+        assert!(table.contains("served (warm)"));
+        assert!(table.contains("speedup 10.0x mean"));
+        assert!(table.contains("hits"));
+    }
+}

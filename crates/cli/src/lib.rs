@@ -18,9 +18,16 @@
 //!   running it.
 //! * `catalog` — list every named pattern with node/edge counts and
 //!   automorphism group sizes ([`subgraph_pattern::catalog::entries`]).
+//! * `serve` — start the long-lived query service
+//!   ([`subgraph_serve`]): load the graph once, then answer `count` and
+//!   `enumerate` queries over HTTP with a shared plan cache.
 //!
-//! A fifth helper, `generate`, materializes any graph spec as an edge-list
+//! A sixth helper, `generate`, materializes any graph spec as an edge-list
 //! file so the other subcommands (and external tools) have something to read.
+//!
+//! Patterns are either catalog names (`triangle`, `k4`, …) or inline edge
+//! specs (`--pattern a-b,b-c,c-a`), resolved by
+//! [`EnumerationRequest::resolve`].
 //!
 //! The crate is a thin library plus a `main` shim so that the bench harness
 //! and the integration tests drive exactly the code the binary runs:
@@ -45,9 +52,10 @@ use subgraph_core::{
     CsvSink, EdgeListSink, EnumerationRequest, NdjsonSink, PlanError, RunReport, StrategyKind,
 };
 use subgraph_graph::io::write_edge_list;
-use subgraph_graph::{DataGraph, GraphSource, SourceError};
+use subgraph_graph::{DataGraph, GraphSource, ReadStats, SourceError};
 use subgraph_mapreduce::EngineConfig;
 use subgraph_pattern::catalog;
+use subgraph_serve::{GraphStore, QueryEngine, ServerConfig};
 
 /// Output serialization of `enumerate`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,7 +85,8 @@ impl Format {
 pub struct RequestOpts {
     /// Where the data graph comes from.
     pub source: GraphSource,
-    /// Catalog pattern name (`triangle`, `c5`, `k4`, …).
+    /// Catalog pattern name (`triangle`, `c5`, `k4`, …) or inline edge spec
+    /// (`a-b,b-c,c-a`).
     pub pattern: String,
     /// Reducer budget `k` (defaults to
     /// [`subgraph_core::plan::request::DEFAULT_REDUCERS`]).
@@ -89,17 +98,19 @@ pub struct RequestOpts {
 }
 
 impl RequestOpts {
-    fn load_graph(&self) -> Result<DataGraph, CliError> {
-        Ok(self.source.load()?)
+    fn load_graph(&self) -> Result<(DataGraph, Option<ReadStats>), CliError> {
+        Ok(self.source.load_with_stats()?)
     }
 
     fn request<'g>(&self, graph: &'g DataGraph) -> Result<EnumerationRequest<'g>, CliError> {
-        let mut request = EnumerationRequest::named(&self.pattern, graph).map_err(|e| match e {
-            PlanError::UnknownPattern(name) => CliError::Run(format!(
-                "unknown pattern {name:?} — run `subgraph catalog` for the list"
-            )),
-            other => CliError::from(other),
-        })?;
+        let mut request =
+            EnumerationRequest::resolve(&self.pattern, graph).map_err(|e| match e {
+                PlanError::UnknownPattern(name) => CliError::Run(format!(
+                    "unknown pattern {name:?} — run `subgraph catalog` for the list, \
+                 or give an inline spec like a-b,b-c,c-a"
+                )),
+                other => CliError::from(other),
+            })?;
         if let Some(k) = self.reducers {
             request = request.reducers(k);
         }
@@ -141,6 +152,24 @@ pub enum Command {
     },
     /// List the pattern catalog.
     Catalog,
+    /// Start the long-lived query service over one shared graph.
+    Serve {
+        /// The data graph to serve.
+        source: GraphSource,
+        /// TCP listen address (default `127.0.0.1:7878`; port 0 picks one).
+        listen: Option<String>,
+        /// Unix-domain socket path (unix only; in addition to or instead of
+        /// TCP).
+        unix: Option<PathBuf>,
+        /// Plan-cache capacity in entries (default 64; 0 disables caching).
+        plan_cache: usize,
+        /// Worker threads handling connections (default 4).
+        pool: usize,
+        /// Per-query engine thread budget (default 1).
+        threads: usize,
+        /// Log every startup detail, including input hygiene counters.
+        verbose: bool,
+    },
     /// Materialize a graph source as an edge-list file.
     Generate {
         /// The graph to materialize (usually a generator spec).
@@ -216,30 +245,41 @@ subcommands:
   count       count instances (zero per-instance allocation)
   explain     print the planner's cost table without running anything
   catalog     list the named patterns
+  serve       start a long-lived query service over one shared graph
   generate    write a graph spec out as an edge-list file
 
-input (enumerate / count / explain take exactly one):
+input (enumerate / count / explain / serve take exactly one):
   --input <file>        read a SNAP-style edge list (`u v` per line, # comments)
   --generate <spec>     synthesize a graph: gnm:<n>,<m>[,seed]
                         gnp:<n>,<p>[,seed] | power-law:<n>,<m>,<gamma>[,seed]
 
 request options:
-  --pattern <name>      catalog pattern (see `subgraph catalog`); required
+  --pattern <p>         catalog pattern (see `subgraph catalog`) or inline
+                        edge spec like a-b,b-c,c-a; required
   --reducers <k>        reducer budget the plan is optimized for (default 64;
                         <= 1 plans a serial algorithm)
-  --threads <t>         engine worker threads (default: all cores)
+  --threads <t>         engine worker threads (default: all cores;
+                        for serve: per-query budget, default 1)
   --strategy <name>     force a strategy (e.g. bucket-oriented, cq-oriented)
 
 output options:
   --format <fmt>        enumerate serialization: ndjson (default) | csv | edges
   --output <file>       write results there instead of stdout
-  --verbose             print the run report to stderr
+  --verbose             print the run report (and input hygiene) to stderr
+
+serve options (see docs/SERVE.md):
+  --listen <addr>       TCP listen address (default 127.0.0.1:7878; port 0
+                        picks a free port)
+  --unix <path>         also listen on a unix-domain socket (unix only)
+  --plan-cache <n>      plan-cache capacity in entries (default 64; 0 = off)
+  --pool <n>            connection worker threads (default 4)
 
 examples:
   subgraph generate gnp:10000,0.002,7 --output graph.txt
   subgraph count --input graph.txt --pattern triangle
-  subgraph enumerate --input graph.txt --pattern triangle --format ndjson
+  subgraph enumerate --input graph.txt --pattern a-b,b-c,c-a --format ndjson
   subgraph explain --generate power-law:100000,500000,2.5 --pattern lollipop --reducers 750
+  subgraph serve --input graph.txt --listen 127.0.0.1:7878 --plan-cache 128
 ";
 
 impl Command {
@@ -264,6 +304,10 @@ impl Command {
         let mut reducers: Option<usize> = None;
         let mut threads: Option<usize> = None;
         let mut strategy: Option<String> = None;
+        let mut listen: Option<String> = None;
+        let mut unix: Option<PathBuf> = None;
+        let mut plan_cache: Option<usize> = None;
+        let mut pool: Option<usize> = None;
         let mut verbose = false;
         let mut positional: Vec<String> = Vec::new();
 
@@ -291,6 +335,19 @@ impl Command {
                     })?)
                 }
                 "--strategy" => strategy = Some(value("--strategy")?),
+                "--listen" => listen = Some(value("--listen")?),
+                "--unix" => unix = Some(PathBuf::from(value("--unix")?)),
+                "--plan-cache" => {
+                    plan_cache = Some(value("--plan-cache")?.parse().map_err(|_| {
+                        CliError::Usage("--plan-cache needs a non-negative integer".into())
+                    })?)
+                }
+                "--pool" => {
+                    pool =
+                        Some(value("--pool")?.parse::<usize>().map_err(|_| {
+                            CliError::Usage("--pool needs a positive integer".into())
+                        })?)
+                }
                 "--verbose" | "-v" => verbose = true,
                 "--help" | "-h" => return Err(usage("".into())),
                 flag if flag.starts_with('-') => {
@@ -300,22 +357,23 @@ impl Command {
             }
         }
 
+        let graph_source = |need: &str| -> Result<GraphSource, CliError> {
+            match (&input, &generate) {
+                (Some(path), None) => Ok(GraphSource::file(path)),
+                (None, Some(spec)) => {
+                    GraphSource::parse_generator(spec).map_err(|e| CliError::Usage(e.to_string()))
+                }
+                (Some(_), Some(_)) => Err(CliError::Usage(
+                    "--input and --generate are mutually exclusive".into(),
+                )),
+                (None, None) => Err(CliError::Usage(format!(
+                    "{need} needs a graph: --input <file> or --generate <spec>"
+                ))),
+            }
+        };
+
         let request_opts = |need: &str| -> Result<RequestOpts, CliError> {
-            let source = match (&input, &generate) {
-                (Some(path), None) => GraphSource::file(path),
-                (None, Some(spec)) => GraphSource::parse_generator(spec)
-                    .map_err(|e| CliError::Usage(e.to_string()))?,
-                (Some(_), Some(_)) => {
-                    return Err(CliError::Usage(
-                        "--input and --generate are mutually exclusive".into(),
-                    ))
-                }
-                (None, None) => {
-                    return Err(CliError::Usage(format!(
-                        "{need} needs a graph: --input <file> or --generate <spec>"
-                    )))
-                }
-            };
+            let source = graph_source(need)?;
             let pattern = pattern
                 .clone()
                 .ok_or_else(|| CliError::Usage(format!("{need} needs --pattern <name>")))?;
@@ -355,10 +413,22 @@ impl Command {
                 Ok(())
             }
         };
+        let no_serve_flags = |sub: &str| -> Result<(), CliError> {
+            for (flag, given) in [
+                ("--listen", listen.is_some()),
+                ("--unix", unix.is_some()),
+                ("--plan-cache", plan_cache.is_some()),
+                ("--pool", pool.is_some()),
+            ] {
+                reject(sub, flag, given)?;
+            }
+            Ok(())
+        };
 
         match *sub {
             "enumerate" => {
                 no_positionals("enumerate")?;
+                no_serve_flags("enumerate")?;
                 let format = match &format {
                     None => Format::Ndjson,
                     Some(name) => Format::parse(name).ok_or_else(|| {
@@ -376,6 +446,7 @@ impl Command {
             }
             "count" => {
                 no_positionals("count")?;
+                no_serve_flags("count")?;
                 reject("count", "--format", format.is_some())?;
                 reject("count", "--output", output.is_some())?;
                 Ok(Command::Count {
@@ -385,6 +456,7 @@ impl Command {
             }
             "explain" => {
                 no_positionals("explain")?;
+                no_serve_flags("explain")?;
                 reject("explain", "--format", format.is_some())?;
                 reject("explain", "--output", output.is_some())?;
                 reject("explain", "--verbose", verbose)?;
@@ -394,6 +466,7 @@ impl Command {
             }
             "catalog" => {
                 no_positionals("catalog")?;
+                no_serve_flags("catalog")?;
                 for (flag, given) in [
                     ("--input", input.is_some()),
                     ("--generate", generate.is_some()),
@@ -409,7 +482,32 @@ impl Command {
                 }
                 Ok(Command::Catalog)
             }
+            "serve" => {
+                no_positionals("serve")?;
+                reject("serve", "--pattern", pattern.is_some())?;
+                reject("serve", "--format", format.is_some())?;
+                reject("serve", "--output", output.is_some())?;
+                reject("serve", "--reducers", reducers.is_some())?;
+                reject("serve", "--strategy", strategy.is_some())?;
+                if matches!(threads, Some(0)) {
+                    return Err(usage("--threads needs a positive integer".into()));
+                }
+                #[cfg(not(unix))]
+                if unix.is_some() {
+                    return Err(usage("--unix is only available on unix platforms".into()));
+                }
+                Ok(Command::Serve {
+                    source: graph_source("serve")?,
+                    listen,
+                    unix,
+                    plan_cache: plan_cache.unwrap_or(64),
+                    pool: pool.unwrap_or(4).max(1),
+                    threads: threads.unwrap_or(1),
+                    verbose,
+                })
+            }
             "generate" => {
+                no_serve_flags("generate")?;
                 for (flag, given) in [
                     ("--pattern", pattern.is_some()),
                     ("--format", format.is_some()),
@@ -462,6 +560,8 @@ pub struct StreamSummary {
     /// The engine's run report (streamed mode: count + metrics, no
     /// instances).
     pub report: RunReport,
+    /// Input hygiene counters, when the graph came from an edge-list file.
+    pub read_stats: Option<ReadStats>,
 }
 
 /// Runs `enumerate` against an arbitrary writer: plans the request, streams
@@ -473,9 +573,11 @@ pub fn enumerate_to_writer<W: Write + Send>(
     format: Format,
     writer: W,
 ) -> Result<StreamSummary, CliError> {
-    let graph = opts.load_graph()?;
+    let (graph, read_stats) = opts.load_graph()?;
     let plan = opts.request(&graph)?.plan()?;
-    stream_plan(&plan, format, writer)
+    let mut summary = stream_plan(&plan, format, writer)?;
+    summary.read_stats = read_stats;
+    Ok(summary)
 }
 
 /// Runs `enumerate` into a file. The input graph is loaded and the request
@@ -487,11 +589,14 @@ pub fn enumerate_to_file(
     format: Format,
     path: &std::path::Path,
 ) -> Result<StreamSummary, CliError> {
-    let graph = opts.load_graph()?;
+    let (graph, read_stats) = opts.load_graph()?;
     let plan = opts.request(&graph)?.plan()?;
     let file = std::fs::File::create(path)
         .map_err(|e| CliError::Run(format!("cannot create {}: {e}", path.display())))?;
-    stream_plan(&plan, format, io::BufWriter::new(file)).map_err(|e| name_output_path(e, path))
+    let mut summary = stream_plan(&plan, format, io::BufWriter::new(file))
+        .map_err(|e| name_output_path(e, path))?;
+    summary.read_stats = read_stats;
+    Ok(summary)
 }
 
 /// Streams a planned enumeration through the serializing sink for `format`.
@@ -518,19 +623,24 @@ fn stream_plan<W: Write + Send>(
         }
     };
     debug_assert_eq!(written, report.count());
-    Ok(StreamSummary { written, report })
+    Ok(StreamSummary {
+        written,
+        report,
+        read_stats: None,
+    })
 }
 
 /// Runs `count`: the zero-allocation [`subgraph_core::CountSink`] path.
-pub fn count_instances(opts: &RequestOpts) -> Result<RunReport, CliError> {
-    let graph = opts.load_graph()?;
+/// Returns the run report plus input hygiene counters for file sources.
+pub fn count_instances(opts: &RequestOpts) -> Result<(RunReport, Option<ReadStats>), CliError> {
+    let (graph, read_stats) = opts.load_graph()?;
     let request = opts.request(&graph)?;
-    Ok(request.plan()?.count())
+    Ok((request.plan()?.count(), read_stats))
 }
 
 /// Runs `explain`: plans without executing and returns the cost table.
 pub fn explain_request(opts: &RequestOpts) -> Result<String, CliError> {
-    let graph = opts.load_graph()?;
+    let (graph, _) = opts.load_graph()?;
     let request = opts.request(&graph)?;
     Ok(request.plan()?.explain())
 }
@@ -557,6 +667,15 @@ pub fn catalog_table() -> String {
         "\nfamilies: cN/cycleN, kN/cliqueN, starN, pathN, hypercubeD (any size up to 16 nodes)\n",
     );
     out
+}
+
+/// Renders the input-hygiene line for `--verbose` feedback (empty for
+/// generator sources, which have no file to clean).
+fn render_hygiene(read_stats: &Option<ReadStats>) -> String {
+    match read_stats {
+        Some(rs) => format!("input hygiene: {rs}\n"),
+        None => String::new(),
+    }
 }
 
 /// Attaches `path` to a runtime error so write failures name the file being
@@ -586,9 +705,9 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
             Ok(None)
         }
         Command::Count { opts, verbose } => {
-            let report = count_instances(opts)?;
+            let (report, read_stats) = count_instances(opts)?;
             writeln!(stdout, "{}", report.count())?;
-            Ok(verbose.then(|| report.render()))
+            Ok(verbose.then(|| format!("{}{}", render_hygiene(&read_stats), report.render())))
         }
         Command::Enumerate {
             opts,
@@ -602,11 +721,57 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
             };
             Ok(verbose.then(|| {
                 format!(
-                    "{} instances written\n{}",
+                    "{}{} instances written\n{}",
+                    render_hygiene(&summary.read_stats),
                     summary.written,
                     summary.report.render()
                 )
             }))
+        }
+        Command::Serve {
+            source,
+            listen,
+            unix,
+            plan_cache,
+            pool,
+            threads,
+            verbose,
+        } => {
+            let store = GraphStore::open(source)?;
+            let engine = QueryEngine::new(store, *plan_cache, *threads);
+            let config = ServerConfig {
+                listen: Some(
+                    listen
+                        .clone()
+                        .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+                ),
+                #[cfg(unix)]
+                unix_path: unix.clone(),
+                pool: *pool,
+                cache_capacity: *plan_cache,
+                threads_per_query: *threads,
+            };
+            #[cfg(not(unix))]
+            let _ = unix;
+            let handle = subgraph_serve::spawn(engine, &config)
+                .map_err(|e| CliError::Run(format!("cannot start server: {e}")))?;
+            writeln!(
+                stdout,
+                "{}",
+                subgraph_serve::server::startup_banner(handle.engine(), &config, handle.tcp_addr())
+            )?;
+            if *verbose {
+                writeln!(
+                    stdout,
+                    "stats fingerprint {:016x}; warm queries resume cached plans with zero re-planning",
+                    handle.engine().store().fingerprint()
+                )?;
+            }
+            stdout.flush()?;
+            // Blocks until SIGINT/SIGTERM, then drains in-flight queries.
+            let stop = subgraph_serve::install_signal_handlers();
+            handle.run_until(stop);
+            Ok(None)
         }
         Command::Generate { source, output } => {
             let (graph, stats) = source.load_with_stats()?;
@@ -777,7 +942,7 @@ mod tests {
             threads: Some(2),
             strategy: None,
         };
-        let report = count_instances(&opts).unwrap();
+        let (report, _) = count_instances(&opts).unwrap();
         let mut buf = Vec::new();
         let summary = enumerate_to_writer(&opts, Format::Ndjson, &mut buf).unwrap();
         assert_eq!(summary.written, report.count());
@@ -917,6 +1082,152 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_with_every_flag() {
+        let cmd = parse(&[
+            "serve",
+            "--generate",
+            "gnm:50,120,9",
+            "--listen",
+            "127.0.0.1:0",
+            "--unix",
+            "/tmp/subgraph.sock",
+            "--plan-cache",
+            "128",
+            "--pool",
+            "8",
+            "--threads",
+            "2",
+            "--verbose",
+        ]);
+        match cmd {
+            Command::Serve {
+                listen,
+                unix,
+                plan_cache,
+                pool,
+                threads,
+                verbose,
+                ..
+            } => {
+                assert_eq!(listen.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(unix, Some(PathBuf::from("/tmp/subgraph.sock")));
+                assert_eq!(plan_cache, 128);
+                assert_eq!(pool, 8);
+                assert_eq!(threads, 2);
+                assert!(verbose);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Defaults.
+        match parse(&["serve", "--generate", "gnm:50,120,9"]) {
+            Command::Serve {
+                listen,
+                plan_cache,
+                pool,
+                threads,
+                ..
+            } => {
+                assert!(listen.is_none());
+                assert_eq!(plan_cache, 64);
+                assert_eq!(pool, 4);
+                assert_eq!(threads, 1);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_and_one_shot_flags_stay_separated() {
+        let err = |args: &[&str]| match Command::parse(args) {
+            Err(CliError::Usage(msg)) => msg,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        assert!(
+            err(&["serve", "--generate", "gnm:9,20,1", "--pattern", "triangle"])
+                .contains("does not take --pattern")
+        );
+        assert!(err(&[
+            "serve",
+            "--generate",
+            "gnm:9,20,1",
+            "--strategy",
+            "cq-oriented"
+        ])
+        .contains("does not take --strategy"));
+        assert!(err(&["serve"]).contains("needs a graph"));
+        assert!(err(&[
+            "count",
+            "--generate",
+            "gnm:9,20,1",
+            "--pattern",
+            "triangle",
+            "--listen",
+            "127.0.0.1:0"
+        ])
+        .contains("does not take --listen"));
+        assert!(err(&[
+            "enumerate",
+            "--generate",
+            "gnm:9,20,1",
+            "--pattern",
+            "t",
+            "--pool",
+            "2"
+        ])
+        .contains("does not take --pool"));
+    }
+
+    #[test]
+    fn inline_pattern_specs_count_like_catalog_names() {
+        let by_name = RequestOpts {
+            source: "gnp:60,0.1,7".parse().unwrap(),
+            pattern: "triangle".to_string(),
+            reducers: Some(16),
+            threads: Some(1),
+            strategy: None,
+        };
+        let by_spec = RequestOpts {
+            pattern: "a-b,b-c,c-a".to_string(),
+            ..by_name.clone()
+        };
+        assert_eq!(
+            count_instances(&by_name).unwrap().0.count(),
+            count_instances(&by_spec).unwrap().0.count(),
+        );
+        // Bad specs carry the spec-level reason.
+        let bad = RequestOpts {
+            pattern: "a-a".to_string(),
+            ..by_name
+        };
+        let err = count_instances(&bad).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn verbose_count_reports_input_hygiene() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty-hygiene.txt");
+        std::fs::write(&path, "0 1\r\n1 0\n\n1 2\n0 2\n").unwrap();
+        let cmd = parse(&[
+            "count",
+            "--input",
+            path.to_str().unwrap(),
+            "--pattern",
+            "triangle",
+            "--verbose",
+        ]);
+        let mut out = Vec::new();
+        let feedback = run(&cmd, &mut out).unwrap().expect("verbose feedback");
+        assert!(feedback.contains("input hygiene:"), "{feedback}");
+        assert!(feedback.contains("duplicates 1 collapsed"), "{feedback}");
+        assert!(feedback.contains("blank lines 1"), "{feedback}");
+        assert!(feedback.contains("crlf lines 1"), "{feedback}");
+        assert_eq!(String::from_utf8(out).unwrap().trim(), "1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn generate_then_count_round_trips_through_a_file() {
         let dir = std::env::temp_dir().join("subgraph-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -942,8 +1253,8 @@ mod tests {
             ..from_file.clone()
         };
         assert_eq!(
-            count_instances(&from_file).unwrap().count(),
-            count_instances(&from_generator).unwrap().count(),
+            count_instances(&from_file).unwrap().0.count(),
+            count_instances(&from_generator).unwrap().0.count(),
         );
         std::fs::remove_file(&path).ok();
     }

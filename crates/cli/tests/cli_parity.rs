@@ -42,6 +42,7 @@ fn ndjson_line_count_matches_count_for_every_pattern_and_thread_count() {
         // and each CLI invocation re-plans.
         let expected = count_instances(&opts(GraphSource::file(&path), entry.name, 2))
             .unwrap_or_else(|e| panic!("count {}: {e}", entry.name))
+            .0
             .count();
         for threads in [1usize, 2, 8] {
             let o = opts(GraphSource::file(&path), entry.name, threads);
@@ -69,7 +70,7 @@ fn ndjson_line_count_matches_count_for_every_pattern_and_thread_count() {
 fn every_format_serializes_the_same_number_of_instances() {
     let path = edge_list_fixture("formats.txt");
     let o = opts(GraphSource::file(&path), "triangle", 2);
-    let expected = count_instances(&o).unwrap().count();
+    let expected = count_instances(&o).unwrap().0.count();
     assert!(expected > 0, "fixture graph must contain triangles");
 
     let mut ndjson = Vec::new();
@@ -130,6 +131,7 @@ fn forced_strategies_stream_the_same_count() {
     let path = edge_list_fixture("strategies.txt");
     let baseline = count_instances(&opts(GraphSource::file(&path), "triangle", 2))
         .unwrap()
+        .0
         .count();
     for strategy in ["bucket-oriented", "multiway-triangles", "cascade-triangles"] {
         let mut o = opts(GraphSource::file(&path), "triangle", 2);
@@ -139,4 +141,39 @@ fn forced_strategies_stream_the_same_count() {
         let summary = enumerate_to_writer(&o, Format::Ndjson, &mut buf).unwrap();
         assert_eq!(summary.written, baseline, "strategy {strategy}");
     }
+}
+
+#[test]
+fn served_streams_match_the_one_shot_cli_byte_for_byte() {
+    use subgraph_serve::{client, spawn, GraphStore, QueryEngine, ServerConfig};
+
+    let path = edge_list_fixture("served.txt");
+    let o = opts(GraphSource::file(&path), "triangle", 2);
+    let mut expected = Vec::new();
+    enumerate_to_writer(&o, Format::Ndjson, &mut expected).unwrap();
+    assert!(!expected.is_empty());
+
+    // The server loads the same file once and answers at the same per-query
+    // thread count and reducer budget; deterministic mode makes the bytes a
+    // pure function of graph + plan + thread count, so the streams match.
+    let store = GraphStore::open(&GraphSource::file(&path)).unwrap();
+    let engine = QueryEngine::new(store, 8, 2);
+    let config = ServerConfig {
+        listen: Some("127.0.0.1:0".to_string()),
+        pool: 2,
+        ..ServerConfig::default()
+    };
+    let server = spawn(engine, &config).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let resp = client::get(
+        &addr,
+        "/query?pattern=triangle&mode=enumerate&threads=2&reducers=16",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body, expected,
+        "served ndjson differs from one-shot CLI"
+    );
+    server.shutdown();
 }

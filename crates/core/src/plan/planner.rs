@@ -94,6 +94,42 @@ impl Planner {
             request,
         })
     }
+
+    /// Rebuilds an [`ExecutionPlan`] from a previously computed decision
+    /// without re-estimating anything: `chosen` (and the optional ranked
+    /// `candidates` list for `explain()`) come from an earlier
+    /// [`Planner::plan`] whose estimates the caller kept — a plan cache does
+    /// exactly this. The strategy implementation is looked up by kind; every
+    /// derived parameter (shares, bucket counts) is reused from `chosen`, so
+    /// resuming performs zero planning work.
+    ///
+    /// The caller is responsible for keying cached estimates so `chosen` is
+    /// valid for `request` — same pattern, same reducer budget, and a data
+    /// graph the cost model cannot distinguish from the one the estimate was
+    /// computed for (e.g. equal [`subgraph_graph::GraphStats::fingerprint`]).
+    pub fn resume<'g>(
+        &self,
+        request: EnumerationRequest<'g>,
+        chosen: CostEstimate,
+        candidates: Vec<CostEstimate>,
+    ) -> Result<ExecutionPlan<'g>, PlanError> {
+        let strategy = self
+            .strategies
+            .iter()
+            .find(|s| s.kind() == chosen.strategy)
+            .ok_or(PlanError::NoApplicableStrategy)?;
+        let candidates = if candidates.is_empty() {
+            vec![chosen.clone()]
+        } else {
+            candidates
+        };
+        Ok(ExecutionPlan {
+            chosen,
+            chosen_impl: Arc::clone(strategy),
+            candidates,
+            request,
+        })
+    }
 }
 
 impl Default for Planner {
@@ -425,6 +461,63 @@ mod tests {
         assert!((plan.predicted_replication() - 10.0).abs() < 1e-9);
         let report = plan.execute();
         assert_eq!(report.duplicates(), 0);
+    }
+
+    #[test]
+    fn resumed_plans_execute_without_replanning() {
+        let g = generators::gnm(50, 250, 4);
+        let planner = Planner::new();
+        let first = planner
+            .plan(
+                EnumerationRequest::named("triangle", &g)
+                    .unwrap()
+                    .reducers(220)
+                    .engine(serial()),
+            )
+            .unwrap();
+        let expected = first.count().count();
+        // Cache what a plan cache would keep: the chosen estimate and the
+        // ranked candidates (both owned, no graph borrow).
+        let chosen = first.chosen().clone();
+        let candidates = first.candidates().to_vec();
+        drop(first);
+        let resumed = planner
+            .resume(
+                EnumerationRequest::named("triangle", &g)
+                    .unwrap()
+                    .reducers(220)
+                    .engine(serial()),
+                chosen,
+                candidates,
+            )
+            .unwrap();
+        assert_eq!(resumed.strategy(), resumed.chosen().strategy);
+        assert_eq!(resumed.count().count(), expected);
+        assert!(resumed.explain().contains("chosen strategy:"));
+    }
+
+    #[test]
+    fn resume_with_empty_candidates_still_explains() {
+        let g = generators::gnm(30, 120, 3);
+        let planner = Planner::new();
+        let plan = planner
+            .plan(
+                EnumerationRequest::named("triangle", &g)
+                    .unwrap()
+                    .reducers(64),
+            )
+            .unwrap();
+        let chosen = plan.chosen().clone();
+        let resumed = planner
+            .resume(
+                EnumerationRequest::named("triangle", &g)
+                    .unwrap()
+                    .reducers(64),
+                chosen,
+                Vec::new(),
+            )
+            .unwrap();
+        assert_eq!(resumed.candidates().len(), 1);
     }
 
     #[test]

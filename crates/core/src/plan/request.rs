@@ -55,6 +55,34 @@ impl<'g> EnumerationRequest<'g> {
         Ok(request)
     }
 
+    /// A request for a pattern given as either a catalog name or an inline
+    /// edge-list spec such as `a-b,b-c,c-a` ([`subgraph_pattern::parse_spec`]).
+    ///
+    /// Catalog names win: `pentagon-with-chord` is a catalog entry even
+    /// though it would also parse as a (single-edge) spec. A string that is
+    /// neither a known name nor spec-shaped reports [`PlanError::UnknownPattern`];
+    /// a spec-shaped string that fails to parse reports the spec error.
+    pub fn resolve(pattern: &str, graph: &'g DataGraph) -> Result<Self, PlanError> {
+        if let Some(sample) = catalog::by_name(pattern) {
+            let mut request = EnumerationRequest::new(sample, graph);
+            request.pattern_name = Some(pattern.to_string());
+            return Ok(request);
+        }
+        if !subgraph_pattern::spec::looks_like_spec(pattern) {
+            return Err(PlanError::UnknownPattern(pattern.to_string()));
+        }
+        let sample =
+            subgraph_pattern::parse_spec(pattern).map_err(|source| PlanError::InvalidSpec {
+                spec: pattern.to_string(),
+                reason: source.to_string(),
+            })?;
+        let mut request = EnumerationRequest::new(sample, graph);
+        // Keep the spec as the display name so explain() and cache keys show
+        // what the caller typed instead of "<custom>".
+        request.pattern_name = Some(pattern.to_string());
+        Ok(request)
+    }
+
     /// Sets the reducer budget `k` (the paper's fixed number of reducers the
     /// communication cost is optimized against). One exception inherits the
     /// paper's own framing: CQ-oriented processing provisions `k` reducers
@@ -137,6 +165,14 @@ pub enum PlanError {
     /// [`EnumerationRequest::named`] got a name [`catalog::by_name`] does not
     /// know.
     UnknownPattern(String),
+    /// [`EnumerationRequest::resolve`] got a spec-shaped pattern that does
+    /// not parse as an inline edge list.
+    InvalidSpec {
+        /// The spec as given.
+        spec: String,
+        /// The parse failure, rendered.
+        reason: String,
+    },
     /// The sample graph has no edges, so no edge-relation CQ can produce it.
     EmptyPattern,
     /// A strategy override cannot run this request (wrong pattern shape,
@@ -157,6 +193,9 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::UnknownPattern(name) => {
                 write!(f, "unknown catalog pattern {name:?}; see catalog::by_name")
+            }
+            PlanError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid pattern spec {spec:?}: {reason}")
             }
             PlanError::EmptyPattern => write!(f, "the sample graph has no edges"),
             PlanError::NotApplicable { strategy, reason } => {
@@ -202,5 +241,62 @@ mod tests {
             Err(PlanError::UnknownPattern(name)) => assert_eq!(name, "dodecahedron"),
             other => panic!("expected UnknownPattern, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn resolve_accepts_catalog_names_and_inline_specs() {
+        let g = generators::complete(4);
+        let named = EnumerationRequest::resolve("triangle", &g).unwrap();
+        assert_eq!(named.pattern_name(), Some("triangle"));
+        let spec = EnumerationRequest::resolve("a-b,b-c,c-a", &g).unwrap();
+        assert_eq!(spec.pattern_name(), Some("a-b,b-c,c-a"));
+        assert_eq!(spec.sample(), named.sample());
+    }
+
+    #[test]
+    fn resolve_prefers_the_catalog_over_spec_parsing() {
+        // "pentagon-with-chord" would parse as a one-edge spec between labels
+        // "pentagon" / "with" / ... if the catalog did not win.
+        let g = generators::complete(6);
+        let request = EnumerationRequest::resolve("pentagon-with-chord", &g).unwrap();
+        assert_eq!(request.sample().num_nodes(), 5);
+        assert_eq!(request.sample().num_edges(), 6);
+    }
+
+    #[test]
+    fn resolve_reports_spec_errors_and_unknown_patterns_distinctly() {
+        let g = generators::complete(4);
+        match EnumerationRequest::resolve("a-a", &g) {
+            Err(PlanError::InvalidSpec { spec, reason }) => {
+                assert_eq!(spec, "a-a");
+                assert!(reason.contains("self-loop"), "{reason}");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        assert!(matches!(
+            EnumerationRequest::resolve("dodecahedron", &g),
+            Err(PlanError::UnknownPattern(_))
+        ));
+    }
+
+    #[test]
+    fn resolved_specs_plan_and_count() {
+        let g = generators::complete(5);
+        // The triangle as a spec: C(5, 3) = 10 instances in K5.
+        let count = EnumerationRequest::resolve("x-y,y-z,z-x", &g)
+            .unwrap()
+            .engine(EngineConfig::serial())
+            .count()
+            .unwrap();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn requests_and_plans_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnumerationRequest<'static>>();
+        assert_send_sync::<crate::plan::ExecutionPlan<'static>>();
+        assert_send_sync::<crate::plan::Planner>();
+        assert_send_sync::<crate::plan::CostEstimate>();
     }
 }

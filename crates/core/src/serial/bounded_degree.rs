@@ -29,8 +29,9 @@ pub fn enumerate_bounded_degree(sample: &SampleGraph, graph: &DataGraph) -> Seri
 }
 
 /// Streaming variant of [`enumerate_bounded_degree`]: instances go to `sink`
-/// after canonicalization. (The induction's layered partial-assignment lists
-/// and the automorphism de-duplicator remain internal working state.)
+/// after canonicalization. (The induction is explored depth-first over a
+/// single reusable assignment — one partial assignment exists at any time —
+/// and the automorphism de-duplicator remains internal working state.)
 ///
 /// # Panics
 /// Panics under the same conditions as [`enumerate_bounded_degree`].
@@ -67,71 +68,106 @@ pub fn enumerate_bounded_degree_into(
         remaining.retain(|&v| v != candidate);
     }
 
-    let mut work = 0u64;
-
-    // Base case: the two remaining nodes are joined by an edge (connectivity);
-    // enumerate every data edge in both roles.
+    // Base case: the two remaining nodes are joined by an edge (connectivity).
     let (base_a, base_b) = (remaining[0], remaining[1]);
     debug_assert!(sample.has_edge(base_a, base_b));
-    let p = sample.num_nodes();
-    let mut partial_assignments: Vec<Vec<Option<NodeId>>> = Vec::new();
-    for e in graph.edges() {
-        for (x, y) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
-            let mut assignment = vec![None; p];
-            assignment[base_a as usize] = Some(x);
-            assignment[base_b as usize] = Some(y);
-            partial_assignments.push(assignment);
-            work += 1;
-        }
-    }
 
-    // Add the removed nodes back in reverse order, extending every partial
-    // assignment through a neighbour of an already-placed pattern neighbour.
+    // Plan the reinsertion once: the removed nodes come back in reverse order;
+    // each is bound through the neighbours of an already-placed pattern
+    // neighbour (the anchor), and its remaining pattern edges into the placed
+    // prefix are checked against the data graph. The anchor's own edge needs
+    // no check — every candidate is one of its image's neighbours.
+    let add_order: Vec<PatternNode> = removal_order.iter().rev().copied().collect();
     let mut placed: Vec<PatternNode> = vec![base_a, base_b];
-    for &u in removal_order.iter().rev() {
+    let mut anchors: Vec<PatternNode> = Vec::with_capacity(add_order.len());
+    let mut edge_checks: Vec<Vec<PatternNode>> = Vec::with_capacity(add_order.len());
+    for &u in &add_order {
         let anchor = placed
             .iter()
             .copied()
             .find(|&v| sample.has_edge(u, v))
             .expect("the pattern is connected");
-        let mut extended = Vec::new();
-        for assignment in &partial_assignments {
-            let anchor_image = assignment[anchor as usize].expect("anchor already placed");
-            for &candidate in graph.neighbors(anchor_image) {
-                work += 1;
-                // Injectivity.
-                if assignment.contains(&Some(candidate)) {
-                    continue;
-                }
-                // Every pattern edge from u to an already-placed node must exist.
-                let ok = placed.iter().all(|&v| {
-                    !sample.has_edge(u, v)
-                        || graph.has_edge(assignment[v as usize].unwrap(), candidate)
-                });
-                if ok {
-                    let mut next = assignment.clone();
-                    next[u as usize] = Some(candidate);
-                    extended.push(next);
-                }
-            }
-        }
-        partial_assignments = extended;
+        anchors.push(anchor);
+        edge_checks.push(
+            placed
+                .iter()
+                .copied()
+                .filter(|&v| v != anchor && sample.has_edge(u, v))
+                .collect(),
+        );
         placed.push(u);
     }
 
-    // Canonicalize and de-duplicate (several assignments related by pattern
-    // automorphisms map to the same instance).
-    let mut seen: HashSet<Instance> = HashSet::new();
-    let mut outputs = 0usize;
-    for assignment in partial_assignments {
-        let bound: Vec<NodeId> = assignment.into_iter().map(|a| a.unwrap()).collect();
-        let instance = Instance::from_assignment(sample, &bound);
-        if seen.insert(instance.clone()) {
-            outputs += 1;
-            sink.accept(instance);
+    let mut search = Search {
+        sample,
+        graph,
+        add_order: &add_order,
+        anchors: &anchors,
+        edge_checks: &edge_checks,
+        assignment: vec![None; sample.num_nodes()],
+        seen: HashSet::new(),
+        sink,
+        stats: SerialStats::default(),
+    };
+    // Every data edge plays the base edge in both roles.
+    for e in graph.edges() {
+        for (x, y) in [(e.lo(), e.hi()), (e.hi(), e.lo())] {
+            search.stats.work += 1;
+            search.assignment[base_a as usize] = Some(x);
+            search.assignment[base_b as usize] = Some(y);
+            search.extend(0);
         }
     }
-    SerialStats { outputs, work }
+    search.stats
+}
+
+/// The depth-first extension state: one partial assignment, reused in place.
+struct Search<'a> {
+    sample: &'a SampleGraph,
+    graph: &'a DataGraph,
+    add_order: &'a [PatternNode],
+    anchors: &'a [PatternNode],
+    edge_checks: &'a [Vec<PatternNode>],
+    assignment: Vec<Option<NodeId>>,
+    seen: HashSet<Instance>,
+    sink: &'a mut dyn InstanceSink,
+    stats: SerialStats,
+}
+
+impl Search<'_> {
+    fn extend(&mut self, depth: usize) {
+        if depth == self.add_order.len() {
+            // Canonicalize and de-duplicate (several assignments related by
+            // pattern automorphisms map to the same instance).
+            let bound: Vec<NodeId> = self.assignment.iter().map(|a| a.unwrap()).collect();
+            let instance = Instance::from_assignment(self.sample, &bound);
+            if self.seen.insert(instance.clone()) {
+                self.stats.outputs += 1;
+                self.sink.accept(instance);
+            }
+            return;
+        }
+        let graph = self.graph;
+        let u = self.add_order[depth];
+        let anchor_image =
+            self.assignment[self.anchors[depth] as usize].expect("anchor already placed");
+        for &candidate in graph.neighbors(anchor_image) {
+            self.stats.work += 1;
+            // Injectivity.
+            if self.assignment.contains(&Some(candidate)) {
+                continue;
+            }
+            // Every pattern edge from u into the placed prefix must exist.
+            let ok = self.edge_checks[depth]
+                .iter()
+                .all(|&v| graph.has_edge(self.assignment[v as usize].unwrap(), candidate));
+            if ok {
+                self.assignment[u as usize] = Some(candidate);
+                self.extend(depth + 1);
+                self.assignment[u as usize] = None;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use crate::result::{SerialRun, SerialStats};
 use crate::sink::{CollectSink, InstanceSink};
-use subgraph_graph::{ordering::later_neighbors, DataGraph, DegreeOrder, NodeOrder};
+use subgraph_graph::{ordering::later_neighbors_into, DataGraph, DegreeOrder, NodeOrder};
 use subgraph_pattern::Instance;
 
 /// Enumerates every triangle of `graph` exactly once in `O(m^{3/2})` time,
@@ -32,9 +32,39 @@ pub fn enumerate_triangles_with_order<O: NodeOrder>(graph: &DataGraph, order: &O
 /// Streaming variant with the degree order: each triangle goes to `sink` the
 /// moment it is found — the algorithm is exactly-once by construction, so no
 /// instance is ever stored anywhere.
+///
+/// This path runs over the graph's cached [`subgraph_graph::ForwardIndex`]
+/// (see [`DataGraph::forward`]): the properly ordered 2-paths are read
+/// straight out of the orientation's CSR runs, and the closing `u–w` edge
+/// test is a membership scan of the short run of `u` — falling back to the
+/// `O(log Δ)` adjacency search on runs long enough that a scan would
+/// endanger the `O(m^{3/2})` bound.
 pub fn enumerate_triangles_into(graph: &DataGraph, sink: &mut dyn InstanceSink) -> SerialStats {
-    let order = DegreeOrder::new(graph);
-    enumerate_triangles_with_order_into(graph, &order, sink)
+    // Above this run length a linear membership scan costs more than the
+    // binary search over the full adjacency; keeping the scan bounded also
+    // keeps the per-2-path cost O(log Δ) in the worst case.
+    const SCAN_LIMIT: usize = 32;
+    let forward = graph.forward();
+    let mut stats = SerialStats::default();
+    for v in graph.nodes() {
+        let later = forward.later(v);
+        for (i, &u) in later.iter().enumerate() {
+            let run = forward.later(u);
+            for &w in &later[i + 1..] {
+                stats.work += 1;
+                let closed = if run.len() <= SCAN_LIMIT {
+                    run.contains(&w)
+                } else {
+                    graph.has_edge(u, w)
+                };
+                if closed {
+                    stats.outputs += 1;
+                    sink.accept(Instance::from_edge_set([(v, u), (v, w), (u, w)]));
+                }
+            }
+        }
+    }
+    stats
 }
 
 /// Streaming variant with an explicit node order.
@@ -44,8 +74,9 @@ pub fn enumerate_triangles_with_order_into<O: NodeOrder>(
     sink: &mut dyn InstanceSink,
 ) -> SerialStats {
     let mut stats = SerialStats::default();
+    let mut later = Vec::new();
     for v in graph.nodes() {
-        let later = later_neighbors(graph, order, v);
+        later_neighbors_into(graph, order, v, &mut later);
         for (i, &u) in later.iter().enumerate() {
             for &w in &later[i + 1..] {
                 stats.work += 1;

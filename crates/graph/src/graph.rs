@@ -1,7 +1,8 @@
-//! The immutable data graph: edge list + CSR adjacency + O(1) edge index.
+//! The immutable data graph: edge list + sorted CSR adjacency.
 
-use std::collections::HashSet;
+use crate::ordering::ForwardIndex;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a node in the data graph. Nodes are dense integers `0..n`.
 pub type NodeId = u32;
@@ -70,11 +71,12 @@ impl fmt::Debug for Edge {
 
 /// An immutable simple undirected graph.
 ///
-/// The structure keeps three synchronized views of the same edge set:
-/// a flat edge list (what the mappers stream over), a CSR adjacency array
-/// (for degree-proportional neighbourhood scans), and a hash-set edge index
-/// (for O(1) `has_edge` checks, as assumed throughout Sections 6–7 of the
-/// paper).
+/// The structure keeps two synchronized views of the same edge set: a flat
+/// edge list (what the mappers stream over) and a CSR adjacency array whose
+/// per-node runs are sorted, giving degree-proportional neighbourhood scans
+/// and `O(log Δ)` `has_edge` checks (the constant-time edge-index assumption
+/// of Sections 6–7 of the paper; a binary search over the smaller endpoint's
+/// run beats a hashed index in both memory and measured lookup cost).
 #[derive(Clone)]
 pub struct DataGraph {
     num_nodes: usize,
@@ -82,7 +84,8 @@ pub struct DataGraph {
     /// CSR offsets: neighbours of node `v` are `adjacency[offsets[v]..offsets[v+1]]`.
     offsets: Vec<usize>,
     adjacency: Vec<NodeId>,
-    edge_index: HashSet<(NodeId, NodeId)>,
+    /// Degree-ordered orientation, built on first use (see [`Self::forward`]).
+    forward: OnceLock<ForwardIndex>,
 }
 
 impl DataGraph {
@@ -114,13 +117,12 @@ impl DataGraph {
         for v in 0..num_nodes {
             adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        let edge_index = edges.iter().map(|e| e.endpoints()).collect();
         DataGraph {
             num_nodes,
             edges,
             offsets,
             adjacency,
-            edge_index,
+            forward: OnceLock::new(),
         }
     }
 
@@ -164,13 +166,29 @@ impl DataGraph {
         &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
     }
 
-    /// O(1) test whether the undirected edge `{u, v}` exists.
+    /// Tests whether the undirected edge `{u, v}` exists, by binary search
+    /// over the smaller endpoint's sorted adjacency run (`O(log Δ)`).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        if u == v {
+        if u == v || u as usize >= self.num_nodes || v as usize >= self.num_nodes {
             return false;
         }
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.edge_index.contains(&key)
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(probe).binary_search(&target).is_ok()
+    }
+
+    /// The degree-ordered forward orientation of the graph (Section 7),
+    /// built on first use and cached for the graph's lifetime.
+    ///
+    /// The graph is immutable, so the index never invalidates; a long-lived
+    /// query service amortizes its construction across queries exactly as it
+    /// amortizes parsing and planning, while a one-shot run pays it at most
+    /// once.
+    pub fn forward(&self) -> &ForwardIndex {
+        self.forward.get_or_init(|| ForwardIndex::new(self))
     }
 
     /// True if the graph has no edges.

@@ -107,6 +107,47 @@ pub struct ReadStats {
     /// Lines carrying tokens beyond `u v` (weights, timestamps); the extra
     /// tokens are ignored, these lines still contribute their edge.
     pub extra_token_lines: usize,
+    /// Blank (or whitespace-only) lines skipped.
+    pub blank_lines: usize,
+    /// Lines terminated by CRLF (`\r\n`) rather than bare LF; the `\r` is
+    /// stripped, but a non-zero count reveals a Windows-exported snapshot.
+    pub crlf_lines: usize,
+}
+
+impl ReadStats {
+    /// True if the reader had to clean anything up: any counter other than
+    /// the plain edge-line tally is non-zero.
+    pub fn any_cleanup(&self) -> bool {
+        self.self_loops > 0
+            || self.duplicate_edges > 0
+            || self.extra_token_lines > 0
+            || self.blank_lines > 0
+            || self.crlf_lines > 0
+    }
+}
+
+impl std::fmt::Display for ReadStats {
+    /// One-line summary used by the CLI's verbose mode and the serve startup
+    /// log, e.g. `edge lines 5, self-loops 1 dropped, duplicates 2 collapsed`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge lines {}", self.edge_lines)?;
+        if self.self_loops > 0 {
+            write!(f, ", self-loops {} dropped", self.self_loops)?;
+        }
+        if self.duplicate_edges > 0 {
+            write!(f, ", duplicates {} collapsed", self.duplicate_edges)?;
+        }
+        if self.extra_token_lines > 0 {
+            write!(f, ", extra-token lines {}", self.extra_token_lines)?;
+        }
+        if self.blank_lines > 0 {
+            write!(f, ", blank lines {}", self.blank_lines)?;
+        }
+        if self.crlf_lines > 0 {
+            write!(f, ", crlf lines {}", self.crlf_lines)?;
+        }
+        Ok(())
+    }
 }
 
 /// Parses an edge list from any buffered reader.
@@ -117,14 +158,33 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DataGraph, EdgeListError>
 /// Parses an edge list and reports the input hygiene counters alongside the
 /// graph.
 pub fn read_edge_list_with_stats<R: BufRead>(
-    reader: R,
+    mut reader: R,
 ) -> Result<(DataGraph, ReadStats), EdgeListError> {
     let mut builder = GraphBuilder::new(0);
     let mut stats = ReadStats::default();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+    // Manual read_line loop rather than `lines()`: the adaptor strips CRLF
+    // terminators before we can count them.
+    let mut line = String::new();
+    let mut idx = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        idx += 1;
+        if line.ends_with('\n') {
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+                stats.crlf_lines += 1;
+            }
+        }
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        if trimmed.is_empty() {
+            stats.blank_lines += 1;
+            continue;
+        }
+        if trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
@@ -132,7 +192,7 @@ pub fn read_edge_list_with_stats<R: BufRead>(
             (Some(a), Some(b)) => (a.parse::<NodeId>(), b.parse::<NodeId>()),
             _ => {
                 return Err(EdgeListError::Parse {
-                    line_number: idx + 1,
+                    line_number: idx,
                     content: line.clone(),
                 })
             }
@@ -147,7 +207,7 @@ pub fn read_edge_list_with_stats<R: BufRead>(
             }
             _ => {
                 return Err(EdgeListError::Parse {
-                    line_number: idx + 1,
+                    line_number: idx,
                     content: line.clone(),
                 })
             }
@@ -230,6 +290,46 @@ mod tests {
         let g = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(g.num_edges(), 3);
         assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_are_counted() {
+        let text = "# exported on windows\r\n0 1\r\n1 2\n\r\n\n2 3\r\n";
+        let (_, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        // CRLF terminators: the comment, "0 1", the blank "\r\n" and "2 3".
+        assert_eq!(stats.crlf_lines, 4);
+        // Blank lines: "\r\n" and "\n".
+        assert_eq!(stats.blank_lines, 2);
+        assert_eq!(stats.edge_lines, 3);
+        assert!(stats.any_cleanup());
+    }
+
+    #[test]
+    fn clean_input_reports_no_cleanup() {
+        let text = "0 1\n1 2\n";
+        let (_, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert!(!stats.any_cleanup());
+        assert_eq!(stats.to_string(), "edge lines 2");
+    }
+
+    #[test]
+    fn stats_summary_names_each_counter() {
+        let text = "0 0\r\n0 1\n1 0\n\n2 3 weight\n";
+        let (_, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        let summary = stats.to_string();
+        assert!(summary.contains("self-loops 1"), "{summary}");
+        assert!(summary.contains("duplicates 1"), "{summary}");
+        assert!(summary.contains("extra-token lines 1"), "{summary}");
+        assert!(summary.contains("blank lines 1"), "{summary}");
+        assert!(summary.contains("crlf lines 1"), "{summary}");
+    }
+
+    #[test]
+    fn final_line_without_newline_parses() {
+        let text = "0 1\n1 2";
+        let (g, stats) = read_edge_list_with_stats(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.crlf_lines, 0);
     }
 
     #[test]

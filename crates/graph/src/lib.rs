@@ -33,8 +33,12 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use graph::{DataGraph, Edge, NodeId};
-pub use ordering::{BucketThenIdOrder, DegreeOrder, IdOrder, NodeOrder};
+pub use io::ReadStats;
+pub use ordering::{
+    BucketThenIdOrder, DegeneracyOrder, DegreeOrder, ForwardIndex, IdOrder, NodeOrder,
+};
 pub use source::{GraphSource, SourceError};
+pub use stats::GraphStats;
 
 #[cfg(test)]
 mod proptests;

@@ -21,6 +21,30 @@ pub struct GraphStats {
     pub high_degree_nodes: usize,
 }
 
+impl GraphStats {
+    /// A deterministic 64-bit fingerprint of the statistics, suitable as a
+    /// component of a plan-cache key: two graphs with the same fingerprint
+    /// look identical to the cost model (which consumes only these summary
+    /// statistics), so a plan computed for one is valid for the other.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, x: u64) -> u64 {
+            // SplitMix64 finalizer over a running FNV-style fold.
+            let mut z = (h ^ x).wrapping_mul(0x100_0000_01b3);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = mix(h, self.num_nodes as u64);
+        h = mix(h, self.num_edges as u64);
+        h = mix(h, self.max_degree as u64);
+        h = mix(h, self.min_degree as u64);
+        h = mix(h, self.avg_degree.to_bits());
+        h = mix(h, self.high_degree_nodes as u64);
+        h
+    }
+}
+
 /// Computes [`GraphStats`] for a graph.
 pub fn stats(graph: &DataGraph) -> GraphStats {
     let n = graph.num_nodes();
@@ -99,6 +123,29 @@ mod tests {
         assert_eq!(hist.iter().sum::<usize>(), 50);
         let sum_deg: usize = hist.iter().enumerate().map(|(d, c)| d * c).sum();
         assert_eq!(sum_deg, 240);
+    }
+
+    #[test]
+    fn graph_products_are_send_and_sync() {
+        // The serve graph store shares these across query threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataGraph>();
+        assert_send_sync::<GraphStats>();
+        assert_send_sync::<crate::ReadStats>();
+        assert_send_sync::<crate::DegreeOrder>();
+        assert_send_sync::<crate::DegeneracyOrder>();
+        assert_send_sync::<crate::GraphSource>();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_is_stable() {
+        let a = stats(&generators::gnm(100, 400, 1));
+        let b = stats(&generators::gnm(100, 401, 1));
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same statistics → same fingerprint, even from a different instance.
+        let a2 = stats(&generators::gnm(100, 400, 1));
+        assert_eq!(a.fingerprint(), a2.fingerprint());
     }
 
     #[test]

@@ -689,6 +689,19 @@ where
 mod tests {
     use super::*;
 
+    #[test]
+    fn engine_products_are_send_and_sync() {
+        // A long-lived service shares the engine configuration and job
+        // reports across worker threads; keep them thread-clean.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::EngineConfig>();
+        assert_send_sync::<PipelineReport>();
+        assert_send_sync::<RoundMetrics>();
+        assert_send_sync::<crate::JobMetrics>();
+        assert_send_sync::<crate::CountSink>();
+        assert_send_sync::<crate::CollectSink<u64>>();
+    }
+
     /// Word-count style single-round pipeline with a summing combiner.
     fn counting_round<'a>(combine: bool) -> Round<'a, u64, u64, u64, (u64, u64)> {
         let round = Round::new(

@@ -17,16 +17,21 @@
 //! * [`instance`] — canonical representation of one instance of `S` inside the
 //!   data graph, used to verify the paper's central "each instance exactly
 //!   once" invariant.
+//! * [`spec`] — inline edge-list specs (`a-b,b-c,c-a`) so ad-hoc patterns can
+//!   be given on the command line or in a serve query without extending the
+//!   catalog.
 
 pub mod automorphism;
 pub mod catalog;
 pub mod decompose;
 pub mod instance;
 pub mod sample;
+pub mod spec;
 
 pub use automorphism::{automorphism_group, order_representatives, Permutation};
 pub use instance::Instance;
 pub use sample::{PatternNode, SampleGraph};
+pub use spec::{parse_spec, SpecError};
 
 #[cfg(test)]
 mod proptests;

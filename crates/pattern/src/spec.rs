@@ -1,0 +1,212 @@
+//! Inline sample-graph specifications: `a-b,b-c,c-a`.
+//!
+//! The catalog covers the patterns the paper names, but users (and the serve
+//! query API) need ad-hoc patterns without editing the catalog. A *spec* is a
+//! comma-separated list of undirected edges, each `u-v` where `u` and `v` are
+//! node labels. Labels are arbitrary identifiers (letters, digits, `_`);
+//! nodes are numbered by first appearance, so `a-b,b-c,c-a` and `x-y,y-z,z-x`
+//! both denote the triangle with nodes `0,1,2`.
+//!
+//! Rules, chosen to fail loudly rather than guess:
+//!
+//! * at least one edge (a spec cannot describe isolated nodes);
+//! * self-loops (`a-a`) are rejected — sample graphs are simple;
+//! * duplicate edges (in either orientation) are rejected, since a repeated
+//!   edge in a hand-typed spec is almost certainly a typo;
+//! * at most [`MAX_PATTERN_NODES`] distinct labels.
+
+use crate::sample::{PatternNode, SampleGraph, MAX_PATTERN_NODES};
+use std::fmt;
+
+/// Errors from parsing an inline pattern spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec is empty or contains an empty edge token (`a-b,,c-d`).
+    EmptyEdge,
+    /// An edge token is not of the form `label-label`.
+    MalformedEdge(String),
+    /// An edge joins a label to itself.
+    SelfLoop(String),
+    /// The same undirected edge appears twice.
+    DuplicateEdge(String),
+    /// More than [`MAX_PATTERN_NODES`] distinct labels.
+    TooManyNodes(usize),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyEdge => write!(f, "pattern spec has an empty edge token"),
+            SpecError::MalformedEdge(tok) => {
+                write!(f, "cannot parse edge {tok:?}: expected label-label")
+            }
+            SpecError::SelfLoop(label) => {
+                write!(f, "self-loop {label:?}-{label:?}: sample graphs are simple")
+            }
+            SpecError::DuplicateEdge(tok) => write!(f, "duplicate edge {tok:?}"),
+            SpecError::TooManyNodes(n) => write!(
+                f,
+                "spec names {n} nodes; sample graphs are limited to {MAX_PATTERN_NODES}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses an inline edge-list spec such as `a-b,b-c,c-a` into a
+/// [`SampleGraph`], numbering nodes by first appearance.
+pub fn parse_spec(spec: &str) -> Result<SampleGraph, SpecError> {
+    let mut labels: Vec<&str> = Vec::new();
+    let mut edges: Vec<(PatternNode, PatternNode)> = Vec::new();
+    let mut seen: Vec<(PatternNode, PatternNode)> = Vec::new();
+    for token in spec.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(SpecError::EmptyEdge);
+        }
+        let (a, b) = token
+            .split_once('-')
+            .ok_or_else(|| SpecError::MalformedEdge(token.to_string()))?;
+        let (a, b) = (a.trim(), b.trim());
+        if a.is_empty() || b.is_empty() {
+            return Err(SpecError::MalformedEdge(token.to_string()));
+        }
+        if !is_label(a) || !is_label(b) {
+            return Err(SpecError::MalformedEdge(token.to_string()));
+        }
+        if a == b {
+            return Err(SpecError::SelfLoop(a.to_string()));
+        }
+        let u = match labels.iter().position(|&l| l == a) {
+            Some(i) => i as PatternNode,
+            None => {
+                labels.push(a);
+                (labels.len() - 1) as PatternNode
+            }
+        };
+        let v = match labels.iter().position(|&l| l == b) {
+            Some(i) => i as PatternNode,
+            None => {
+                labels.push(b);
+                (labels.len() - 1) as PatternNode
+            }
+        };
+        if labels.len() > MAX_PATTERN_NODES {
+            return Err(SpecError::TooManyNodes(labels.len()));
+        }
+        let canon = if u < v { (u, v) } else { (v, u) };
+        if seen.contains(&canon) {
+            return Err(SpecError::DuplicateEdge(token.to_string()));
+        }
+        seen.push(canon);
+        edges.push(canon);
+    }
+    if edges.is_empty() {
+        return Err(SpecError::EmptyEdge);
+    }
+    Ok(SampleGraph::from_edges(labels.len(), &edges))
+}
+
+/// True iff `s` is a valid node label: identifiers made of ASCII
+/// alphanumerics and `_`.
+fn is_label(s: &str) -> bool {
+    s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// True if `s` merely *looks like* a spec (contains a `-` between non-empty
+/// halves). Used to decide whether a failed catalog lookup should surface a
+/// spec parse error instead of "unknown pattern".
+pub fn looks_like_spec(s: &str) -> bool {
+    s.contains('-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_spec() {
+        let s = parse_spec("a-b,b-c,c-a").unwrap();
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 3);
+        assert!(s.is_regular());
+    }
+
+    #[test]
+    fn labels_numbered_by_first_appearance() {
+        let s = parse_spec("x-y,y-z").unwrap();
+        // x=0, y=1, z=2: a path with middle node 1.
+        assert_eq!(s.degree(1), 2);
+        assert_eq!(s.degree(0), 1);
+        assert_eq!(s.degree(2), 1);
+    }
+
+    #[test]
+    fn label_names_do_not_matter() {
+        assert_eq!(parse_spec("a-b,b-c,c-a"), parse_spec("x-y,y-z,z-x"));
+    }
+
+    #[test]
+    fn numeric_and_underscore_labels() {
+        let s = parse_spec("0-1,1-2,hub_a-0,hub_a-1,hub_a-2").unwrap();
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.degree(3), 3); // hub_a
+    }
+
+    #[test]
+    fn whitespace_around_tokens_is_tolerated() {
+        let s = parse_spec(" a-b , b-c ").unwrap();
+        assert_eq!(s.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert_eq!(parse_spec(""), Err(SpecError::EmptyEdge));
+        assert_eq!(parse_spec("a-b,,c-d"), Err(SpecError::EmptyEdge));
+        assert!(matches!(parse_spec("ab"), Err(SpecError::MalformedEdge(_))));
+        assert!(matches!(parse_spec("a-"), Err(SpecError::MalformedEdge(_))));
+        assert!(matches!(
+            parse_spec("a b-c"),
+            Err(SpecError::MalformedEdge(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        assert!(matches!(parse_spec("a-a"), Err(SpecError::SelfLoop(_))));
+        assert!(matches!(
+            parse_spec("a-b,b-a"),
+            Err(SpecError::DuplicateEdge(_))
+        ));
+        assert!(matches!(
+            parse_spec("a-b,a-b"),
+            Err(SpecError::DuplicateEdge(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_too_many_nodes() {
+        // A star with 17 nodes: centre plus 16 leaves.
+        let spec: Vec<String> = (0..17).map(|i| format!("c-l{i}")).collect();
+        assert!(matches!(
+            parse_spec(&spec.join(",")),
+            Err(SpecError::TooManyNodes(_))
+        ));
+    }
+
+    #[test]
+    fn spec_detection() {
+        assert!(looks_like_spec("a-b,b-c"));
+        assert!(looks_like_spec("pentagon-with-chord"));
+        assert!(!looks_like_spec("triangle"));
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = parse_spec("a-a").unwrap_err().to_string();
+        assert!(e.contains("self-loop"), "{e}");
+        let e = parse_spec("oops").unwrap_err().to_string();
+        assert!(e.contains("oops"), "{e}");
+    }
+}

@@ -1,0 +1,284 @@
+//! The LRU plan cache: planning work paid once per distinct query shape.
+//!
+//! Planning scores all eleven strategies — including the share optimizer —
+//! which for larger patterns costs far more than executing a cheap query.
+//! The cache keys the *decision* (the chosen [`CostEstimate`] plus the
+//! ranked candidate list) by everything the decision depends on:
+//!
+//! * the **pattern**, canonicalized to its node count and edge list so
+//!   `triangle`, `c3` and the inline spec `a-b,b-c,c-a` share one entry;
+//! * the **graph statistics fingerprint** ([`subgraph_graph::GraphStats::fingerprint`]) —
+//!   the cost model consumes only those statistics, so equal fingerprints
+//!   mean equal estimates;
+//! * the **reducer budget**, which selects between the serial and
+//!   map-reduce strategy families and sizes every bucket count.
+//!
+//! A hit hands the cached estimates to [`subgraph_core::plan::Planner::resume`],
+//! which rebuilds an executable plan with zero re-estimation. Eviction is
+//! least-recently-used over a fixed capacity; hits, misses and evictions are
+//! counted with relaxed atomics so `/stats` can report them without taking
+//! the cache lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use subgraph_core::plan::CostEstimate;
+use subgraph_pattern::SampleGraph;
+
+/// What the cache stores per key: the planner's decision, free of any graph
+/// borrow so it outlives every request.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The winning estimate ([`subgraph_core::plan::ExecutionPlan::chosen`]).
+    pub chosen: CostEstimate,
+    /// The ranked candidate table, kept so a resumed plan still explains.
+    pub candidates: Vec<CostEstimate>,
+}
+
+/// A plan-cache key. Construct with [`PlanKey::new`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical pattern shape: `p` and the sorted edge list.
+    pattern: String,
+    /// Graph statistics fingerprint.
+    fingerprint: u64,
+    /// Reducer budget `k`.
+    reducers: usize,
+}
+
+impl PlanKey {
+    /// Builds the key for planning `sample` with budget `reducers` over a
+    /// graph whose statistics hash to `fingerprint`.
+    pub fn new(sample: &SampleGraph, fingerprint: u64, reducers: usize) -> Self {
+        PlanKey {
+            pattern: format!("{}|{:?}", sample.num_nodes(), sample.edges()),
+            fingerprint,
+            reducers,
+        }
+    }
+}
+
+struct Entry {
+    plan: CachedPlan,
+    last_used: u64,
+}
+
+/// A thread-safe LRU cache of planning decisions with hit/miss/eviction
+/// counters.
+pub struct PlanCache {
+    entries: Mutex<(HashMap<PlanKey, Entry>, u64)>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans. A capacity of 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: Mutex::new((HashMap::new(), 0)),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a cached decision, refreshing its recency on a hit.
+    pub fn lookup(&self, key: &PlanKey) -> Option<CachedPlan> {
+        let mut guard = self.entries.lock().expect("plan cache poisoned");
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        let stamp = *clock;
+        match map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.plan.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decision, evicting the least-recently-used entry when full.
+    /// Re-inserting an existing key refreshes both the plan and its recency.
+    pub fn insert(&self, key: PlanKey, plan: CachedPlan) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut guard = self.entries.lock().expect("plan cache poisoned");
+        let (map, clock) = &mut *guard;
+        *clock += 1;
+        let stamp = *clock;
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // O(capacity) min-scan: capacities are small (default 64) and
+            // eviction only happens on insert after a planning miss, which
+            // dwarfs the scan.
+            if let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: stamp,
+            },
+        );
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache poisoned").0.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found a plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgraph_core::plan::EnumerationRequest;
+    use subgraph_graph::generators;
+    use subgraph_pattern::{catalog, parse_spec};
+
+    fn plan_for(pattern: &str, reducers: usize) -> CachedPlan {
+        let g = generators::gnm(30, 100, 1);
+        let plan = EnumerationRequest::resolve(pattern, &g)
+            .unwrap()
+            .reducers(reducers)
+            .plan()
+            .unwrap();
+        CachedPlan {
+            chosen: plan.chosen().clone(),
+            candidates: plan.candidates().to_vec(),
+        }
+    }
+
+    #[test]
+    fn equivalent_patterns_share_a_key() {
+        let triangle = catalog::triangle();
+        let spec = parse_spec("a-b,b-c,c-a").unwrap();
+        assert_eq!(PlanKey::new(&triangle, 7, 64), PlanKey::new(&spec, 7, 64));
+        // Every key component matters.
+        assert_ne!(
+            PlanKey::new(&triangle, 7, 64),
+            PlanKey::new(&triangle, 8, 64)
+        );
+        assert_ne!(
+            PlanKey::new(&triangle, 7, 64),
+            PlanKey::new(&triangle, 7, 1)
+        );
+        assert_ne!(
+            PlanKey::new(&triangle, 7, 64),
+            PlanKey::new(&catalog::square(), 7, 64)
+        );
+    }
+
+    #[test]
+    fn hits_misses_and_recency() {
+        let cache = PlanCache::new(4);
+        let key = PlanKey::new(&catalog::triangle(), 1, 64);
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.insert(key.clone(), plan_for("triangle", 64));
+        let hit = cache.lookup(&key).expect("inserted plan is found");
+        assert_eq!(
+            hit.chosen.strategy,
+            plan_for("triangle", 64).chosen.strategy
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = PlanCache::new(2);
+        let k_triangle = PlanKey::new(&catalog::triangle(), 1, 64);
+        let k_square = PlanKey::new(&catalog::square(), 1, 64);
+        let k_path = PlanKey::new(&catalog::by_name("path4").unwrap(), 1, 64);
+        cache.insert(k_triangle.clone(), plan_for("triangle", 64));
+        cache.insert(k_square.clone(), plan_for("square", 64));
+        // Touch the triangle so the square becomes least-recently-used.
+        assert!(cache.lookup(&k_triangle).is_some());
+        cache.insert(k_path.clone(), plan_for("path4", 64));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&k_square).is_none(), "square was evicted");
+        assert!(cache.lookup(&k_triangle).is_some());
+        assert!(cache.lookup(&k_path).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        let key = PlanKey::new(&catalog::triangle(), 1, 64);
+        cache.insert(key.clone(), plan_for("triangle", 64));
+        assert!(cache.lookup(&key).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let cache = Arc::new(PlanCache::new(16));
+        let key = PlanKey::new(&catalog::triangle(), 1, 64);
+        cache.insert(key.clone(), plan_for("triangle", 64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let key = key.clone();
+                std::thread::spawn(move || cache.lookup(&key).is_some())
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        assert_eq!(cache.hits(), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! A minimal blocking HTTP client for the tests, the bench and the CI smoke
+//! job. It speaks exactly the dialect the server emits: one request per
+//! connection, `Connection: close`, body read to EOF.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A fully-read response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, read to EOF.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<String> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// The body as UTF-8, panicking with context on invalid bytes.
+    pub fn text(&self) -> String {
+        String::from_utf8(self.body.clone()).expect("response body is UTF-8")
+    }
+}
+
+/// GETs `target` (path plus optional query string) from a TCP server.
+pub fn get(addr: &SocketAddr, target: &str) -> io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    request(stream, target)
+}
+
+/// GETs `target` from a unix-domain-socket server.
+#[cfg(unix)]
+pub fn get_unix(path: &std::path::Path, target: &str) -> io::Result<HttpResponse> {
+    let stream = std::os::unix::net::UnixStream::connect(path)?;
+    request(stream, target)
+}
+
+fn request<S: Read + Write>(mut stream: S, target: &str) -> io::Result<HttpResponse> {
+    write!(stream, "GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    read_response(BufReader::new(stream))
+}
+
+fn read_response<R: BufRead>(mut reader: R) -> io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}

@@ -1,0 +1,356 @@
+//! A minimal HTTP/1.1 subset over any byte stream — no external
+//! dependencies, because the protocol surface a query service needs is tiny:
+//! `GET` with a query string in, status + headers + body out, one request
+//! per connection (`Connection: close`), which is also what lets enumerate
+//! responses stream without a precomputed `Content-Length`.
+//!
+//! The parser is deliberately strict and bounded: request lines and headers
+//! are capped, unsupported methods are reported as such, and every parse
+//! failure carries a reason the server turns into a 400 body. Percent
+//! escapes (`%2C`) and `+`-for-space are decoded in query names and values.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line, in bytes. Patterns and flags fit in a
+/// fraction of this; anything longer is a client bug or abuse.
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request: the method, the decoded path, and the decoded query
+/// parameters in order of appearance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/query`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string.
+    pub params: Vec<(String, String)>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes are not an acceptable HTTP request; the reason is shown in
+    /// the 400 response body.
+    Malformed(String),
+    /// The connection failed mid-read.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(reason) => write!(f, "malformed request: {reason}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request (request line + headers) from `reader`. Bodies are not
+/// supported — the service is query-string only — so a request advertising a
+/// non-empty body is rejected rather than half-read.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, HttpError> {
+    let line = read_capped_line(reader)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let method = method.to_ascii_uppercase();
+
+    // Headers: consumed and bounded; only Content-Length matters (to reject
+    // bodies), the rest are tolerated and ignored.
+    let mut headers = 0usize;
+    loop {
+        let header = read_capped_line(reader)?;
+        if header.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length")
+                && value.trim().parse::<u64>().map_or(true, |n| n > 0)
+            {
+                return Err(HttpError::Malformed(
+                    "request bodies are not supported; use the query string".into(),
+                ));
+            }
+        } else {
+            return Err(HttpError::Malformed(format!("bad header {header:?}")));
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| HttpError::Malformed(format!("bad escape in path {raw_path:?}")))?;
+    let mut params = Vec::new();
+    if let Some(query) = raw_query {
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .ok_or_else(|| HttpError::Malformed(format!("bad escape in {pair:?}")))?;
+            let v = percent_decode(v)
+                .ok_or_else(|| HttpError::Malformed(format!("bad escape in {pair:?}")))?;
+            params.push((k, v));
+        }
+    }
+    Ok(HttpRequest {
+        method,
+        path,
+        params,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, rejecting oversized ones.
+fn read_capped_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                if buf.is_empty() {
+                    return Err(HttpError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before a full request arrived",
+                    )));
+                }
+                break;
+            }
+            byte[0] = available[0];
+        }
+        reader.consume(1);
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > MAX_REQUEST_LINE {
+            return Err(HttpError::Malformed(
+                "request line or header too long".into(),
+            ));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-utf8 request".into()))
+}
+
+/// Decodes `%XX` escapes and `+`-for-space. Returns `None` on a truncated or
+/// non-hex escape.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_value(*bytes.get(i + 1)?)?;
+                let lo = hex_value(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes a query value: alphanumerics and `-_.~,:` pass through
+/// (commas keep inline pattern specs readable in logs), everything else is
+/// escaped.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b',' | b':' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a known body. Always `Connection: close`:
+/// one request per connection keeps the server state machine trivial.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes the header block for a streamed response (no `Content-Length`;
+/// the body runs until the connection closes). The caller streams the body
+/// and then drops the connection.
+pub fn write_streaming_header<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        reason(status),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse("GET /stats HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.params.is_empty());
+    }
+
+    #[test]
+    fn parses_query_parameters_in_order() {
+        let req = parse("GET /query?pattern=triangle&mode=count HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(
+            req.params,
+            vec![
+                ("pattern".to_string(), "triangle".to_string()),
+                ("mode".to_string(), "count".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn decodes_percent_escapes_and_plus() {
+        let req = parse("GET /query?pattern=a-b%2Cb-c&x=1+2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.params[0].1, "a-b,b-c");
+        assert_eq!(req.params[1].1, "1 2");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(
+            parse("not http\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /query?p=%zz HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(HttpError::Io(_))));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bodies_and_oversized_lines() {
+        assert!(matches!(
+            parse("POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Content-Length: 0 is fine (curl sends it on --data-free POSTs).
+        assert!(parse("GET /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n").is_ok());
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 2));
+        assert!(matches!(parse(&long), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn lf_only_line_endings_are_accepted() {
+        let req = parse("GET /stats HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/stats");
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for s in ["a-b,b-c,c-a", "with space", "100%", "a&b=c", "päth"] {
+            assert_eq!(percent_decode(&percent_encode(s)).unwrap(), s);
+        }
+        assert_eq!(percent_encode("a-b,b-c"), "a-b,b-c");
+    }
+
+    #[test]
+    fn responses_have_the_expected_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_streaming_header(&mut out, 200, "text/csv").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+}

@@ -1,0 +1,40 @@
+//! `subgraph serve`: a long-lived query service over one shared data graph.
+//!
+//! The paper's framing is batch: one map-reduce job per query, and every job
+//! pays to re-read the graph, re-derive its statistics, and re-run the
+//! planner's cost model. This crate amortizes all three across queries:
+//!
+//! * [`store::GraphStore`] loads the graph **once** at startup and
+//!   precomputes its statistics, their fingerprint, and the degree and
+//!   degeneracy node orders; every query thread shares the result immutably.
+//! * [`cache::PlanCache`] memoizes the planner's decision — the chosen
+//!   [`subgraph_core::plan::CostEstimate`] and the ranked candidate list —
+//!   keyed by `(pattern shape, graph fingerprint, reducer budget)`. A warm
+//!   query resumes its plan with zero re-estimation.
+//! * [`server`] runs the whole thing behind a dependency-free HTTP/1.1
+//!   subset ([`http`]) on TCP (and, on unix, a unix-domain socket), with a
+//!   bounded worker pool, request/latency/cache metrics at `/stats`, and
+//!   graceful drain on SIGINT/SIGTERM.
+//!
+//! Queries (`/query?pattern=triangle&mode=count`) run through the same
+//! engine stack as the one-shot CLI — [`query::QueryEngine`] streams
+//! enumerate results through [`subgraph_core::sink::NdjsonSink`] /
+//! [`subgraph_core::sink::CsvSink`] and counts through the zero-allocation
+//! [`subgraph_core::sink::CountSink`] — so served responses are
+//! byte-identical to `subgraph enumerate` at the same thread count.
+//!
+//! The crate is intentionally dependency-free: listeners come from
+//! `std::net` / `std::os::unix::net`, concurrency from `std::sync`, and the
+//! HTTP subset is ~200 lines under our own tests.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod query;
+pub mod server;
+pub mod store;
+
+pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use query::{OutputFormat, QueryEngine, QueryError, QueryMode, QueryOutcome, QueryRequest};
+pub use server::{install_signal_handlers, spawn, Metrics, ServerConfig, ServerHandle};
+pub use store::GraphStore;

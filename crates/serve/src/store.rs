@@ -1,0 +1,184 @@
+//! [`GraphStore`]: the shared immutable graph a server answers queries over.
+//!
+//! The paper's map-reduce formulation amortizes work across many queries; the
+//! store is the serving-side half of that amortization. Everything a query
+//! needs from the data graph is computed exactly once, at startup — the graph
+//! itself, its summary statistics (and their fingerprint, which keys the plan
+//! cache), and the degree/degeneracy node orders of Section 7 — then shared
+//! immutably behind an [`Arc`] by every query thread. No query ever re-reads
+//! or re-indexes the graph.
+
+use std::sync::Arc;
+use std::time::Duration;
+use subgraph_graph::stats::stats;
+use subgraph_graph::{
+    DataGraph, DegeneracyOrder, DegreeOrder, GraphSource, GraphStats, ReadStats, SourceError,
+};
+
+/// The immutable, shareable state derived from one data graph at startup.
+#[derive(Debug)]
+pub struct GraphStore {
+    graph: Arc<DataGraph>,
+    stats: GraphStats,
+    fingerprint: u64,
+    degree_order: DegreeOrder,
+    degeneracy_order: DegeneracyOrder,
+    read_stats: Option<ReadStats>,
+    source: String,
+    load_time: Duration,
+}
+
+impl GraphStore {
+    /// Loads `source` and precomputes every derived structure. This is the
+    /// only place in the serve stack that touches the graph's bytes; all
+    /// query execution works from the returned store.
+    pub fn open(source: &GraphSource) -> Result<Self, SourceError> {
+        let started = std::time::Instant::now();
+        let (graph, read_stats) = source.load_with_stats()?;
+        Ok(Self::from_parts(
+            graph,
+            read_stats,
+            source.to_string(),
+            started.elapsed(),
+        ))
+    }
+
+    /// Builds a store around an already-loaded graph (tests, benches).
+    pub fn from_graph(graph: DataGraph) -> Self {
+        Self::from_parts(graph, None, "<in-memory>".to_string(), Duration::ZERO)
+    }
+
+    fn from_parts(
+        graph: DataGraph,
+        read_stats: Option<ReadStats>,
+        source: String,
+        load_time: Duration,
+    ) -> Self {
+        let stats = stats(&graph);
+        let fingerprint = stats.fingerprint();
+        let degree_order = DegreeOrder::new(&graph);
+        let degeneracy_order = DegeneracyOrder::new(&graph);
+        GraphStore {
+            graph: Arc::new(graph),
+            stats,
+            fingerprint,
+            degree_order,
+            degeneracy_order,
+            read_stats,
+            source,
+            load_time,
+        }
+    }
+
+    /// The shared data graph.
+    pub fn graph(&self) -> &Arc<DataGraph> {
+        &self.graph
+    }
+
+    /// Summary statistics, computed once at startup.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// The statistics fingerprint used in plan-cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The precomputed non-decreasing-degree order (Section 7).
+    pub fn degree_order(&self) -> &DegreeOrder {
+        &self.degree_order
+    }
+
+    /// The precomputed degeneracy (core-peeling) order.
+    pub fn degeneracy_order(&self) -> &DegeneracyOrder {
+        &self.degeneracy_order
+    }
+
+    /// The degeneracy of the stored graph.
+    pub fn degeneracy(&self) -> usize {
+        self.degeneracy_order.degeneracy()
+    }
+
+    /// Input hygiene counters, when the graph came from an edge-list file.
+    pub fn read_stats(&self) -> Option<&ReadStats> {
+        self.read_stats.as_ref()
+    }
+
+    /// Human-readable description of where the graph came from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Wall-clock time spent loading and indexing at startup.
+    pub fn load_time(&self) -> Duration {
+        self.load_time
+    }
+
+    /// The startup banner: one line per fact an operator wants in the log.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "graph {}: n = {}, m = {}, max degree {}, degeneracy {} (loaded in {:.1?})",
+            self.source,
+            self.stats.num_nodes,
+            self.stats.num_edges,
+            self.stats.max_degree,
+            self.degeneracy(),
+            self.load_time,
+        );
+        if let Some(rs) = &self.read_stats {
+            out.push_str(&format!("\ninput hygiene: {rs}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subgraph_graph::generators;
+    use subgraph_graph::NodeOrder;
+
+    #[test]
+    fn store_precomputes_stats_and_orders() {
+        let store = GraphStore::from_graph(generators::complete(5));
+        assert_eq!(store.stats().num_nodes, 5);
+        assert_eq!(store.stats().num_edges, 10);
+        assert_eq!(store.degeneracy(), 4);
+        assert_eq!(store.fingerprint(), store.stats().fingerprint());
+        // Orders answer without touching the graph again.
+        assert!(store.degree_order().precedes(0, 1));
+        assert!(store.degeneracy_order().precedes(4, 0) || store.degeneracy_order().precedes(0, 4));
+    }
+
+    #[test]
+    fn store_opens_generator_sources() {
+        let source: GraphSource = "gnm:50,120,9".parse().unwrap();
+        let store = GraphStore::open(&source).unwrap();
+        assert_eq!(store.stats().num_edges, 120);
+        assert!(store.read_stats().is_none());
+        assert_eq!(store.source(), "gnm:50,120,9");
+        assert!(store.describe().contains("m = 120"));
+    }
+
+    #[test]
+    fn store_reports_file_read_stats() {
+        let dir = std::env::temp_dir().join("subgraph-serve-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.txt");
+        std::fs::write(&path, "0 1\r\n1 0\n\n1 2\n").unwrap();
+        let store = GraphStore::open(&GraphSource::file(&path)).unwrap();
+        let rs = store.read_stats().expect("file sources carry read stats");
+        assert_eq!(rs.duplicate_edges, 1);
+        assert_eq!(rs.blank_lines, 1);
+        assert_eq!(rs.crlf_lines, 1);
+        assert!(store.describe().contains("input hygiene"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphStore>();
+    }
+}
