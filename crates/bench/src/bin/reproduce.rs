@@ -21,6 +21,13 @@ fn main() {
             "planner" => print!("{}", planner_table::planner_choices()),
             "shuffle" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(false)),
             "shuffle-quick" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(true)),
+            "shuffle-gate" => match subgraph_bench::shuffle::shuffle_gate() {
+                Ok(table) => print!("{table}"),
+                Err(report) => {
+                    eprint!("{report}");
+                    std::process::exit(1);
+                }
+            },
             "sink" => print!("{}", subgraph_bench::sink_bench::sink_throughput(false)),
             "sink-quick" => print!("{}", subgraph_bench::sink_bench::sink_throughput(true)),
             "serve" => print!("{}", subgraph_bench::serve_bench::serve_amortization(false)),
@@ -61,6 +68,8 @@ fn print_usage() {
          planner               strategy chosen per pattern and reducer budget\n  \
          shuffle               engine shuffle throughput sweep (writes BENCH_shuffle.json)\n  \
          shuffle-quick         the same sweep in CI smoke mode\n  \
+         shuffle-gate          quick sweep + multi-core scaling assertion (CI gate; \
+         exits 1 on regression)\n  \
          sink                  streaming-sink sweep: count-only >=1M-edge graph (writes BENCH_sink.json)\n  \
          sink-quick            the same sweep in CI smoke mode\n  \
          serve                 serve amortization: warm cached queries vs one-shot (writes BENCH_serve.json)\n  \

@@ -30,10 +30,18 @@ pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 pub struct ShuffleSample {
     /// Engine thread count.
     pub threads: usize,
-    /// Mean wall time per run, in seconds.
+    /// Mean wall time per run on the persistent worker pool, in seconds.
     pub mean_secs: f64,
-    /// Fastest run, in seconds.
+    /// Fastest pooled run, in seconds.
     pub min_secs: f64,
+    /// Mean wall time per run on the legacy per-round `thread::scope`
+    /// executor — the baseline the pool replaced, kept as a comparison
+    /// column so spawn/join overhead stays visible PR over PR.
+    pub scoped_mean_secs: f64,
+    /// True when this configuration asks for more threads than the host
+    /// reports as available parallelism; its timing measures contention,
+    /// not scaling, and the scaling gate ignores it.
+    pub oversubscribed: bool,
     /// Key-value pairs shipped through the shuffle per run.
     pub shuffle_records: usize,
     /// Triangles found (sanity anchor: identical across thread counts).
@@ -83,8 +91,9 @@ impl ShuffleBenchReport {
             "Shuffle throughput — multiway triangle join, two-phase parallel exchange",
             &[
                 "threads",
-                "mean (s)",
+                "pool mean (s)",
                 "min (s)",
+                "scoped mean (s)",
                 "records/s (mean)",
                 "speedup vs 1",
             ],
@@ -102,12 +111,23 @@ impl ShuffleBenchReport {
                 0.0
             };
             table.row(&[
-                sample.threads.to_string(),
+                format!(
+                    "{}{}",
+                    sample.threads,
+                    if sample.oversubscribed { "*" } else { "" }
+                ),
                 format!("{:.4}", sample.mean_secs),
                 format!("{:.4}", sample.min_secs),
+                format!("{:.4}", sample.scoped_mean_secs),
                 fmt(records_per_sec),
                 format!("{speedup:.2}x"),
             ]);
+        }
+        if self.samples.iter().any(|s| s.oversubscribed) {
+            table.note(&format!(
+                "* oversubscribed: more threads than the host's available parallelism ({})",
+                self.available_parallelism,
+            ));
         }
         table.note(&format!(
             "{} mode: G(n = {}, p = {}) seed {} -> m = {}, reducer budget {}, {} runs per point; \
@@ -161,10 +181,13 @@ impl ShuffleBenchReport {
             };
             out.push_str(&format!(
                 "    {{ \"threads\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}, \
+                 \"scoped_mean_secs\": {:.6}, \"oversubscribed\": {}, \
                  \"shuffle_records\": {}, \"records_per_sec\": {:.1}, \"outputs\": {} }}{}\n",
                 sample.threads,
                 sample.mean_secs,
                 sample.min_secs,
+                sample.scoped_mean_secs,
+                sample.oversubscribed,
                 sample.shuffle_records,
                 records_per_sec,
                 sample.outputs,
@@ -195,30 +218,44 @@ pub fn run_shuffle_bench(quick: bool) -> ShuffleBenchReport {
     let seed = 20_260_731u64;
     let graph = generators::gnp(n, p, seed);
 
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     let mut samples = Vec::with_capacity(THREAD_COUNTS.len());
     for threads in THREAD_COUNTS {
-        let run_once = || {
+        let run_with = |config: EngineConfig| {
             EnumerationRequest::new(catalog::triangle(), &graph)
                 .reducers(reducer_budget)
                 .strategy(StrategyKind::MultiwayTriangles)
-                .engine(EngineConfig::with_threads(threads))
+                .engine(config)
                 .plan()
                 .expect("multiway applies to the triangle pattern")
                 .execute()
         };
-        let warmup = run_once(); // untimed: page in the graph and code paths
-        let mut times = Vec::with_capacity(runs);
-        for _ in 0..runs {
-            let start = Instant::now();
-            let report = run_once();
-            times.push(start.elapsed().as_secs_f64());
-            assert_eq!(report.count(), warmup.count(), "thread-count invariance");
-        }
+        let time_sweep = |config: &dyn Fn() -> EngineConfig, expected: usize| {
+            let mut times = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let start = Instant::now();
+                let report = run_with(config());
+                times.push(start.elapsed().as_secs_f64());
+                assert_eq!(report.count(), expected, "thread-count invariance");
+            }
+            times
+        };
+        // untimed warm-up: page in the graph and code paths
+        let warmup = run_with(EngineConfig::with_threads(threads));
+        let pooled = time_sweep(&|| EngineConfig::with_threads(threads), warmup.count());
+        let scoped = time_sweep(
+            &|| EngineConfig::with_threads(threads).scoped_threads(),
+            warmup.count(),
+        );
         let metrics = warmup.metrics.as_ref().expect("map-reduce strategy");
         samples.push(ShuffleSample {
             threads,
-            mean_secs: times.iter().sum::<f64>() / times.len() as f64,
-            min_secs: times.iter().cloned().fold(f64::INFINITY, f64::min),
+            mean_secs: pooled.iter().sum::<f64>() / pooled.len() as f64,
+            min_secs: pooled.iter().cloned().fold(f64::INFINITY, f64::min),
+            scoped_mean_secs: scoped.iter().sum::<f64>() / scoped.len() as f64,
+            oversubscribed: threads > available_parallelism,
             shuffle_records: metrics.shuffle_records,
             outputs: warmup.count(),
         });
@@ -232,11 +269,60 @@ pub fn run_shuffle_bench(quick: bool) -> ShuffleBenchReport {
         edges: graph.num_edges(),
         reducer_budget,
         runs,
-        available_parallelism: std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1),
+        available_parallelism,
         samples,
     }
+}
+
+/// The multi-core scaling gate behind `reproduce shuffle-gate`: runs the
+/// quick sweep and *fails* (returns `Err`) when the persistent-pool engine
+/// does not scale on a multi-core host — the regression this PR's tentpole
+/// fixed was every multi-threaded configuration running *slower* than one
+/// thread. On hosts with fewer than 4 cores the gate degrades to an
+/// informational pass: there is no parallelism to measure.
+pub fn shuffle_gate() -> Result<String, String> {
+    let report = run_shuffle_bench(true);
+    let mut out = report.table();
+    if report.available_parallelism < 4 {
+        out.push_str(&format!(
+            "
+scaling gate skipped: available parallelism {} < 4 — nothing to assert
+",
+            report.available_parallelism,
+        ));
+        return Ok(out);
+    }
+    // Same-speed noise allowance: a non-oversubscribed thread count may be up
+    // to this factor slower than single-threaded before the gate trips.
+    const TOLERANCE: f64 = 1.15;
+    let speedup = report.speedup_widest_over_single();
+    if speedup < 1.0 {
+        return Err(format!(
+            "{out}
+scaling gate FAILED: speedup_8_over_1 = {speedup:.3} < 1.0              (the multi-thread slowdown is back)
+"
+        ));
+    }
+    let single_mean = report.samples.first().map(|s| s.mean_secs).unwrap_or(0.0);
+    for sample in &report.samples {
+        if !sample.oversubscribed && sample.mean_secs > single_mean * TOLERANCE {
+            return Err(format!(
+                "{out}
+scaling gate FAILED: threads={} mean {:.4}s is slower than                  single-threaded {:.4}s (tolerance {:.0}%)
+",
+                sample.threads,
+                sample.mean_secs,
+                single_mean,
+                (TOLERANCE - 1.0) * 100.0,
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "
+scaling gate passed: speedup_8_over_1 = {speedup:.3}, no non-oversubscribed          thread count slower than 1 thread
+"
+    ));
+    Ok(out)
 }
 
 /// Path of the tracked benchmark file: `BENCH_shuffle.json` at the repo root.
@@ -444,6 +530,8 @@ mod tests {
                     threads,
                     mean_secs: 0.5 / threads as f64,
                     min_secs: 0.4 / threads as f64,
+                    scoped_mean_secs: 0.6 / threads as f64,
+                    oversubscribed: threads > 1,
                     shuffle_records: 100,
                     outputs: 3,
                 })
@@ -455,8 +543,36 @@ mod tests {
     fn report_json_is_well_formed_and_speedup_is_derived() {
         let report = micro_report();
         assert!((report.speedup_widest_over_single() - 8.0).abs() < 1e-9);
-        validate_json(&report.to_json()).expect("generated JSON must validate");
-        assert!(report.table().contains("threads"));
+        let json = report.to_json();
+        validate_json(&json).expect("generated JSON must validate");
+        assert!(json.contains("\"scoped_mean_secs\""));
+        assert!(json.contains("\"oversubscribed\": true"));
+        let table = report.table();
+        assert!(table.contains("threads"));
+        assert!(table.contains("scoped mean (s)"));
+        assert!(table.contains("8*"), "oversubscribed rows are starred");
+    }
+
+    #[test]
+    fn oversubscription_is_derived_from_host_parallelism() {
+        let report = run_shuffle_bench(true);
+        for sample in &report.samples {
+            assert_eq!(
+                sample.oversubscribed,
+                sample.threads > report.available_parallelism,
+                "threads={}",
+                sample.threads,
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_gate_skips_or_passes_on_this_host() {
+        // On a < 4-core host the gate must degrade to an informational pass;
+        // on a >= 4-core host the pooled engine must actually scale. Either
+        // way `Err` means a regression.
+        let verdict = shuffle_gate();
+        assert!(verdict.is_ok(), "{}", verdict.unwrap_err());
     }
 
     #[test]

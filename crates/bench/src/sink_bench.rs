@@ -30,6 +30,9 @@ pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 pub struct SinkSample {
     /// Engine thread count.
     pub threads: usize,
+    /// True when this configuration asks for more threads than the host's
+    /// available parallelism — its timing measures contention, not scaling.
+    pub oversubscribed: bool,
     /// Mean wall time per count-only run, in seconds.
     pub mean_secs: f64,
     /// Fastest run, in seconds.
@@ -59,10 +62,15 @@ pub struct SinkBenchReport {
     pub runs: usize,
     /// `std::thread::available_parallelism` on the benchmarking host.
     pub available_parallelism: usize,
-    /// Peak RSS of the whole process after the sweep, in bytes (Linux
-    /// `VmHWM`; 0 when unavailable). Count-only mode keeps this flat in the
-    /// instance count — the graph and the shuffle dominate.
-    pub peak_rss_bytes: u64,
+    /// Peak RSS of the process right after graph generation, in bytes
+    /// (Linux `VmHWM`; `None` when the platform does not expose it). This is
+    /// the baseline the sweep starts from: the graph itself.
+    pub rss_after_generate_bytes: Option<u64>,
+    /// Peak RSS of the whole process after the sweep (`VmHWM` is a
+    /// process-lifetime high-water mark, so this includes generation).
+    /// Count-only mode keeps the delta over the baseline flat in the
+    /// instance count — the shuffle dominates, never the instances.
+    pub peak_rss_bytes: Option<u64>,
     /// One entry per swept thread count, in [`THREAD_COUNTS`] order.
     pub samples: Vec<SinkSample>,
 }
@@ -108,11 +116,16 @@ impl SinkBenchReport {
             self.runs,
             self.available_parallelism,
         ));
+        let mib = |bytes: Option<u64>| match bytes {
+            Some(b) => format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+            None => "unavailable".to_string(),
+        };
         table.note(&format!(
-            "count-only: {} instances streamed through a CountSink (not retained); process peak \
-             RSS {:.1} MiB",
+            "count-only: {} instances streamed through a CountSink (not retained); peak RSS \
+             after generation {}, after sweep {}",
             self.samples.first().map_or(0, |s| s.count),
-            self.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            mib(self.rss_after_generate_bytes),
+            mib(self.peak_rss_bytes),
         ));
         table.note(&format!(
             "written to {}",
@@ -148,8 +161,19 @@ impl SinkBenchReport {
             "  \"host\": {{ \"available_parallelism\": {} }},\n",
             self.available_parallelism
         ));
+        let json_u64 = |bytes: Option<u64>| match bytes {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
         out.push_str(&format!("  \"runs_per_thread_count\": {},\n", self.runs));
-        out.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        out.push_str(&format!(
+            "  \"rss_after_generate_bytes\": {},\n",
+            json_u64(self.rss_after_generate_bytes)
+        ));
+        out.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            json_u64(self.peak_rss_bytes)
+        ));
         out.push_str("  \"results\": [\n");
         for (i, sample) in self.samples.iter().enumerate() {
             let records_per_sec = if sample.mean_secs > 0.0 {
@@ -158,9 +182,11 @@ impl SinkBenchReport {
                 0.0
             };
             out.push_str(&format!(
-                "    {{ \"threads\": {}, \"mean_secs\": {:.6}, \"min_secs\": {:.6}, \
-                 \"shuffle_records\": {}, \"records_per_sec\": {:.1}, \"count\": {} }}{}\n",
+                "    {{ \"threads\": {}, \"oversubscribed\": {}, \"mean_secs\": {:.6}, \
+                 \"min_secs\": {:.6}, \"shuffle_records\": {}, \"records_per_sec\": {:.1}, \
+                 \"count\": {} }}{}\n",
                 sample.threads,
+                sample.oversubscribed,
                 sample.mean_secs,
                 sample.min_secs,
                 sample.shuffle_records,
@@ -175,23 +201,22 @@ impl SinkBenchReport {
     }
 }
 
-/// The process's peak resident set size in bytes (Linux `VmHWM`), or 0 when
-/// the platform does not expose it.
-pub fn peak_rss_bytes() -> u64 {
-    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-        for line in status.lines() {
-            if let Some(rest) = line.strip_prefix("VmHWM:") {
-                let kb: u64 = rest
-                    .trim()
-                    .trim_end_matches("kB")
-                    .trim()
-                    .parse()
-                    .unwrap_or(0);
-                return kb * 1024;
-            }
-        }
-    }
-    0
+/// The process's peak resident set size in bytes (Linux `VmHWM`), or `None`
+/// when the platform does not expose it *or* the `/proc/self/status` line is
+/// malformed — an unparseable value must read as "unknown", not as a
+/// silently reported 0 bytes.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Extracts `VmHWM` (kB) from the text of `/proc/self/status`.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Runs the sweep. Both modes use a ≥ 1M-edge graph — the point of the sink
@@ -211,6 +236,12 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
         "the sink benchmark is specified for >= 1M edges, got {}",
         graph.num_edges()
     );
+    // The baseline the sweep starts from: VmHWM right after generation is
+    // (graph + generator scratch), before any shuffle allocation.
+    let rss_after_generate_bytes = peak_rss_bytes();
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
 
     let mut samples = Vec::with_capacity(THREAD_COUNTS.len());
     for threads in THREAD_COUNTS {
@@ -232,6 +263,7 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
         let metrics = warmup.metrics.as_ref().expect("map-reduce strategy");
         samples.push(SinkSample {
             threads,
+            oversubscribed: threads > available_parallelism,
             mean_secs: times.iter().sum::<f64>() / times.len() as f64,
             min_secs: times.iter().cloned().fold(f64::INFINITY, f64::min),
             shuffle_records: metrics.shuffle_records,
@@ -247,9 +279,8 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
         edges: graph.num_edges(),
         reducer_budget,
         runs,
-        available_parallelism: std::thread::available_parallelism()
-            .map(|v| v.get())
-            .unwrap_or(1),
+        available_parallelism,
+        rss_after_generate_bytes,
         peak_rss_bytes: peak_rss_bytes(),
         samples,
     }
@@ -313,11 +344,13 @@ mod tests {
             reducer_budget: 64,
             runs: 1,
             available_parallelism: 1,
-            peak_rss_bytes: 123 * 1024 * 1024,
+            rss_after_generate_bytes: Some(100 * 1024 * 1024),
+            peak_rss_bytes: Some(123 * 1024 * 1024),
             samples: THREAD_COUNTS
                 .iter()
                 .map(|&threads| SinkSample {
                     threads,
+                    oversubscribed: threads > 1,
                     mean_secs: 1.0 / threads as f64,
                     min_secs: 0.9 / threads as f64,
                     shuffle_records: 6_000_000,
@@ -344,7 +377,32 @@ mod tests {
     fn peak_rss_is_available_on_linux() {
         let rss = peak_rss_bytes();
         if cfg!(target_os = "linux") {
-            assert!(rss > 0, "VmHWM should be readable on Linux");
+            assert!(rss.unwrap_or(0) > 0, "VmHWM should be readable on Linux");
         }
+    }
+
+    #[test]
+    fn vm_hwm_parsing_is_strict() {
+        assert_eq!(parse_vm_hwm("VmHWM:\t  123 kB\n"), Some(123 * 1024));
+        assert_eq!(
+            parse_vm_hwm("VmPeak:\t9 kB\nVmHWM:\t8 kB\nVmRSS:\t7 kB\n"),
+            Some(8 * 1024)
+        );
+        // Malformed lines must read as unknown, never as a silent 0.
+        for bad in ["", "VmRSS:\t7 kB\n", "VmHWM: lots kB", "VmHWM: 12 MB"] {
+            assert_eq!(parse_vm_hwm(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn missing_rss_serializes_as_null_not_zero() {
+        let mut report = micro_report();
+        report.peak_rss_bytes = None;
+        report.rss_after_generate_bytes = None;
+        let json = report.to_json();
+        validate_json(&json).expect("null RSS must still validate");
+        assert!(json.contains("\"peak_rss_bytes\": null"));
+        assert!(json.contains("\"rss_after_generate_bytes\": null"));
+        assert!(report.table().contains("unavailable"));
     }
 }

@@ -46,6 +46,7 @@
 use std::fmt;
 use std::io::{self, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
 use subgraph_core::sink::SerializeSink;
 use subgraph_core::{
@@ -167,6 +168,9 @@ pub enum Command {
         pool: usize,
         /// Per-query engine thread budget (default 1).
         threads: usize,
+        /// Per-connection socket I/O timeout in seconds (default 30;
+        /// 0 disables — a stalled client then holds its worker forever).
+        timeout_secs: u64,
         /// Log every startup detail, including input hygiene counters.
         verbose: bool,
     },
@@ -273,6 +277,7 @@ serve options (see docs/SERVE.md):
   --unix <path>         also listen on a unix-domain socket (unix only)
   --plan-cache <n>      plan-cache capacity in entries (default 64; 0 = off)
   --pool <n>            connection worker threads (default 4)
+  --timeout-secs <s>    per-connection socket I/O timeout (default 30; 0 = off)
 
 examples:
   subgraph generate gnp:10000,0.002,7 --output graph.txt
@@ -308,6 +313,7 @@ impl Command {
         let mut unix: Option<PathBuf> = None;
         let mut plan_cache: Option<usize> = None;
         let mut pool: Option<usize> = None;
+        let mut timeout_secs: Option<u64> = None;
         let mut verbose = false;
         let mut positional: Vec<String> = Vec::new();
 
@@ -347,6 +353,11 @@ impl Command {
                         Some(value("--pool")?.parse::<usize>().map_err(|_| {
                             CliError::Usage("--pool needs a positive integer".into())
                         })?)
+                }
+                "--timeout-secs" => {
+                    timeout_secs = Some(value("--timeout-secs")?.parse::<u64>().map_err(|_| {
+                        CliError::Usage("--timeout-secs needs a non-negative integer".into())
+                    })?)
                 }
                 "--verbose" | "-v" => verbose = true,
                 "--help" | "-h" => return Err(usage("".into())),
@@ -419,6 +430,7 @@ impl Command {
                 ("--unix", unix.is_some()),
                 ("--plan-cache", plan_cache.is_some()),
                 ("--pool", pool.is_some()),
+                ("--timeout-secs", timeout_secs.is_some()),
             ] {
                 reject(sub, flag, given)?;
             }
@@ -503,6 +515,7 @@ impl Command {
                     plan_cache: plan_cache.unwrap_or(64),
                     pool: pool.unwrap_or(4).max(1),
                     threads: threads.unwrap_or(1),
+                    timeout_secs: timeout_secs.unwrap_or(30),
                     verbose,
                 })
             }
@@ -735,10 +748,12 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
             plan_cache,
             pool,
             threads,
+            timeout_secs,
             verbose,
         } => {
             let store = GraphStore::open(source)?;
             let engine = QueryEngine::new(store, *plan_cache, *threads);
+            let io_timeout = (*timeout_secs > 0).then(|| Duration::from_secs(*timeout_secs));
             let config = ServerConfig {
                 listen: Some(
                     listen
@@ -750,6 +765,8 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
                 pool: *pool,
                 cache_capacity: *plan_cache,
                 threads_per_query: *threads,
+                read_timeout: io_timeout,
+                write_timeout: io_timeout,
             };
             #[cfg(not(unix))]
             let _ = unix;
@@ -1097,6 +1114,8 @@ mod tests {
             "8",
             "--threads",
             "2",
+            "--timeout-secs",
+            "10",
             "--verbose",
         ]);
         match cmd {
@@ -1106,6 +1125,7 @@ mod tests {
                 plan_cache,
                 pool,
                 threads,
+                timeout_secs,
                 verbose,
                 ..
             } => {
@@ -1114,6 +1134,7 @@ mod tests {
                 assert_eq!(plan_cache, 128);
                 assert_eq!(pool, 8);
                 assert_eq!(threads, 2);
+                assert_eq!(timeout_secs, 10);
                 assert!(verbose);
             }
             other => panic!("expected Serve, got {other:?}"),
@@ -1125,12 +1146,14 @@ mod tests {
                 plan_cache,
                 pool,
                 threads,
+                timeout_secs,
                 ..
             } => {
                 assert!(listen.is_none());
                 assert_eq!(plan_cache, 64);
                 assert_eq!(pool, 4);
                 assert_eq!(threads, 1);
+                assert_eq!(timeout_secs, 30);
             }
             other => panic!("expected Serve, got {other:?}"),
         }
@@ -1175,6 +1198,16 @@ mod tests {
             "2"
         ])
         .contains("does not take --pool"));
+        assert!(err(&[
+            "count",
+            "--generate",
+            "gnm:9,20,1",
+            "--pattern",
+            "t",
+            "--timeout-secs",
+            "5"
+        ])
+        .contains("does not take --timeout-secs"));
     }
 
     #[test]

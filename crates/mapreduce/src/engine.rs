@@ -5,6 +5,24 @@
 //! [`crate::pipeline::Pipeline`] instead (`Pipeline::new().round(..).run(..)`
 //! or `run_with_sink(..)` for streaming output delivery).
 
+use crate::pool::WorkerPool;
+use std::sync::Arc;
+
+/// Which execution substrate runs a round's map and reduce tasks.
+#[derive(Clone, Debug, Default)]
+pub(crate) enum Executor {
+    /// A persistent worker pool: `None` means the lazily-created
+    /// process-global [`WorkerPool::global`], `Some` is an explicitly shared
+    /// pool (e.g. the one `subgraph serve` hands every query).
+    #[default]
+    GlobalPool,
+    /// An explicitly shared pool.
+    Pool(Arc<WorkerPool>),
+    /// Legacy per-round `std::thread::scope` spawns. Kept as the parity and
+    /// bench baseline; produces byte-identical outputs and counters.
+    Scoped,
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -28,6 +46,10 @@ pub struct EngineConfig {
     /// the reducer outputs are identical either way (that is the combiner
     /// contract, and the property tests pin it).
     pub use_combiners: bool,
+    /// The execution substrate: the persistent worker pool (default) or the
+    /// legacy scoped-thread path. Private — set through
+    /// [`EngineConfig::with_pool`] / [`EngineConfig::scoped_threads`].
+    pub(crate) executor: Executor,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +60,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             deterministic: true,
             use_combiners: true,
+            executor: Executor::default(),
         }
     }
 }
@@ -63,6 +86,39 @@ impl EngineConfig {
     pub fn combiners(mut self, enabled: bool) -> Self {
         self.use_combiners = enabled;
         self
+    }
+
+    /// Runs rounds on the given shared [`WorkerPool`] instead of the
+    /// process-global one. A long-lived service creates one pool and passes
+    /// it to every query so concurrent requests share a fixed set of worker
+    /// threads (and the pool's recycled shuffle buffers).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.executor = Executor::Pool(pool);
+        self
+    }
+
+    /// Reverts to the pre-pool executor: fresh `std::thread::scope` spawns
+    /// per round. The outputs and every [`crate::JobMetrics`] counter are
+    /// byte-identical to the pooled path (the parity suites pin this); only
+    /// the thread lifecycle differs. Used by the parity tests and the
+    /// `reproduce shuffle` pool-vs-scoped comparison.
+    pub fn scoped_threads(mut self) -> Self {
+        self.executor = Executor::Scoped;
+        self
+    }
+
+    /// True when rounds run on a persistent pool (the default).
+    pub fn uses_pool(&self) -> bool {
+        !matches!(self.executor, Executor::Scoped)
+    }
+
+    /// The pool rounds should run on, or `None` for the scoped-thread path.
+    pub(crate) fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        match &self.executor {
+            Executor::GlobalPool => Some(WorkerPool::global()),
+            Executor::Pool(pool) => Some(pool),
+            Executor::Scoped => None,
+        }
     }
 }
 
@@ -230,7 +286,7 @@ mod tests {
             let config = EngineConfig {
                 num_threads: 3,
                 deterministic,
-                use_combiners: true,
+                ..EngineConfig::default()
             };
             run_round(&inputs, mapper, reducer, &config)
         };

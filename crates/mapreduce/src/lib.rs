@@ -24,8 +24,11 @@
 //! (`key_value_pairs`) from what was actually *shipped* (`shuffle_records`,
 //! `shuffle_bytes`).
 //!
-//! The engine runs mappers and reducers on a configurable number of threads
-//! (`std::thread::scope` workers). The simulated shuffle is a two-phase
+//! The engine runs mappers and reducers on a persistent [`WorkerPool`]
+//! (work-stealing indexed tasks on long-lived threads; a per-round
+//! `std::thread::scope` fallback remains behind
+//! [`EngineConfig::scoped_threads`] as the parity baseline). The simulated
+//! shuffle is a two-phase
 //! parallel exchange: map workers partition their own emissions into one
 //! bucket per reduce worker (hashing each key exactly once with the in-repo
 //! [`hash_of`] FxHash and reusing that hash for routing and grouping), the
@@ -44,6 +47,7 @@ pub mod engine;
 pub mod hash;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod sink;
 pub mod task;
 
@@ -51,6 +55,7 @@ pub use engine::{shard_for_hash, EngineConfig};
 pub use hash::{hash_of, FxBuildHasher, FxHasher};
 pub use metrics::JobMetrics;
 pub use pipeline::{Pipeline, PipelineReport, Round, RoundMetrics};
+pub use pool::WorkerPool;
 pub use sink::{BufferShard, CollectSink, CountSink, FnSink, OutputSink, SampleSink, SinkShard};
 pub use task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 

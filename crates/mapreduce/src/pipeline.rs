@@ -52,10 +52,12 @@
 use crate::engine::{shard_for_hash, EngineConfig};
 use crate::hash::{hash_for_shuffle, prehashed_map_with_capacity, Prehashed, PrehashedMap};
 use crate::metrics::JobMetrics;
+use crate::pool::WorkerPool;
 use crate::sink::{CollectSink, OutputSink, SinkShard};
 use crate::task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};
 use std::hash::Hash;
 use std::mem::size_of;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A boxed per-record byte weigher (key + value → shuffled payload bytes).
@@ -437,7 +439,35 @@ where
 /// folds the shards back in worker order, so no stage ever merges the outputs
 /// into an engine-owned `Vec`. Debug builds assert the hash-once invariant on
 /// every worker (see [`crate::hash::debug_hash_count`]).
+///
+/// Two executors implement this dataflow: the persistent [`WorkerPool`]
+/// (default — see [`execute_round_pooled`]) and the legacy per-round
+/// `std::thread::scope` path ([`execute_round_scoped`], selected with
+/// [`EngineConfig::scoped_threads`]). Their outputs and every metrics counter
+/// are byte-identical by construction; the parity suites pin it.
 pub(crate) fn execute_round_into<I, K, V, O>(
+    inputs: &[I],
+    round: &Round<'_, I, K, V, O>,
+    config: &EngineConfig,
+    sink: &mut dyn OutputSink<O>,
+) -> JobMetrics
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send + 'static,
+{
+    match config.pool() {
+        Some(pool) => execute_round_pooled(inputs, round, config, sink, pool),
+        None => execute_round_scoped(inputs, round, config, sink),
+    }
+}
+
+/// The pre-pool executor: one `std::thread::scope` spawn set per phase, one
+/// fixed input chunk per map worker. Kept verbatim as the determinism
+/// baseline the pooled path is pinned against, and for the
+/// `reproduce shuffle` pool-vs-scoped comparison column.
+fn execute_round_scoped<I, K, V, O>(
     inputs: &[I],
     round: &Round<'_, I, K, V, O>,
     config: &EngineConfig,
@@ -685,6 +715,325 @@ where
     metrics
 }
 
+/// Sub-chunks smaller than this are not worth a work-stealing claim; tiny
+/// inputs keep one task per logical shard instead.
+const MIN_SUB_CHUNK: usize = 32;
+
+/// A one-shot result slot a pool task fills for the coordinator.
+type Slot<T> = Mutex<Option<T>>;
+
+/// One reduce shard's work package: its shuffle inbox plus the sink shard
+/// its outputs stream into.
+type ReduceWork<K, V, O> = (Vec<ShuffleBucket<K, V>>, Box<dyn SinkShard<O>>);
+
+/// The persistent-pool executor. Same dataflow and **byte-identical results**
+/// as [`execute_round_scoped`], with three structural differences:
+///
+/// 1. **No thread spawns.** Map and reduce tasks run on `pool`'s long-lived
+///    workers (plus the calling thread) via [`WorkerPool::run_indexed`].
+/// 2. **Work-stealing map granularity.** The scoped path fixes one input
+///    chunk per worker, so one skewed chunk straggles the whole phase. Here
+///    the *logical* map shards — whose boundaries define combiner scope and
+///    bucket contents, and therefore must match the scoped path exactly —
+///    are split into smaller sub-chunks that any worker can claim. A
+///    sub-chunk only *maps* (stage A, no hashing); a second per-shard task
+///    (stage B) concatenates its shard's sub-chunk emissions **in order** and
+///    partitions them exactly as the scoped worker would have: same pair
+///    sequence, same grouping-map capacity, hence the same bucket contents in
+///    the same order.
+/// 3. **Buffer recycling.** Pair vectors and per-reduce-worker buckets are
+///    drawn from and returned to the pool's [`crate::pool::BufferPool`], so
+///    a long-lived engine stops paying per-round allocations for the
+///    shuffle's scaffolding.
+///
+/// The reduce phase is sharded by prehash range ([`shard_for_hash`] over
+/// `num_threads` shards) exactly as before — `num_threads` names the shard
+/// count, while the pool decides how many OS threads serve those shards, so
+/// reducer parallelism is decoupled from worker count.
+fn execute_round_pooled<I, K, V, O>(
+    inputs: &[I],
+    round: &Round<'_, I, K, V, O>,
+    config: &EngineConfig,
+    sink: &mut dyn OutputSink<O>,
+    pool: &WorkerPool,
+) -> JobMetrics
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send + 'static,
+{
+    let threads = config.num_threads.max(1);
+    let combine = config.use_combiners;
+    let buffers = pool.buffers();
+    let mut metrics = JobMetrics {
+        input_records: inputs.len(),
+        ..JobMetrics::default()
+    };
+
+    // ---- Map + partition (+ combine) phase --------------------------------
+    // Logical shard boundaries must mirror the scoped path bit for bit: the
+    // combiner runs per logical shard and bucket push order follows shard
+    // emission order, so both feed the determinism guarantee.
+    let map_start = Instant::now();
+    let chunk_size = inputs.len().div_ceil(threads).max(1);
+    let shards: Vec<&[I]> = inputs.chunks(chunk_size).collect();
+    let mapper = &*round.mapper;
+    let weigher = &*round.record_bytes;
+    let combiner = if combine {
+        round.combiner.as_deref()
+    } else {
+        None
+    };
+
+    // Stage A: map sub-chunks under work stealing. Splitting is free for
+    // parity — only the per-shard *concatenation order* of emissions matters,
+    // and sub-chunks are reassembled in order by stage B. A single-threaded
+    // round stays inline (splits = 1 ⇒ run_indexed's count-1 fast path).
+    let contexts = pool.workers() + 1;
+    let splits = if threads == 1 {
+        1
+    } else {
+        (contexts * 4).div_ceil(shards.len().max(1)).max(1)
+    };
+    let sub_size = chunk_size.div_ceil(splits).max(MIN_SUB_CHUNK);
+    let mut sub_tasks: Vec<&[I]> = Vec::new();
+    let mut shard_subs: Vec<std::ops::Range<usize>> = Vec::with_capacity(shards.len());
+    for shard in &shards {
+        let start = sub_tasks.len();
+        sub_tasks.extend(shard.chunks(sub_size));
+        shard_subs.push(start..sub_tasks.len());
+    }
+    let pair_slots: Vec<Slot<Vec<(K, V)>>> =
+        (0..sub_tasks.len()).map(|_| Mutex::new(None)).collect();
+    pool.run_indexed(sub_tasks.len(), |task| {
+        let mut ctx = MapContext::with_buffer(buffers.take());
+        for record in sub_tasks[task] {
+            mapper.map(record, &mut ctx);
+        }
+        *pair_slots[task].lock().expect("map slot poisoned") = Some(ctx.into_pairs());
+    });
+
+    // Stage B: one task per logical shard — partition (and combine) the
+    // shard's emissions exactly as the scoped map worker does after mapping.
+    let outcome_slots: Vec<Slot<MapOutcome<K, V>>> =
+        (0..shards.len()).map(|_| Mutex::new(None)).collect();
+    pool.run_indexed(shards.len(), |shard| {
+        #[cfg(debug_assertions)]
+        let _ = crate::hash::debug_hash_count::take();
+        let mut parts: Vec<Vec<(K, V)>> = shard_subs[shard]
+            .clone()
+            .map(|task| {
+                pair_slots[task]
+                    .lock()
+                    .expect("map slot poisoned")
+                    .take()
+                    .expect("stage A filled every slot")
+            })
+            .collect();
+        let emitted: usize = parts.iter().map(Vec::len).sum();
+
+        let partition_start = Instant::now();
+        let mut bytes = 0u64;
+        let mut kept = 0usize;
+        let buckets: Vec<ShuffleBucket<K, V>> = match combiner {
+            None => {
+                let mut buckets: Vec<Vec<(u64, K, V)>> =
+                    (0..threads).map(|_| buffers.take()).collect();
+                for mut part in parts.drain(..) {
+                    for (key, value) in part.drain(..) {
+                        let hash = hash_for_shuffle(&key);
+                        bytes += weigher(&key, &value) as u64;
+                        buckets[shard_for_hash(hash, threads)].push((hash, key, value));
+                    }
+                    buffers.give(part);
+                }
+                buckets.into_iter().map(ShuffleBucket::Flat).collect()
+            }
+            Some(combiner) => {
+                // Identical capacity to the scoped path (`emitted` is what
+                // `pairs.len()` was there): grouping-map iteration order is a
+                // function of hasher, capacity and insertion order, and all
+                // three now match, so the combined buckets come out in the
+                // scoped path's exact order.
+                let mut groups: PrehashedMap<K, Vec<V>> = prehashed_map_with_capacity(emitted);
+                for mut part in parts.drain(..) {
+                    for (key, value) in part.drain(..) {
+                        groups.entry(Prehashed::new(key)).or_default().push(value);
+                    }
+                    buffers.give(part);
+                }
+                let mut buckets: Vec<Vec<(u64, K, Vec<V>)>> =
+                    (0..threads).map(|_| buffers.take()).collect();
+                for (key, values) in groups {
+                    let values = combiner.combine(key.key(), values);
+                    kept += values.len();
+                    for value in &values {
+                        bytes += weigher(key.key(), value) as u64;
+                    }
+                    let hash = key.hash();
+                    buckets[shard_for_hash(hash, threads)].push((hash, key.into_key(), values));
+                }
+                buckets.into_iter().map(ShuffleBucket::Combined).collect()
+            }
+        };
+        let partition_time = partition_start.elapsed();
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            crate::hash::debug_hash_count::take() as usize,
+            emitted,
+            "hash-once invariant: a partition task hashes each emitted key exactly once"
+        );
+        *outcome_slots[shard].lock().expect("map outcome poisoned") = Some(MapOutcome {
+            buckets,
+            emitted,
+            kept,
+            bytes,
+            partition_time,
+        });
+    });
+    let mapped: Vec<MapOutcome<K, V>> = outcome_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("map outcome poisoned")
+                .expect("stage B filled every outcome")
+        })
+        .collect();
+    metrics.map_time = map_start.elapsed();
+    metrics.partition_time = mapped
+        .iter()
+        .map(|outcome| outcome.partition_time)
+        .max()
+        .unwrap_or_default();
+    metrics.key_value_pairs = mapped.iter().map(|outcome| outcome.emitted).sum();
+    metrics.shuffle_bytes = mapped.iter().map(|outcome| outcome.bytes).sum();
+    if combiner.is_some() {
+        metrics.combiner_input_records = metrics.key_value_pairs;
+        metrics.combiner_output_records = mapped.iter().map(|outcome| outcome.kept).sum();
+        metrics.shuffle_records = metrics.combiner_output_records;
+    } else {
+        metrics.shuffle_records = metrics.key_value_pairs;
+    }
+
+    // ---- Exchange phase ---------------------------------------------------
+    // Identical transpose to the scoped path: pure ownership moves in shard
+    // order, never touching a record.
+    let shuffle_start = Instant::now();
+    let workers = mapped.len();
+    let mut inboxes: Vec<Vec<ShuffleBucket<K, V>>> =
+        (0..threads).map(|_| Vec::with_capacity(workers)).collect();
+    for outcome in mapped {
+        for (target, bucket) in outcome.buckets.into_iter().enumerate() {
+            inboxes[target].push(bucket);
+        }
+    }
+    metrics.shuffle_time = shuffle_start.elapsed();
+
+    // ---- Reduce phase (group + reduce per shard) --------------------------
+    // One pool task per prehash-range shard. Sink shards are created by the
+    // coordinator in shard order and folded back in shard order — the same
+    // fold sequence the scoped path produces, preserving deterministic
+    // output order.
+    let deterministic = config.deterministic;
+    let reducer = &*round.reducer;
+    let reduce_start = Instant::now();
+    let reduce_slots: Vec<Slot<ReduceOutcome<O>>> =
+        (0..inboxes.len()).map(|_| Mutex::new(None)).collect();
+    let reduce_inputs: Vec<Slot<ReduceWork<K, V, O>>> = inboxes
+        .into_iter()
+        .map(|inbox| Mutex::new(Some((inbox, sink.new_shard()))))
+        .collect();
+    pool.run_indexed(reduce_inputs.len(), |shard| {
+        #[cfg(debug_assertions)]
+        let _ = crate::hash::debug_hash_count::take();
+        let (inbox, sink_shard) = reduce_inputs[shard]
+            .lock()
+            .expect("reduce input poisoned")
+            .take()
+            .expect("each reduce shard is claimed once");
+        // Same capacity heuristic as the scoped path (see there).
+        let capacity = inbox
+            .iter()
+            .map(|b| b.key_entries())
+            .max()
+            .unwrap_or(0)
+            .min(1 << 16);
+        let mut grouped: PrehashedMap<K, Vec<V>> = prehashed_map_with_capacity(capacity);
+        for bucket in inbox {
+            match bucket {
+                ShuffleBucket::Flat(mut pairs) => {
+                    for (hash, key, value) in pairs.drain(..) {
+                        grouped
+                            .entry(Prehashed::from_parts(hash, key))
+                            .or_default()
+                            .push(value);
+                    }
+                    buffers.give(pairs);
+                }
+                ShuffleBucket::Combined(mut combined) => {
+                    for (hash, key, mut values) in combined.drain(..) {
+                        grouped
+                            .entry(Prehashed::from_parts(hash, key))
+                            .or_default()
+                            .append(&mut values);
+                    }
+                    buffers.give(combined);
+                }
+            }
+        }
+        let mut groups: Vec<(K, Vec<V>)> = grouped
+            .into_iter()
+            .map(|(key, values)| (key.into_key(), values))
+            .collect();
+        if deterministic {
+            groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+        let group_count = groups.len();
+        let max_input = groups.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let mut ctx = ReduceContext::with_shard(sink_shard);
+        for (key, values) in &groups {
+            reducer.reduce(key, values, &mut ctx);
+        }
+        let (shard_out, work, emitted) = ctx.into_parts();
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            crate::hash::debug_hash_count::take(),
+            0,
+            "hash-once invariant: reduce-side grouping reuses precomputed hashes"
+        );
+        *reduce_slots[shard].lock().expect("reduce outcome poisoned") = Some(ReduceOutcome {
+            shard: shard_out,
+            emitted,
+            work,
+            groups: group_count,
+            max_input,
+        });
+    });
+    let reduced: Vec<ReduceOutcome<O>> = reduce_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("reduce outcome poisoned")
+                .expect("every reduce shard completed")
+        })
+        .collect();
+    metrics.reduce_time = reduce_start.elapsed();
+    metrics.reducers_used = reduced.iter().map(|outcome| outcome.groups).sum();
+    metrics.max_reducer_input = reduced
+        .iter()
+        .map(|outcome| outcome.max_input)
+        .max()
+        .unwrap_or(0);
+
+    for outcome in reduced {
+        metrics.reducer_work += outcome.work;
+        metrics.outputs += outcome.emitted;
+        sink.fold(outcome.shard);
+    }
+    metrics
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -835,8 +1184,8 @@ mod tests {
         for use_combiners in [true, false] {
             let config = EngineConfig {
                 num_threads: 3,
-                deterministic: true,
                 use_combiners,
+                ..EngineConfig::default()
             };
             let run = || {
                 Pipeline::new()

@@ -17,6 +17,13 @@ impl<K, V> MapContext<K, V> {
         }
     }
 
+    /// A context emitting into a recycled (empty) buffer — the pooled
+    /// executor's way of reusing pair-vector allocations across rounds.
+    pub(crate) fn with_buffer(emitted: Vec<(K, V)>) -> Self {
+        debug_assert!(emitted.is_empty());
+        MapContext { emitted }
+    }
+
     /// Emits one key-value pair towards the reducers.
     pub fn emit(&mut self, key: K, value: V) {
         self.emitted.push((key, value));

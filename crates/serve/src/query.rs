@@ -12,10 +12,11 @@
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::store::GraphStore;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 use subgraph_core::plan::{EnumerationRequest, PlanError, Planner, StrategyKind};
 use subgraph_core::sink::{CsvSink, NdjsonSink, SerializeSink};
-use subgraph_mapreduce::EngineConfig;
+use subgraph_mapreduce::{EngineConfig, WorkerPool};
 use subgraph_pattern::automorphism_group;
 
 /// What to do with the matching instances.
@@ -214,17 +215,25 @@ pub struct QueryEngine {
     planner: Planner,
     /// Per-query thread budget: requests may ask for fewer, never more.
     max_threads: usize,
+    /// One persistent map-reduce worker pool shared by every query this
+    /// engine serves, so per-request thread spawn/join churn never lands on
+    /// the query path. Sized to the thread budget: the calling connection
+    /// worker participates, so `max_threads - 1` pool workers give each
+    /// query its full budget.
+    pool: Arc<WorkerPool>,
 }
 
 impl QueryEngine {
     /// Wraps a store with a plan cache of `cache_capacity` entries and a
     /// per-query thread budget of `max_threads`.
     pub fn new(store: GraphStore, cache_capacity: usize, max_threads: usize) -> Self {
+        let max_threads = max_threads.max(1);
         QueryEngine {
             store,
             cache: PlanCache::new(cache_capacity),
             planner: Planner::new(),
-            max_threads: max_threads.max(1),
+            max_threads,
+            pool: Arc::new(WorkerPool::new(max_threads - 1)),
         }
     }
 
@@ -241,6 +250,11 @@ impl QueryEngine {
     /// The per-query thread budget.
     pub fn max_threads(&self) -> usize {
         self.max_threads
+    }
+
+    /// The persistent map-reduce worker pool every query runs on.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Checks that `query` names a resolvable pattern without planning or
@@ -269,7 +283,8 @@ impl QueryEngine {
             .threads
             .unwrap_or(self.max_threads)
             .min(self.max_threads);
-        request = request.engine(EngineConfig::with_threads(threads));
+        request =
+            request.engine(EngineConfig::with_threads(threads).with_pool(Arc::clone(&self.pool)));
         let automorphisms = automorphism_group(request.sample()).len();
 
         // Plan-cache consultation: a hit resumes with zero re-estimation, a
@@ -330,6 +345,7 @@ impl std::fmt::Debug for QueryEngine {
             .field("store", &self.store.source())
             .field("cache", &self.cache)
             .field("max_threads", &self.max_threads)
+            .field("pool_workers", &self.pool.workers())
             .finish()
     }
 }

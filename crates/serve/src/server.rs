@@ -36,6 +36,14 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Per-query engine thread budget.
     pub threads_per_query: usize,
+    /// Per-connection socket read timeout. A client that connects and never
+    /// finishes its request releases its worker after this long instead of
+    /// holding it hostage forever (the classic slowloris failure). `None`
+    /// disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout: a client that stops draining a
+    /// streamed response is dropped instead of wedging the worker.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +55,8 @@ impl Default for ServerConfig {
             pool: 4,
             cache_capacity: 64,
             threads_per_query: 1,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -192,10 +202,11 @@ pub fn spawn(engine: QueryEngine, config: &ServerConfig) -> io::Result<ServerHan
         let engine = Arc::clone(&engine);
         let metrics = Arc::clone(&metrics);
         let shutdown = Arc::clone(&shutdown);
+        let timeouts = (config.read_timeout, config.write_timeout);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{worker}"))
-                .spawn(move || worker_loop(rx, engine, metrics, shutdown))
+                .spawn(move || worker_loop(rx, engine, metrics, shutdown, timeouts))
                 .expect("spawning a worker thread"),
         );
     }
@@ -273,6 +284,7 @@ fn worker_loop(
     engine: Arc<QueryEngine>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    (read_timeout, write_timeout): (Option<Duration>, Option<Duration>),
 ) {
     loop {
         // Hold the receiver lock only while waiting, never while handling.
@@ -283,10 +295,20 @@ fn worker_loop(
         match conn {
             Ok(Conn::Tcp(stream)) => {
                 let _ = stream.set_nodelay(true);
+                // A worker handles one connection at a time, so a socket that
+                // never produces (or never drains) bytes would wedge it; the
+                // timeouts turn that into an io error that closes the
+                // connection and frees the worker.
+                let _ = stream.set_read_timeout(read_timeout);
+                let _ = stream.set_write_timeout(write_timeout);
                 handle_connection(stream, &engine, &metrics);
             }
             #[cfg(unix)]
-            Ok(Conn::Unix(stream)) => handle_connection(stream, &engine, &metrics),
+            Ok(Conn::Unix(stream)) => {
+                let _ = stream.set_read_timeout(read_timeout);
+                let _ = stream.set_write_timeout(write_timeout);
+                handle_connection(stream, &engine, &metrics);
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
@@ -504,10 +526,14 @@ pub fn startup_banner(
         out.push_str(&format!("listening on unix:{}\n", path.display()));
     }
     out.push_str(&format!(
-        "workers {}, plan cache {} entries, {} thread(s) per query",
+        "workers {}, plan cache {} entries, {} thread(s) per query, io timeout {}",
         config.pool.max(1),
         config.cache_capacity,
         config.threads_per_query.max(1),
+        match config.read_timeout {
+            Some(t) => format!("{}s", t.as_secs()),
+            None => "off".to_string(),
+        },
     ));
     out
 }
@@ -611,6 +637,51 @@ mod tests {
             .contains("\"count\":10"));
         server.shutdown();
         assert!(!path.exists(), "socket file cleaned up on shutdown");
+    }
+
+    /// The slowloris regression: a client that connects and never sends its
+    /// request must not hold a connection worker hostage. With a *single*
+    /// worker and a short read timeout, a concurrent well-behaved client
+    /// still gets served, and the staller's socket is closed.
+    #[test]
+    fn a_stalled_client_cannot_starve_other_connections() {
+        let engine = QueryEngine::new(GraphStore::from_graph(generators::complete(5)), 8, 1);
+        let config = ServerConfig {
+            listen: Some("127.0.0.1:0".to_string()),
+            pool: 1,
+            read_timeout: Some(Duration::from_millis(150)),
+            write_timeout: Some(Duration::from_millis(500)),
+            ..ServerConfig::default()
+        };
+        let server = spawn(engine, &config).expect("server starts");
+        let addr = server.tcp_addr().unwrap();
+
+        // The staller: connects, sends nothing, keeps the socket open.
+        let mut staller = TcpStream::connect(addr).unwrap();
+        // Give the lone worker time to pick the staller up, so the healthy
+        // request genuinely queues behind it.
+        std::thread::sleep(Duration::from_millis(50));
+
+        let healthy = client::get(&addr, "/query?pattern=triangle").unwrap();
+        assert_eq!(healthy.status, 200);
+        assert!(String::from_utf8(healthy.body)
+            .unwrap()
+            .contains("\"count\":10"));
+
+        // The server must have dropped the stalled connection: the staller
+        // reads EOF (or a connection reset) instead of blocking forever.
+        staller
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        match staller.read(&mut buf) {
+            Ok(0) => {} // clean close
+            Ok(n) => panic!("unexpected {n} bytes from a stalled connection"),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {}
+            Err(e) => panic!("staller read should see a closed socket, got {e}"),
+        }
+        assert_eq!(server.metrics().io_errors.load(Ordering::Relaxed), 1);
+        server.shutdown();
     }
 
     #[test]
