@@ -30,6 +30,13 @@ fn main() {
             },
             "sink" => print!("{}", subgraph_bench::sink_bench::sink_throughput(false)),
             "sink-quick" => print!("{}", subgraph_bench::sink_bench::sink_throughput(true)),
+            "rss-gate" => match subgraph_bench::sink_bench::rss_gate() {
+                Ok(report) => print!("{report}"),
+                Err(report) => {
+                    eprint!("{report}");
+                    std::process::exit(1);
+                }
+            },
             "serve" => print!("{}", subgraph_bench::serve_bench::serve_amortization(false)),
             "serve-quick" => print!("{}", subgraph_bench::serve_bench::serve_amortization(true)),
             "cli" => print!("{}", cli_table::cli_parity()),
@@ -72,6 +79,8 @@ fn print_usage() {
          exits 1 on regression)\n  \
          sink                  streaming-sink sweep: count-only >=1M-edge graph (writes BENCH_sink.json)\n  \
          sink-quick            the same sweep in CI smoke mode\n  \
+         rss-gate              bytes-per-edge budget on the sink-quick peak RSS (CI gate; \
+         exits 1 on regression)\n  \
          serve                 serve amortization: warm cached queries vs one-shot (writes BENCH_serve.json)\n  \
          serve-quick           the same comparison in CI smoke mode\n  \
          cli                   CLI parity: enumerate line count vs count per catalog pattern\n  \

@@ -19,8 +19,33 @@ use crate::report::{fmt, Table};
 use crate::shuffle::validate_json;
 use std::time::Instant;
 use subgraph_core::plan::{EnumerationRequest, StrategyKind};
-use subgraph_graph::generators;
+use subgraph_graph::{generators, GraphSource};
 use subgraph_mapreduce::EngineConfig;
+
+/// Wall-clock comparison of loading the same graph from a text edge list and
+/// from the binary `.sgr` container (the `load_secs` column of
+/// `BENCH_sink.json`). Both files are written to scratch paths under
+/// `target/` and loaded through [`GraphSource`] — exactly the CLI's path, so
+/// the text side pays parsing + hygiene and the binary side pays a header
+/// validation plus an `mmap`.
+#[derive(Clone, Debug)]
+pub struct LoadSample {
+    /// Fastest text edge-list load, in seconds.
+    pub text_secs: f64,
+    /// Fastest binary `.sgr` load, in seconds.
+    pub sgr_secs: f64,
+}
+
+impl LoadSample {
+    /// How many times faster the binary load is.
+    pub fn speedup(&self) -> f64 {
+        if self.sgr_secs > 0.0 {
+            self.text_secs / self.sgr_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
 
 /// Thread counts the sweep measures.
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -71,6 +96,8 @@ pub struct SinkBenchReport {
     /// Count-only mode keeps the delta over the baseline flat in the
     /// instance count — the shuffle dominates, never the instances.
     pub peak_rss_bytes: Option<u64>,
+    /// Text-vs-binary load timing for this graph (the `load_secs` column).
+    pub load: LoadSample,
     /// One entry per swept thread count, in [`THREAD_COUNTS`] order.
     pub samples: Vec<SinkSample>,
 }
@@ -128,6 +155,12 @@ impl SinkBenchReport {
             mib(self.peak_rss_bytes),
         ));
         table.note(&format!(
+            "load_secs: text edge-list parse {:.4}s vs binary .sgr {:.6}s ({:.0}x faster)",
+            self.load.text_secs,
+            self.load.sgr_secs,
+            self.load.speedup(),
+        ));
+        table.note(&format!(
             "written to {}",
             if self.mode == "quick" {
                 "target/BENCH_sink.quick.json"
@@ -174,6 +207,12 @@ impl SinkBenchReport {
             "  \"peak_rss_bytes\": {},\n",
             json_u64(self.peak_rss_bytes)
         ));
+        out.push_str(&format!(
+            "  \"load_secs\": {{ \"text\": {:.6}, \"sgr\": {:.6}, \"speedup\": {:.1} }},\n",
+            self.load.text_secs,
+            self.load.sgr_secs,
+            self.load.speedup(),
+        ));
         out.push_str("  \"results\": [\n");
         for (i, sample) in self.samples.iter().enumerate() {
             let records_per_sec = if sample.mean_secs > 0.0 {
@@ -219,6 +258,46 @@ fn parse_vm_hwm(status: &str) -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Measures text vs `.sgr` load time for `graph`: writes both encodings to
+/// scratch files under `target/`, loads each a few times through
+/// [`GraphSource`] (content-sniffed, like the CLI), keeps the fastest, and
+/// removes the scratch files. Panics on I/O failure or on a load that does
+/// not round-trip the graph's shape — a benchmark must not publish a timing
+/// for a load that produced the wrong graph.
+fn measure_load_times(graph: &subgraph_graph::DataGraph) -> LoadSample {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target");
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create target/: {e}"));
+    let text_path = dir.join("BENCH_sink.load.txt");
+    let sgr_path = dir.join("BENCH_sink.load.sgr");
+    subgraph_graph::io::write_edge_list_file(graph, &text_path)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", text_path.display()));
+    subgraph_graph::write_sgr_file(graph, &sgr_path)
+        .unwrap_or_else(|e| panic!("cannot write {}", e));
+
+    let time_load = |path: &std::path::Path| -> f64 {
+        let source = GraphSource::file(path);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let (loaded, _) = source
+                .load_with_stats()
+                .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(loaded.num_edges(), graph.num_edges(), "{}", path.display());
+            best = best.min(elapsed);
+        }
+        best
+    };
+    let text_secs = time_load(&text_path);
+    let sgr_secs = time_load(&sgr_path);
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&sgr_path).ok();
+    LoadSample {
+        text_secs,
+        sgr_secs,
+    }
+}
+
 /// Runs the sweep. Both modes use a ≥ 1M-edge graph — the point of the sink
 /// path is large-graph behaviour; `quick` only trims the repetition count.
 pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
@@ -239,6 +318,7 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
     // The baseline the sweep starts from: VmHWM right after generation is
     // (graph + generator scratch), before any shuffle allocation.
     let rss_after_generate_bytes = peak_rss_bytes();
+    let load = measure_load_times(&graph);
     let available_parallelism = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1);
@@ -282,6 +362,7 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
         available_parallelism,
         rss_after_generate_bytes,
         peak_rss_bytes: peak_rss_bytes(),
+        load,
         samples,
     }
 }
@@ -330,6 +411,73 @@ pub fn sink_throughput(quick: bool) -> String {
     report.table()
 }
 
+/// CI memory gate: peak RSS per edge of the quick sink sweep must stay
+/// within this budget. The arena shuffle prices a shuffled triangle record
+/// at ~13 bytes and the graph itself at 28 bytes/edge (CSR + edge list on a
+/// sparse G(n, p) with n ≈ 1.4 m); the measured quick-mode total sits around
+/// 110–130 bytes/edge including generator scratch and the grouping tables,
+/// so 256 is a regression tripwire (the pre-arena shuffle measured ~450),
+/// not a tight fit.
+pub const RSS_BYTES_PER_EDGE_BUDGET: f64 = 256.0;
+
+/// The `reproduce rss-gate` CI step: reads the quick-mode JSON that
+/// `reproduce sink-quick` (or the bench target in `--quick` mode) just
+/// wrote, and fails when `peak_rss_bytes / edges` exceeds
+/// [`RSS_BYTES_PER_EDGE_BUDGET`]. Run it *after* `sink-quick` — a missing
+/// file is an error, not a skip, so the gate cannot silently pass by
+/// running first. Hosts that do not expose `VmHWM` (non-Linux) degrade to
+/// an informational pass: there is no measurement to gate on.
+pub fn rss_gate() -> Result<String, String> {
+    let path = quick_json_path();
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "rss gate cannot read {} ({e}); run `reproduce sink-quick` first",
+            path.display()
+        )
+    })?;
+    rss_gate_verdict(&json, &path.display().to_string())
+}
+
+/// The gate's decision, separated from the file read so it is unit-testable:
+/// pass/fail on `peak_rss_bytes / edges` vs the budget, informational pass
+/// when the RSS is `null`.
+fn rss_gate_verdict(json: &str, label: &str) -> Result<String, String> {
+    let edges = extract_u64_field(json, "edges")
+        .ok_or_else(|| format!("{label} has no \"edges\" field"))?;
+    if edges == 0 {
+        return Err(format!("{label} reports 0 edges"));
+    }
+    let Some(peak) = extract_u64_field(json, "peak_rss_bytes") else {
+        return Ok(format!(
+            "rss gate skipped: {label} has peak_rss_bytes null (platform without VmHWM)\n"
+        ));
+    };
+    let per_edge = peak as f64 / edges as f64;
+    let verdict = format!(
+        "rss gate: peak_rss_bytes {peak} / {edges} edges = {per_edge:.1} bytes/edge \
+         (budget {RSS_BYTES_PER_EDGE_BUDGET})\n"
+    );
+    if per_edge > RSS_BYTES_PER_EDGE_BUDGET {
+        Err(format!(
+            "{verdict}rss gate FAILED: the compact memory path regressed — \
+             the arena shuffle + CSR graph fit well under the budget\n"
+        ))
+    } else {
+        Ok(verdict)
+    }
+}
+
+/// Extracts the first `"key": <number>` field from JSON text. Returns `None`
+/// for a missing key or a non-numeric value (e.g. `null`) — callers decide
+/// whether that means "skip" or "fail".
+fn extract_u64_field(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +494,10 @@ mod tests {
             available_parallelism: 1,
             rss_after_generate_bytes: Some(100 * 1024 * 1024),
             peak_rss_bytes: Some(123 * 1024 * 1024),
+            load: LoadSample {
+                text_secs: 1.5,
+                sgr_secs: 0.01,
+            },
             samples: THREAD_COUNTS
                 .iter()
                 .map(|&threads| SinkSample {
@@ -392,6 +544,46 @@ mod tests {
         for bad in ["", "VmRSS:\t7 kB\n", "VmHWM: lots kB", "VmHWM: 12 MB"] {
             assert_eq!(parse_vm_hwm(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn report_carries_the_load_secs_column() {
+        let report = micro_report();
+        let json = report.to_json();
+        assert!(json.contains("\"load_secs\""), "{json}");
+        assert!(json.contains("\"text\": 1.500000"), "{json}");
+        assert!(json.contains("\"sgr\": 0.010000"), "{json}");
+        assert!(json.contains("\"speedup\": 150.0"), "{json}");
+        assert!(report.table().contains("load_secs"), "{}", report.table());
+        assert!((report.load.speedup() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numeric_field_extraction_handles_null_and_missing() {
+        let json = "{\n  \"edges\": 1050000,\n  \"peak_rss_bytes\": null\n}";
+        assert_eq!(extract_u64_field(json, "edges"), Some(1_050_000));
+        assert_eq!(extract_u64_field(json, "peak_rss_bytes"), None);
+        assert_eq!(extract_u64_field(json, "nope"), None);
+    }
+
+    #[test]
+    fn rss_gate_verdicts() {
+        let json = |edges: u64, peak: &str| {
+            format!("{{ \"edges\": {edges}, \"peak_rss_bytes\": {peak} }}")
+        };
+        // Under budget: pass, with the arithmetic in the message.
+        let ok = rss_gate_verdict(&json(1_000_000, "100000000"), "t").unwrap();
+        assert!(ok.contains("100.0 bytes/edge"), "{ok}");
+        // Over budget: fail.
+        let over = (RSS_BYTES_PER_EDGE_BUDGET as u64 + 1) * 1_000_000;
+        let err = rss_gate_verdict(&json(1_000_000, &over.to_string()), "t").unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        // Null RSS: informational pass, never a silent fail.
+        let skip = rss_gate_verdict(&json(1_000_000, "null"), "t").unwrap();
+        assert!(skip.contains("skipped"), "{skip}");
+        // Malformed: loud errors.
+        assert!(rss_gate_verdict("{}", "t").is_err());
+        assert!(rss_gate_verdict("{ \"edges\": 0, \"peak_rss_bytes\": 1 }", "t").is_err());
     }
 
     #[test]

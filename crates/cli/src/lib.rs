@@ -22,12 +22,17 @@
 //!   ([`subgraph_serve`]): load the graph once, then answer `count` and
 //!   `enumerate` queries over HTTP with a shared plan cache.
 //!
-//! A sixth helper, `generate`, materializes any graph spec as an edge-list
-//! file so the other subcommands (and external tools) have something to read.
+//! Two helpers round out the set: `generate` materializes any graph spec as
+//! an edge-list file so the other subcommands (and external tools) have
+//! something to read, and `convert` re-encodes any graph source as a binary
+//! `.sgr` container ([`subgraph_graph::sgr`]) that loads back zero-copy via
+//! `mmap` — every subcommand accepts `.sgr` files transparently because
+//! [`GraphSource`] sniffs the format from the file's first bytes.
 //!
-//! Patterns are either catalog names (`triangle`, `k4`, …) or inline edge
-//! specs (`--pattern a-b,b-c,c-a`), resolved by
-//! [`EnumerationRequest::resolve`].
+//! Patterns are either catalog names (`triangle`, `k4`, …), inline edge
+//! specs (`--pattern a-b,b-c,c-a`), or files holding a spec
+//! (`--pattern-file query.pat`: one edge per line, `#` comments), resolved
+//! by [`EnumerationRequest::resolve`].
 //!
 //! The crate is a thin library plus a `main` shim so that the bench harness
 //! and the integration tests drive exactly the code the binary runs:
@@ -53,7 +58,7 @@ use subgraph_core::{
     CsvSink, EdgeListSink, EnumerationRequest, NdjsonSink, PlanError, RunReport, StrategyKind,
 };
 use subgraph_graph::io::write_edge_list;
-use subgraph_graph::{DataGraph, GraphSource, ReadStats, SourceError};
+use subgraph_graph::{write_sgr_file, DataGraph, GraphSource, ReadStats, SourceError};
 use subgraph_mapreduce::EngineConfig;
 use subgraph_pattern::catalog;
 use subgraph_serve::{GraphStore, QueryEngine, ServerConfig};
@@ -181,6 +186,17 @@ pub enum Command {
         /// Output file; `None` streams to stdout.
         output: Option<PathBuf>,
     },
+    /// Re-encode a graph source as a binary `.sgr` container.
+    Convert {
+        /// The graph to convert (a text edge list, a generator spec, or
+        /// even an existing `.sgr` file to re-canonicalize).
+        source: GraphSource,
+        /// The `.sgr` file to write (required — the container is binary, so
+        /// it never goes to stdout).
+        output: PathBuf,
+        /// Also report input hygiene counters for text sources.
+        verbose: bool,
+    },
 }
 
 /// How an invocation failed, carrying the process exit code to use.
@@ -251,15 +267,21 @@ subcommands:
   catalog     list the named patterns
   serve       start a long-lived query service over one shared graph
   generate    write a graph spec out as an edge-list file
+  convert     re-encode a graph source as a binary .sgr file (mmap-loadable)
 
-input (enumerate / count / explain / serve take exactly one):
+input (enumerate / count / explain / serve / convert take exactly one):
   --input <file>        read a SNAP-style edge list (`u v` per line, # comments)
+                        or a binary .sgr file — the format is sniffed from the
+                        content, not the extension
+  --graph <file>        alias of --input
   --generate <spec>     synthesize a graph: gnm:<n>,<m>[,seed]
                         gnp:<n>,<p>[,seed] | power-law:<n>,<m>,<gamma>[,seed]
 
 request options:
   --pattern <p>         catalog pattern (see `subgraph catalog`) or inline
                         edge spec like a-b,b-c,c-a; required
+  --pattern-file <f>    read the pattern spec from a file instead (one edge
+                        per line or comma-separated, # comments)
   --reducers <k>        reducer budget the plan is optimized for (default 64;
                         <= 1 plans a serial algorithm)
   --threads <t>         engine worker threads (default: all cores;
@@ -284,7 +306,8 @@ examples:
   subgraph count --input graph.txt --pattern triangle
   subgraph enumerate --input graph.txt --pattern a-b,b-c,c-a --format ndjson
   subgraph explain --generate power-law:100000,500000,2.5 --pattern lollipop --reducers 750
-  subgraph serve --input graph.txt --listen 127.0.0.1:7878 --plan-cache 128
+  subgraph convert --input graph.txt --output graph.sgr
+  subgraph serve --graph graph.sgr --listen 127.0.0.1:7878 --plan-cache 128
 ";
 
 impl Command {
@@ -304,6 +327,7 @@ impl Command {
         let mut input: Option<String> = None;
         let mut generate: Option<String> = None;
         let mut pattern: Option<String> = None;
+        let mut pattern_file: Option<PathBuf> = None;
         let mut format: Option<String> = None;
         let mut output: Option<PathBuf> = None;
         let mut reducers: Option<usize> = None;
@@ -326,8 +350,10 @@ impl Command {
             };
             match arg {
                 "--input" => input = Some(value("--input")?),
+                "--graph" => input = Some(value("--graph")?),
                 "--generate" => generate = Some(value("--generate")?),
                 "--pattern" => pattern = Some(value("--pattern")?),
+                "--pattern-file" => pattern_file = Some(PathBuf::from(value("--pattern-file")?)),
                 "--format" => format = Some(value("--format")?),
                 "--output" | "-o" => output = Some(PathBuf::from(value("--output")?)),
                 "--reducers" => {
@@ -385,9 +411,34 @@ impl Command {
 
         let request_opts = |need: &str| -> Result<RequestOpts, CliError> {
             let source = graph_source(need)?;
-            let pattern = pattern
-                .clone()
-                .ok_or_else(|| CliError::Usage(format!("{need} needs --pattern <name>")))?;
+            let pattern = match (&pattern, &pattern_file) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--pattern and --pattern-file are mutually exclusive".into(),
+                    ))
+                }
+                (Some(p), None) => p.clone(),
+                // File dialect: one edge per line (or comma-separated),
+                // `#` comments — normalized to the inline spec grammar.
+                (None, Some(path)) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| {
+                        CliError::Run(format!("cannot read pattern file {}: {e}", path.display()))
+                    })?;
+                    let spec = subgraph_pattern::normalize_spec_text(&text);
+                    if spec.is_empty() {
+                        return Err(CliError::Run(format!(
+                            "pattern file {} holds no pattern (only comments or blank lines)",
+                            path.display()
+                        )));
+                    }
+                    spec
+                }
+                (None, None) => {
+                    return Err(CliError::Usage(format!(
+                        "{need} needs --pattern <name> or --pattern-file <file>"
+                    )))
+                }
+            };
             let strategy = match &strategy {
                 None => None,
                 Some(name) => Some(parse_strategy(name).ok_or_else(|| {
@@ -483,6 +534,7 @@ impl Command {
                     ("--input", input.is_some()),
                     ("--generate", generate.is_some()),
                     ("--pattern", pattern.is_some()),
+                    ("--pattern-file", pattern_file.is_some()),
                     ("--format", format.is_some()),
                     ("--output", output.is_some()),
                     ("--reducers", reducers.is_some()),
@@ -497,6 +549,7 @@ impl Command {
             "serve" => {
                 no_positionals("serve")?;
                 reject("serve", "--pattern", pattern.is_some())?;
+                reject("serve", "--pattern-file", pattern_file.is_some())?;
                 reject("serve", "--format", format.is_some())?;
                 reject("serve", "--output", output.is_some())?;
                 reject("serve", "--reducers", reducers.is_some())?;
@@ -523,6 +576,7 @@ impl Command {
                 no_serve_flags("generate")?;
                 for (flag, given) in [
                     ("--pattern", pattern.is_some()),
+                    ("--pattern-file", pattern_file.is_some()),
                     ("--format", format.is_some()),
                     ("--reducers", reducers.is_some()),
                     ("--threads", threads.is_some()),
@@ -546,6 +600,41 @@ impl Command {
                     }
                 };
                 Ok(Command::Generate { source, output })
+            }
+            "convert" => {
+                no_serve_flags("convert")?;
+                for (flag, given) in [
+                    ("--pattern", pattern.is_some()),
+                    ("--pattern-file", pattern_file.is_some()),
+                    ("--format", format.is_some()),
+                    ("--reducers", reducers.is_some()),
+                    ("--threads", threads.is_some()),
+                    ("--strategy", strategy.is_some()),
+                ] {
+                    reject("convert", flag, given)?;
+                }
+                let source = match (positional.as_slice(), &generate, &input) {
+                    ([spec], None, None) => spec
+                        .parse::<GraphSource>()
+                        .map_err(|e| usage(e.to_string()))?,
+                    ([], Some(spec), None) => GraphSource::parse_generator(spec)
+                        .map_err(|e| usage(e.to_string()))?,
+                    ([], None, Some(path)) => GraphSource::file(path),
+                    _ => {
+                        return Err(usage(
+                            "convert takes exactly one input: `subgraph convert --input g.txt -o g.sgr`"
+                                .into(),
+                        ))
+                    }
+                };
+                let output = output.ok_or_else(|| {
+                    usage("convert needs --output <file>: the .sgr container is binary".into())
+                })?;
+                Ok(Command::Convert {
+                    source,
+                    output,
+                    verbose,
+                })
             }
             other => Err(usage(format!("unknown subcommand {other:?}"))),
         }
@@ -818,6 +907,28 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
                     " (cleaned {} duplicate edges, {} self-loops)",
                     stats.duplicate_edges, stats.self_loops
                 ));
+            }
+            Ok(Some(note))
+        }
+        Command::Convert {
+            source,
+            output,
+            verbose,
+        } => {
+            let (graph, stats) = source.load_with_stats()?;
+            // SgrError already names the file it was writing.
+            write_sgr_file(&graph, output).map_err(|e| CliError::Run(e.to_string()))?;
+            let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+            let mut note = format!(
+                "converted {source}: {} nodes, {} edges -> {} ({bytes} bytes, mmap-loadable)",
+                graph.num_nodes(),
+                graph.num_edges(),
+                output.display()
+            );
+            if *verbose {
+                if let Some(stats) = stats {
+                    note.push_str(&format!("\ninput hygiene: {stats}"));
+                }
             }
             Ok(Some(note))
         }
@@ -1258,6 +1369,183 @@ mod tests {
         assert!(feedback.contains("crlf lines 1"), "{feedback}");
         assert_eq!(String::from_utf8(out).unwrap().trim(), "1");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn convert_writes_an_sgr_file_that_counts_identically() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("convert-src.txt");
+        let binary = dir.join("convert-out.sgr");
+
+        let mut out = Vec::new();
+        run(
+            &parse(&[
+                "generate",
+                "gnp:90,0.07,11",
+                "--output",
+                text.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let note = run(
+            &parse(&[
+                "convert",
+                "--input",
+                text.to_str().unwrap(),
+                "--output",
+                binary.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap()
+        .expect("convert reports what it wrote");
+        assert!(note.contains("mmap-loadable"), "{note}");
+
+        // The binary file starts with the container magic, not text.
+        let head = std::fs::read(&binary).unwrap();
+        assert_eq!(&head[..8], b"SGRAPH\r\n");
+
+        // Count parity: text source vs .sgr source.
+        let from = |path: &std::path::Path| RequestOpts {
+            source: GraphSource::file(path),
+            pattern: "triangle".to_string(),
+            reducers: Some(16),
+            threads: Some(1),
+            strategy: None,
+        };
+        assert_eq!(
+            count_instances(&from(&text)).unwrap().0.count(),
+            count_instances(&from(&binary)).unwrap().0.count(),
+        );
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&binary).ok();
+    }
+
+    #[test]
+    fn convert_usage_is_strict() {
+        let err = |args: &[&str]| match Command::parse(args) {
+            Err(CliError::Usage(msg)) => msg,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        assert!(err(&["convert", "--generate", "gnp:9,0.5"]).contains("--output"));
+        assert!(err(&["convert"]).contains("exactly one input"));
+        assert!(err(&[
+            "convert",
+            "--generate",
+            "gnp:9,0.5",
+            "-o",
+            "x.sgr",
+            "--pattern",
+            "triangle"
+        ])
+        .contains("does not take --pattern"));
+    }
+
+    #[test]
+    fn graph_flag_is_an_input_alias() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alias.txt");
+        std::fs::write(&path, "0 1\n1 2\n0 2\n").unwrap();
+        let cmd = parse(&[
+            "count",
+            "--graph",
+            path.to_str().unwrap(),
+            "--pattern",
+            "triangle",
+        ]);
+        let mut out = Vec::new();
+        run(&cmd, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().trim(), "1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pattern_files_resolve_like_inline_specs() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pat = dir.join("triangle.pat");
+        std::fs::write(&pat, "# a triangle\na-b\nb-c # one edge per line\nc-a\n").unwrap();
+
+        let inline = parse(&[
+            "count",
+            "--generate",
+            "gnp:60,0.1,7",
+            "--pattern",
+            "a-b,b-c,c-a",
+        ]);
+        let from_file = parse(&[
+            "count",
+            "--generate",
+            "gnp:60,0.1,7",
+            "--pattern-file",
+            pat.to_str().unwrap(),
+        ]);
+        let count_of = |cmd: &Command| {
+            let mut out = Vec::new();
+            run(cmd, &mut out).unwrap();
+            String::from_utf8(out)
+                .unwrap()
+                .trim()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(count_of(&inline), count_of(&from_file));
+
+        // Both flags at once is a usage error; an empty file is a run error
+        // naming the file; a missing file is a run error too.
+        match Command::parse(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "--pattern-file",
+            pat.to_str().unwrap(),
+        ]) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("mutually exclusive"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        let empty = dir.join("empty.pat");
+        std::fs::write(&empty, "# nothing here\n").unwrap();
+        match Command::parse(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern-file",
+            empty.to_str().unwrap(),
+        ]) {
+            Err(CliError::Run(msg)) => assert!(msg.contains("empty.pat"), "{msg}"),
+            other => panic!("expected run error, got {other:?}"),
+        }
+        match Command::parse(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern-file",
+            "/no/such/pattern.pat",
+        ]) {
+            Err(CliError::Run(msg)) => assert!(msg.contains("/no/such/pattern.pat"), "{msg}"),
+            other => panic!("expected run error, got {other:?}"),
+        }
+        std::fs::remove_file(&pat).ok();
+        std::fs::remove_file(&empty).ok();
+    }
+
+    #[test]
+    fn serve_rejects_pattern_files_too() {
+        match Command::parse(&[
+            "serve",
+            "--generate",
+            "gnm:9,20,1",
+            "--pattern-file",
+            "x.pat",
+        ]) {
+            Err(CliError::Usage(msg)) => assert!(msg.contains("does not take --pattern-file")),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -118,7 +118,8 @@ pub fn bucket_oriented_with_cqs_into(
     let report = Pipeline::new()
         .round(
             Round::new("bucket-oriented", mapper, reducer)
-                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
+                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len()))
+                .arena(),
         )
         .run_with_sink(graph.edges(), config, sink);
     RunStats::from_pipeline(report)

@@ -122,9 +122,50 @@ impl BucketKey {
     }
 }
 
+/// Arena-shuffle encoding: a variant tag, the length, then each coordinate
+/// as a varint (bucket numbers are small, so an inline triangle key costs
+/// ~5 bytes on the wire instead of the 8-byte packed word). The tag keeps
+/// the decoded variant identical to the encoded one, so `Eq`/`Ord`/`Hash`
+/// survive the round trip bit-for-bit.
+impl subgraph_codec::ArenaCodec for BucketKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BucketKey::Inline { len, .. } => {
+                out.push(0);
+                out.push(*len);
+                for i in 0..*len as usize {
+                    subgraph_codec::write_varint(out, u64::from(self.coord(i)));
+                }
+            }
+            BucketKey::Heap(coords) => {
+                out.push(1);
+                coords.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        let tag = u8::decode(buf, pos);
+        match tag {
+            0 => {
+                let len = u8::decode(buf, pos);
+                let mut packed = 0u64;
+                for i in 0..len as usize {
+                    let coord = subgraph_codec::read_varint(buf, pos);
+                    packed |= coord << (48 - 16 * i);
+                }
+                BucketKey::Inline { packed, len }
+            }
+            1 => BucketKey::Heap(Vec::<u32>::decode(buf, pos)),
+            other => panic!("corrupt BucketKey tag {other}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use subgraph_codec::ArenaCodec;
     use subgraph_graph::rng::Rng;
 
     fn random_coords(rng: &mut Rng, max_len: usize, max_coord: u32) -> Vec<u32> {
@@ -188,6 +229,33 @@ mod tests {
         // Prefixes sort first, exactly like the Vec<u32> keys they replace.
         assert!(BucketKey::new(&[1, 2]) < BucketKey::new(&[1, 2, 0]));
         assert!(BucketKey::new(&[0, 5]) < BucketKey::new(&[1]));
+    }
+
+    /// Proptest: the arena codec round-trips both representations exactly
+    /// (same variant, same coordinates, buffer fully consumed).
+    #[test]
+    fn arena_codec_round_trips_both_variants() {
+        let mut rng = Rng::seed_from_u64(0x5eed_0003);
+        let mut keys = Vec::new();
+        for _ in 0..500 {
+            keys.push(BucketKey::new(&random_coords(&mut rng, 8, 9)));
+            keys.push(BucketKey::new(&random_coords(&mut rng, 6, 100_000)));
+        }
+        let mut buf = Vec::new();
+        for key in &keys {
+            key.encode(&mut buf);
+        }
+        let mut pos = 0;
+        for key in &keys {
+            let decoded = BucketKey::decode(&buf, &mut pos);
+            assert_eq!(&decoded, key);
+            assert_eq!(
+                std::mem::discriminant(&decoded),
+                std::mem::discriminant(key),
+                "variant must survive the round trip: {key:?}"
+            );
+        }
+        assert_eq!(pos, buf.len());
     }
 
     #[test]

@@ -133,7 +133,8 @@ pub fn run_with_plan_into(
     let report = Pipeline::new()
         .round(
             Round::new("variable-oriented", mapper, reducer)
-                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len())),
+                .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len()))
+                .arena(),
         )
         .run_with_sink(graph.edges(), config, sink);
     RunStats::from_pipeline(report)

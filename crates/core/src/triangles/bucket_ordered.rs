@@ -76,7 +76,7 @@ pub(crate) fn run_bucket_ordered_triangles_into(
     };
 
     let report = Pipeline::new()
-        .round(Round::new("bucket-ordered", mapper, reducer))
+        .round(Round::new("bucket-ordered", mapper, reducer).arena())
         .run_with_sink(graph.edges(), config, sink);
     RunStats::from_pipeline(report)
 }

@@ -69,6 +69,53 @@ enum Side {
     Upper(NodeId),
 }
 
+/// Arena-shuffle encodings for the cascade's value types: a one-byte side /
+/// role tag plus a varint node id where the variant carries one.
+impl subgraph_codec::ArenaCodec for Side {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Side::Lower(v) => {
+                out.push(0);
+                subgraph_codec::write_varint(out, u64::from(*v));
+            }
+            Side::Upper(v) => {
+                out.push(1);
+                subgraph_codec::write_varint(out, u64::from(*v));
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        let tag = u8::decode(buf, pos);
+        let v = subgraph_codec::read_varint(buf, pos) as NodeId;
+        match tag {
+            0 => Side::Lower(v),
+            1 => Side::Upper(v),
+            other => panic!("corrupt Side tag {other}"),
+        }
+    }
+}
+
+impl subgraph_codec::ArenaCodec for Round2Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Round2Value::MiddleNode(y) => {
+                out.push(0);
+                subgraph_codec::write_varint(out, u64::from(*y));
+            }
+            Round2Value::ClosingEdge => out.push(1),
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        match u8::decode(buf, pos) {
+            0 => Round2Value::MiddleNode(subgraph_codec::read_varint(buf, pos) as NodeId),
+            1 => Round2Value::ClosingEdge,
+            other => panic!("corrupt Round2Value tag {other}"),
+        }
+    }
+}
+
 /// The wedge round as a declarative [`Round`]: every edge is shipped twice
 /// (once as `E(X,Y)` keyed by its upper endpoint, once as `E(Y,Z)` keyed by
 /// its lower endpoint); the reducer for node `y` pairs its lower neighbours
@@ -96,7 +143,7 @@ fn wedge_round_spec() -> Round<'static, Edge, NodeId, Side, Wedge> {
             }
         }
     };
-    Round::new("wedge", mapper, reducer)
+    Round::new("wedge", mapper, reducer).arena()
 }
 
 /// The closing round as a declarative [`Round`]: wedges and edges are keyed by
@@ -122,7 +169,7 @@ fn closing_round_spec() -> Round<'static, Round2Input, (NodeId, NodeId), Round2V
                 }
             }
         };
-    Round::new("closing", mapper, reducer)
+    Round::new("closing", mapper, reducer).arena()
 }
 
 /// Runs the two-round cascade pipeline, streaming the triangles of the

@@ -64,7 +64,7 @@ pub(crate) fn run_partition_triangles_into(
     };
 
     let report = Pipeline::new()
-        .round(Round::new("partition", mapper, reducer))
+        .round(Round::new("partition", mapper, reducer).arena())
         .run_with_sink(graph.edges(), config, sink);
     RunStats::from_pipeline(report)
 }

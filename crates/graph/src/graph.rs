@@ -1,8 +1,10 @@
 //! The immutable data graph: edge list + sorted CSR adjacency.
 
+use crate::mmap::Bytes;
 use crate::ordering::ForwardIndex;
 use std::fmt;
-use std::sync::OnceLock;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a node in the data graph. Nodes are dense integers `0..n`.
 pub type NodeId = u32;
@@ -11,7 +13,12 @@ pub type NodeId = u32;
 /// under the *identifier* order. Algorithms that need a different node order
 /// (bucket order, degree order) re-orient edges through a
 /// [`crate::ordering::NodeOrder`].
+///
+/// The layout is fixed (`repr(C)`: two little-endian `u32`s on disk) because
+/// the binary graph format stores the edge section as a flat array of these
+/// and the loader borrows it straight out of the file mapping.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(C)]
 pub struct Edge {
     u: NodeId,
     v: NodeId,
@@ -69,6 +76,58 @@ impl fmt::Debug for Edge {
     }
 }
 
+/// The edge list varint-encodes as `(lo, hi)`, which the arena shuffle uses
+/// to ship edges in a handful of bytes instead of a fixed 8.
+impl subgraph_codec::ArenaCodec for Edge {
+    fn encode(&self, out: &mut Vec<u8>) {
+        subgraph_codec::write_varint(out, u64::from(self.u));
+        subgraph_codec::write_varint(out, u64::from(self.v));
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Self {
+        let u = subgraph_codec::read_varint(buf, pos) as NodeId;
+        let v = subgraph_codec::read_varint(buf, pos) as NodeId;
+        // Encoded from a canonical edge, so u < v already holds.
+        Edge { u, v }
+    }
+}
+
+/// Where a graph's three arrays live: owned vectors (built in memory by the
+/// generators and the text reader) or sections borrowed from a loaded binary
+/// file (see [`crate::sgr`]), where the `Arc<Bytes>` keeps the mapping alive
+/// for as long as any clone of the graph.
+#[derive(Clone)]
+enum GraphBacking {
+    Owned {
+        edges: Vec<Edge>,
+        /// CSR offsets: neighbours of `v` are `adjacency[offsets[v]..offsets[v+1]]`.
+        /// `u64` (not `usize`) so the owned and mapped views share one type.
+        offsets: Vec<u64>,
+        adjacency: Vec<NodeId>,
+    },
+    /// Byte ranges into `bytes`, each 8-byte aligned and sized to its
+    /// element type. Little-endian targets only: the cast *is* the decode.
+    #[cfg(target_endian = "little")]
+    Mapped {
+        bytes: Arc<Bytes>,
+        offsets: Range<usize>,
+        adjacency: Range<usize>,
+        edges: Range<usize>,
+    },
+}
+
+/// Reinterprets an aligned little-endian byte section as a typed slice.
+/// Only instantiated at `u64`, `NodeId` and `Edge` (`repr(C)`, all bit
+/// patterns valid); callers guarantee size multiple and alignment, which the
+/// debug asserts re-check.
+#[cfg(target_endian = "little")]
+fn cast_section<T: Copy>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    debug_assert_eq!(bytes.len() % size, 0);
+    debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<T>(), 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / size) }
+}
+
 /// An immutable simple undirected graph.
 ///
 /// The structure keeps two synchronized views of the same edge set: a flat
@@ -77,13 +136,14 @@ impl fmt::Debug for Edge {
 /// and `O(log Δ)` `has_edge` checks (the constant-time edge-index assumption
 /// of Sections 6–7 of the paper; a binary search over the smaller endpoint's
 /// run beats a hashed index in both memory and measured lookup cost).
+///
+/// Both views may be owned vectors or zero-copy sections of a mapped binary
+/// file (the internal `GraphBacking` enum); every accessor goes through the
+/// backing, so algorithms never see the difference.
 #[derive(Clone)]
 pub struct DataGraph {
     num_nodes: usize,
-    edges: Vec<Edge>,
-    /// CSR offsets: neighbours of node `v` are `adjacency[offsets[v]..offsets[v+1]]`.
-    offsets: Vec<usize>,
-    adjacency: Vec<NodeId>,
+    backing: GraphBacking,
     /// Degree-ordered orientation, built on first use (see [`Self::forward`]).
     forward: OnceLock<ForwardIndex>,
 }
@@ -94,35 +154,108 @@ impl DataGraph {
     pub(crate) fn from_parts(num_nodes: usize, mut edges: Vec<Edge>) -> Self {
         edges.sort_unstable();
         edges.dedup();
-        let mut degree = vec![0usize; num_nodes];
+        // The builder's push pattern can leave a large dead tail (dedup never
+        // shrinks); release it before the adjacency doubles the footprint.
+        edges.shrink_to_fit();
+        // Counting sort straight into the CSR, with no separate degree or
+        // cursor table: count degrees into offsets[v + 1], prefix-sum so
+        // offsets[v] is the start of run v, fill using offsets[v] itself as
+        // the write cursor (which leaves offsets[v] at the *end* of run v),
+        // then shift right once to restore the start positions.
+        let mut offsets = vec![0u64; num_nodes + 1];
         for e in &edges {
-            degree[e.lo() as usize] += 1;
-            degree[e.hi() as usize] += 1;
+            offsets[e.lo() as usize + 1] += 1;
+            offsets[e.hi() as usize + 1] += 1;
         }
-        let mut offsets = Vec::with_capacity(num_nodes + 1);
-        offsets.push(0usize);
-        for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+        for v in 0..num_nodes {
+            offsets[v + 1] += offsets[v];
         }
-        let mut adjacency = vec![0 as NodeId; offsets[num_nodes]];
-        let mut cursor = offsets.clone();
+        let mut adjacency = vec![0 as NodeId; offsets[num_nodes] as usize];
         for e in &edges {
             let (a, b) = e.endpoints();
-            adjacency[cursor[a as usize]] = b;
-            cursor[a as usize] += 1;
-            adjacency[cursor[b as usize]] = a;
-            cursor[b as usize] += 1;
+            adjacency[offsets[a as usize] as usize] = b;
+            offsets[a as usize] += 1;
+            adjacency[offsets[b as usize] as usize] = a;
+            offsets[b as usize] += 1;
         }
-        // Sort each adjacency run for deterministic iteration and binary search.
-        for v in 0..num_nodes {
-            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        for v in (1..=num_nodes).rev() {
+            offsets[v] = offsets[v - 1];
         }
+        offsets[0] = 0;
+        // No per-run sort needed: the edge list is sorted, so run v receives
+        // its lower-endpoint neighbours (edges (a, v), a ascending) before
+        // its higher-endpoint neighbours (edges (v, b), b ascending), and
+        // every a < v < every b.
+        debug_assert!((0..num_nodes).all(|v| {
+            adjacency[offsets[v] as usize..offsets[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
         DataGraph {
             num_nodes,
-            edges,
-            offsets,
-            adjacency,
+            backing: GraphBacking::Owned {
+                edges,
+                offsets,
+                adjacency,
+            },
             forward: OnceLock::new(),
+        }
+    }
+
+    /// Builds a graph whose arrays are sections of `bytes` (a loaded binary
+    /// graph file). The caller — the [`crate::sgr`] loader — has validated
+    /// that the ranges are in bounds, aligned, and mutually consistent.
+    #[cfg(target_endian = "little")]
+    pub(crate) fn from_mapped(
+        num_nodes: usize,
+        bytes: Arc<Bytes>,
+        offsets: Range<usize>,
+        adjacency: Range<usize>,
+        edges: Range<usize>,
+    ) -> Self {
+        DataGraph {
+            num_nodes,
+            backing: GraphBacking::Mapped {
+                bytes,
+                offsets,
+                adjacency,
+                edges,
+            },
+            forward: OnceLock::new(),
+        }
+    }
+
+    /// The CSR offsets (`u64`, one entry per node plus the closing `2m`).
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[u64] {
+        match &self.backing {
+            GraphBacking::Owned { offsets, .. } => offsets,
+            #[cfg(target_endian = "little")]
+            GraphBacking::Mapped { bytes, offsets, .. } => {
+                cast_section(&bytes.as_slice()[offsets.clone()])
+            }
+        }
+    }
+
+    /// The flat CSR adjacency array.
+    #[inline]
+    pub(crate) fn adjacency(&self) -> &[NodeId] {
+        match &self.backing {
+            GraphBacking::Owned { adjacency, .. } => adjacency,
+            #[cfg(target_endian = "little")]
+            GraphBacking::Mapped {
+                bytes, adjacency, ..
+            } => cast_section(&bytes.as_slice()[adjacency.clone()]),
+        }
+    }
+
+    /// True when the graph borrows its arrays from a mapped binary file
+    /// rather than owning them (diagnostics; algorithms never care).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            GraphBacking::Owned { .. } => false,
+            #[cfg(target_endian = "little")]
+            GraphBacking::Mapped { bytes, .. } => bytes.is_mapped(),
         }
     }
 
@@ -133,7 +266,7 @@ impl DataGraph {
 
     /// Number of undirected edges `m`.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.edges().len()
     }
 
     /// Iterator over all node identifiers `0..n`.
@@ -143,19 +276,27 @@ impl DataGraph {
 
     /// The canonical edge list (each undirected edge once, `lo < hi`).
     pub fn edges(&self) -> &[Edge] {
-        &self.edges
+        match &self.backing {
+            GraphBacking::Owned { edges, .. } => edges,
+            #[cfg(target_endian = "little")]
+            GraphBacking::Mapped { bytes, edges, .. } => {
+                cast_section(&bytes.as_slice()[edges.clone()])
+            }
+        }
     }
 
     /// Degree of node `v`.
     pub fn degree(&self, v: NodeId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        let offsets = self.offsets();
+        (offsets[v + 1] - offsets[v]) as usize
     }
 
     /// Maximum degree Δ over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes)
-            .map(|v| self.degree(v as NodeId))
+        self.offsets()
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
             .max()
             .unwrap_or(0)
     }
@@ -163,7 +304,8 @@ impl DataGraph {
     /// Neighbours of `v`, sorted by identifier.
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let v = v as usize;
-        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+        let offsets = self.offsets();
+        &self.adjacency()[offsets[v] as usize..offsets[v + 1] as usize]
     }
 
     /// Tests whether the undirected edge `{u, v}` exists, by binary search
@@ -193,14 +335,14 @@ impl DataGraph {
 
     /// True if the graph has no edges.
     pub fn is_empty(&self) -> bool {
-        self.edges.is_empty()
+        self.edges().is_empty()
     }
 
     /// Returns the subgraph induced by keeping only edges for which `keep`
     /// returns true. Node identifiers are preserved (no compaction), which is
     /// what a reducer working on "its" fragment of the data graph needs.
     pub fn filter_edges<F: Fn(&Edge) -> bool>(&self, keep: F) -> DataGraph {
-        let edges = self.edges.iter().copied().filter(|e| keep(e)).collect();
+        let edges = self.edges().iter().copied().filter(|e| keep(e)).collect();
         DataGraph::from_parts(self.num_nodes, edges)
     }
 
@@ -221,7 +363,7 @@ impl fmt::Debug for DataGraph {
             f,
             "DataGraph {{ n: {}, m: {} }}",
             self.num_nodes,
-            self.edges.len()
+            self.num_edges()
         )
     }
 }
@@ -229,6 +371,7 @@ impl fmt::Debug for DataGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use subgraph_codec::ArenaCodec;
 
     fn path_graph() -> DataGraph {
         DataGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
@@ -256,6 +399,20 @@ mod tests {
         assert_eq!(e.other(4), None);
         assert!(e.is_incident(2));
         assert!(!e.is_incident(3));
+    }
+
+    #[test]
+    fn edge_round_trips_through_the_arena_codec() {
+        let mut buf = Vec::new();
+        let edges = [Edge::new(0, 1), Edge::new(5, 1_000_000), Edge::new(2, 3)];
+        for e in &edges {
+            e.encode(&mut buf);
+        }
+        let mut pos = 0;
+        for e in &edges {
+            assert_eq!(Edge::decode(&buf, &mut pos), *e);
+        }
+        assert_eq!(pos, buf.len());
     }
 
     #[test]
@@ -314,5 +471,18 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert!(g.is_empty());
         assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_mapped());
+    }
+
+    #[test]
+    fn isolated_high_degree_hub_offsets_are_consistent() {
+        // Exercises the in-place counting sort with skewed degrees and an
+        // isolated node (degree 0) in the middle of the id space.
+        let g = DataGraph::from_edges(6, [(0, 5), (1, 5), (3, 5), (4, 5), (0, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+        assert_eq!(g.neighbors(5), &[0, 1, 3, 4]);
+        assert_eq!(g.degree(5), 4);
+        assert_eq!(g.max_degree(), 4);
     }
 }

@@ -26,8 +26,10 @@ pub mod builder;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod mmap;
 pub mod ordering;
 pub mod rng;
+pub mod sgr;
 pub mod source;
 pub mod stats;
 
@@ -37,6 +39,7 @@ pub use io::ReadStats;
 pub use ordering::{
     BucketThenIdOrder, DegeneracyOrder, DegreeOrder, ForwardIndex, IdOrder, NodeOrder,
 };
+pub use sgr::{load_sgr_file, sniff_sgr, write_sgr_file, SgrError};
 pub use source::{GraphSource, SourceError};
 pub use stats::GraphStats;
 

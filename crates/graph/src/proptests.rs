@@ -94,6 +94,52 @@ fn gnm_generator_edge_count_and_simplicity() {
     }
 }
 
+/// Text and binary serialization agree on every graph: writing a graph both
+/// ways and reading both back yields the same node count, edge list and
+/// adjacency structure — the "count on .sgr == count on text" guarantee the
+/// convert path relies on, pinned at the representation level.
+#[test]
+fn text_and_binary_round_trips_agree() {
+    let dir = std::env::temp_dir().join("subgraph-proptest-sgr");
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 100..132 {
+        let g = build(seed);
+        let text_path = dir.join(format!("g{seed}.txt"));
+        let sgr_path = dir.join(format!("g{seed}.sgr"));
+        crate::io::write_edge_list_file(&g, &text_path).unwrap();
+        crate::sgr::write_sgr_file(&g, &sgr_path).unwrap();
+        let from_text = crate::io::read_edge_list_file(&text_path).unwrap();
+        let from_sgr = crate::sgr::load_sgr_file(&sgr_path).unwrap();
+        // The text round trip may shrink the node space (trailing isolated
+        // nodes leave no trace in an edge list); the binary one must not.
+        assert_eq!(from_sgr.num_nodes(), g.num_nodes(), "seed {seed}");
+        assert_eq!(from_sgr.edges(), g.edges(), "seed {seed}");
+        assert_eq!(from_text.edges(), g.edges(), "seed {seed}");
+        for v in g.nodes() {
+            assert_eq!(from_sgr.neighbors(v), g.neighbors(v), "seed {seed}");
+        }
+        assert_eq!(from_sgr.max_degree(), g.max_degree(), "seed {seed}");
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&sgr_path).ok();
+    }
+}
+
+/// Loading through [`crate::GraphSource`] sniffs the same bytes to the same
+/// graph regardless of what the file is called.
+#[test]
+fn source_sniffing_is_extension_blind() {
+    let dir = std::env::temp_dir().join("subgraph-proptest-sniff");
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 132..140 {
+        let g = build(seed);
+        let path = dir.join(format!("g{seed}.edges"));
+        crate::sgr::write_sgr_file(&g, &path).unwrap();
+        let loaded = crate::GraphSource::file(&path).load().unwrap();
+        assert_eq!(loaded.edges(), g.edges(), "seed {seed}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 #[test]
 fn filter_edges_is_monotone() {
     for seed in 76..100 {

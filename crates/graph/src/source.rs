@@ -131,11 +131,25 @@ impl GraphSource {
         self.load_with_stats().map(|(graph, _)| graph)
     }
 
-    /// Loads the graph; file sources also report the reader's input-hygiene
-    /// counters (generator sources return `None`).
+    /// Loads the graph; text file sources also report the reader's
+    /// input-hygiene counters (binary and generator sources return `None`).
+    ///
+    /// File sources are sniffed by content, not extension: a file starting
+    /// with the [`crate::sgr`] magic loads through the zero-copy binary
+    /// loader, anything else parses as a text edge list.
     pub fn load_with_stats(&self) -> Result<(DataGraph, Option<ReadStats>), SourceError> {
         match self {
             GraphSource::File(path) => {
+                let is_sgr = crate::sgr::sniff_sgr(path).map_err(|source| {
+                    SourceError::Read(crate::io::EdgeListError::Io {
+                        path: Some(path.clone()),
+                        source,
+                    })
+                })?;
+                if is_sgr {
+                    let graph = crate::sgr::load_sgr_file(path).map_err(SourceError::Sgr)?;
+                    return Ok((graph, None));
+                }
                 let (graph, stats) =
                     read_edge_list_file_with_stats(path).map_err(SourceError::Read)?;
                 Ok((graph, Some(stats)))
@@ -192,6 +206,8 @@ pub enum SourceError {
     },
     /// Reading an edge-list file failed.
     Read(EdgeListError),
+    /// Loading a binary `.sgr` file failed.
+    Sgr(crate::sgr::SgrError),
 }
 
 impl SourceError {
@@ -210,6 +226,7 @@ impl fmt::Display for SourceError {
                 write!(f, "bad graph spec {spec:?}: {reason}")
             }
             SourceError::Read(e) => write!(f, "{e}"),
+            SourceError::Sgr(e) => write!(f, "{e}"),
         }
     }
 }
@@ -219,6 +236,7 @@ impl std::error::Error for SourceError {
         match self {
             SourceError::BadSpec { .. } => None,
             SourceError::Read(e) => Some(e),
+            SourceError::Sgr(e) => Some(e),
         }
     }
 }
@@ -295,6 +313,21 @@ mod tests {
         assert_eq!(graph.num_edges(), 2);
         assert_eq!(stats.duplicate_edges, 1);
         assert_eq!(stats.self_loops, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_sources_sniff_binary_graphs_by_content() {
+        let g = generators::gnm(30, 60, 4);
+        let dir = std::env::temp_dir().join("subgraph-source-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Deliberately *not* named .sgr: the sniff is content-based.
+        let path = dir.join("binary.graph");
+        crate::sgr::write_sgr_file(&g, &path).unwrap();
+        let (loaded, stats) = GraphSource::file(&path).load_with_stats().unwrap();
+        assert!(stats.is_none(), "binary loads carry no text-reader stats");
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        assert_eq!(loaded.edges(), g.edges());
         std::fs::remove_file(&path).ok();
     }
 

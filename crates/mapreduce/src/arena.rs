@@ -1,0 +1,422 @@
+//! The arena shuffle: flat byte buffers instead of `Vec<(K, V)>` records.
+//!
+//! The classic shuffle representation costs ~32 bytes per record for the
+//! paper's triangle workloads (`(u64 hash, [u32; 3], Edge)` with padding)
+//! *twice* — once in the map context's pair vector, once in the partitioned
+//! buckets. The arena shuffle removes both: map workers serialize every
+//! emission straight into one **byte arena per reduce shard** using the
+//! [`ArenaCodec`] varint encoding (~10 bytes per triangle record), the
+//! exchange transposes arena ownership without touching a record, and reduce
+//! workers decode each arena chunk once while grouping — returning consumed
+//! chunks to the [`BufferPool`] as they go, so resident memory *falls*
+//! through the reduce phase instead of peaking.
+//!
+//! Parity contract (pinned by `tests/pool_parity.rs` / `tests/sink_parity.rs`
+//! and the acceptance sweep): outputs and every [`JobMetrics`] counter are
+//! byte-identical to the classic executors. The ingredients:
+//!
+//! * **Routing** uses the same emit-time FxHash + [`shard_for_hash`], so
+//!   records land in the same reduce shard.
+//! * **Grouping** uses the same `PrehashedMap` with the same capacity
+//!   heuristic and the same insertion order (map-shard order, emission order
+//!   within a shard), so even non-deterministic iteration order matches.
+//! * **`shuffle_bytes`** is priced by the round's record weigher exactly once
+//!   per record — on the reduce side, where each record is decoded — summing
+//!   to the same total the classic map-side pricing produces.
+//! * **Hash accounting** differs by design: the arena path hashes each key
+//!   once at emit (routing) and once at decode (grouping) instead of carrying
+//!   8 hash bytes per record through the exchange. The debug hash counters
+//!   assert exactly that shape here.
+//!
+//! `partition_time` reports zero on this path: partitioning happens inside
+//! the emit call, so its cost is already part of `map_time`.
+
+use crate::engine::{shard_for_hash, EngineConfig};
+use crate::hash::{hash_for_shuffle, prehashed_map_with_capacity, Prehashed, PrehashedMap};
+use crate::metrics::JobMetrics;
+use crate::pipeline::{ReduceOutcome, Round, Slot};
+use crate::pool::{BufferPool, WorkerPool};
+use crate::sink::{OutputSink, SinkShard};
+use crate::task::{MapContext, ReduceContext};
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use subgraph_codec::ArenaCodec;
+
+/// Target byte size of one arena chunk. Large enough that glibc serves it
+/// with `mmap` (so freed chunks return to the OS immediately) and that the
+/// per-chunk bookkeeping vanishes against ~100k records per chunk; small
+/// enough that the reduce phase's progressive frees are fine-grained and the
+/// [`BufferPool`] (4 MiB recycling cap) can bank every chunk.
+const ARENA_CHUNK: usize = 1 << 20;
+
+/// One reduce shard's byte arena on one map worker: sealed chunks of
+/// back-to-back encoded `(key, value)` records. A record never spans chunks.
+pub(crate) struct ArenaBucket {
+    chunks: Vec<Vec<u8>>,
+    records: usize,
+}
+
+impl ArenaBucket {
+    fn new() -> Self {
+        ArenaBucket {
+            chunks: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Appends one encoded record, opening a new chunk when the current one
+    /// cannot hold it whole.
+    fn push(&mut self, record: &[u8], buffers: &BufferPool) {
+        let fits = self
+            .chunks
+            .last()
+            .is_some_and(|chunk| chunk.capacity() - chunk.len() >= record.len());
+        if !fits {
+            let want = ARENA_CHUNK.max(record.len());
+            let mut chunk: Vec<u8> = buffers.take();
+            if chunk.capacity() < want {
+                chunk.reserve_exact(want);
+            }
+            self.chunks.push(chunk);
+        }
+        let chunk = self.chunks.last_mut().expect("a chunk was just ensured");
+        chunk.extend_from_slice(record);
+        self.records += 1;
+    }
+
+    /// Number of records in the bucket — the reduce side's capacity heuristic
+    /// input, mirroring the classic path's `key_entries`.
+    pub(crate) fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The sealed chunks, in write order.
+    fn into_chunks(self) -> Vec<Vec<u8>> {
+        self.chunks
+    }
+}
+
+/// The arena-mode emission state behind [`MapContext`]. The context type has
+/// no `Hash`/[`ArenaCodec`] bounds (they would leak into every mapper
+/// signature), so the two operations that need them — hashing a key and
+/// encoding a record — are captured as monomorphized function pointers by
+/// [`ArenaState::new`], which *is* bounded.
+pub(crate) struct ArenaState<K, V> {
+    buckets: Vec<ArenaBucket>,
+    scratch: Vec<u8>,
+    emitted: usize,
+    buffers: Arc<BufferPool>,
+    hash: fn(&K) -> u64,
+    encode: fn(&K, &V, &mut Vec<u8>),
+}
+
+fn encode_record<K: ArenaCodec, V: ArenaCodec>(key: &K, value: &V, out: &mut Vec<u8>) {
+    key.encode(out);
+    value.encode(out);
+}
+
+impl<K, V> ArenaState<K, V>
+where
+    K: Hash + ArenaCodec,
+    V: ArenaCodec,
+{
+    pub(crate) fn new(shards: usize, buffers: Arc<BufferPool>) -> Self {
+        ArenaState {
+            buckets: (0..shards).map(|_| ArenaBucket::new()).collect(),
+            scratch: Vec::new(),
+            emitted: 0,
+            buffers,
+            hash: hash_for_shuffle::<K>,
+            encode: encode_record::<K, V>,
+        }
+    }
+}
+
+impl<K, V> ArenaState<K, V> {
+    /// Routes and serializes one emission: hash the key (the counted,
+    /// emit-side hash), pick the reduce shard, encode into that shard's
+    /// arena.
+    pub(crate) fn emit(&mut self, key: &K, value: &V) {
+        let hash = (self.hash)(key);
+        let shard = shard_for_hash(hash, self.buckets.len());
+        self.scratch.clear();
+        (self.encode)(key, value, &mut self.scratch);
+        self.buckets[shard].push(&self.scratch, &self.buffers);
+        self.emitted += 1;
+    }
+
+    pub(crate) fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<ArenaBucket>, usize) {
+        (self.buckets, self.emitted)
+    }
+}
+
+/// What one arena map worker hands to the exchange.
+struct ArenaMapOutcome {
+    /// One arena per reduce shard, indexed by [`shard_for_hash`].
+    buckets: Vec<ArenaBucket>,
+    /// Records emitted by the worker's mapper calls.
+    emitted: usize,
+}
+
+/// The arena executor: same two-phase exchange as the classic executors
+/// (see [`crate::pipeline`]), with serialized buckets. Selected per round via
+/// [`Round::arena`] when the round has codec-capable key/value types, runs on
+/// the worker pool, and is skipped when a combiner is active (combined rounds
+/// keep the classic representation; their buckets hold `Vec<V>` groups the
+/// arena format does not model).
+pub(crate) fn execute_round_arena<I, K, V, O>(
+    inputs: &[I],
+    round: &Round<'_, I, K, V, O>,
+    config: &EngineConfig,
+    sink: &mut dyn OutputSink<O>,
+    pool: &WorkerPool,
+) -> JobMetrics
+where
+    I: Sync,
+    K: Hash + Eq + Ord + Send + ArenaCodec,
+    V: Send + ArenaCodec,
+    O: Send + 'static,
+{
+    let threads = config.num_threads.max(1);
+    let buffers = pool.buffers();
+    let mut metrics = JobMetrics {
+        input_records: inputs.len(),
+        ..JobMetrics::default()
+    };
+
+    // ---- Map phase --------------------------------------------------------
+    // One task per logical shard, like the scoped executor: emissions are
+    // routed and serialized as they happen, so there is no separate partition
+    // stage (and no pair vector to accumulate into).
+    let map_start = Instant::now();
+    let chunk_size = inputs.len().div_ceil(threads).max(1);
+    let shards: Vec<&[I]> = inputs.chunks(chunk_size).collect();
+    let mapper = &*round.mapper;
+    let outcome_slots: Vec<Slot<ArenaMapOutcome>> =
+        (0..shards.len()).map(|_| Mutex::new(None)).collect();
+    pool.run_indexed(shards.len(), |shard| {
+        #[cfg(debug_assertions)]
+        let _ = crate::hash::debug_hash_count::take();
+        let mut ctx = MapContext::with_arena(ArenaState::new(threads, Arc::clone(buffers)));
+        for record in shards[shard] {
+            mapper.map(record, &mut ctx);
+        }
+        let (buckets, emitted) = ctx.into_arena();
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            crate::hash::debug_hash_count::take() as usize,
+            emitted,
+            "arena map side hashes each emitted key exactly once (routing)"
+        );
+        *outcome_slots[shard]
+            .lock()
+            .expect("arena map slot poisoned") = Some(ArenaMapOutcome { buckets, emitted });
+    });
+    let mapped: Vec<ArenaMapOutcome> = outcome_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("arena map slot poisoned")
+                .expect("every map shard completed")
+        })
+        .collect();
+    metrics.map_time = map_start.elapsed();
+    metrics.key_value_pairs = mapped.iter().map(|outcome| outcome.emitted).sum();
+    metrics.shuffle_records = metrics.key_value_pairs;
+
+    // ---- Exchange phase ---------------------------------------------------
+    // The same transpose as the classic executors, except each moved value is
+    // a byte arena rather than a record vector.
+    let shuffle_start = Instant::now();
+    let workers = mapped.len();
+    let mut inboxes: Vec<Vec<ArenaBucket>> =
+        (0..threads).map(|_| Vec::with_capacity(workers)).collect();
+    for outcome in mapped {
+        for (target, bucket) in outcome.buckets.into_iter().enumerate() {
+            inboxes[target].push(bucket);
+        }
+    }
+    metrics.shuffle_time = shuffle_start.elapsed();
+
+    // ---- Reduce phase -----------------------------------------------------
+    // Decode-while-grouping: each record is decoded exactly once, priced by
+    // the round's weigher (same total as map-side pricing), hashed once for
+    // the grouping lookup, and its chunk returned to the buffer pool the
+    // moment it is drained.
+    let deterministic = config.deterministic;
+    let reducer = &*round.reducer;
+    let weigher = &*round.record_bytes;
+    let reduce_start = Instant::now();
+    let reduce_slots: Vec<Slot<(ReduceOutcome<O>, u64)>> =
+        (0..inboxes.len()).map(|_| Mutex::new(None)).collect();
+    type ArenaReduceWork<O> = (Vec<ArenaBucket>, Box<dyn SinkShard<O>>);
+    let reduce_inputs: Vec<Slot<ArenaReduceWork<O>>> = inboxes
+        .into_iter()
+        .map(|inbox| Mutex::new(Some((inbox, sink.new_shard()))))
+        .collect();
+    pool.run_indexed(reduce_inputs.len(), |shard| {
+        #[cfg(debug_assertions)]
+        let _ = crate::hash::debug_hash_count::take();
+        let (inbox, sink_shard) = reduce_inputs[shard]
+            .lock()
+            .expect("arena reduce input poisoned")
+            .take()
+            .expect("each reduce shard is claimed once");
+        // Same capacity heuristic as the classic executors: records in the
+        // largest inbound bucket, capped. With capacity, hasher and insertion
+        // order all equal, the grouping map iterates in the classic order.
+        let capacity = inbox
+            .iter()
+            .map(ArenaBucket::records)
+            .max()
+            .unwrap_or(0)
+            .min(1 << 16);
+        let mut grouped: PrehashedMap<K, Vec<V>> = prehashed_map_with_capacity(capacity);
+        let mut bytes = 0u64;
+        #[cfg(debug_assertions)]
+        let mut decoded = 0usize;
+        for bucket in inbox {
+            for chunk in bucket.into_chunks() {
+                let mut pos = 0;
+                while pos < chunk.len() {
+                    let key = K::decode(&chunk, &mut pos);
+                    let value = V::decode(&chunk, &mut pos);
+                    bytes += weigher(&key, &value) as u64;
+                    let hash = hash_for_shuffle(&key);
+                    #[cfg(debug_assertions)]
+                    {
+                        decoded += 1;
+                    }
+                    grouped
+                        .entry(Prehashed::from_parts(hash, key))
+                        .or_default()
+                        .push(value);
+                }
+                buffers.give(chunk);
+            }
+        }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            crate::hash::debug_hash_count::take() as usize,
+            decoded,
+            "arena reduce side hashes each decoded key exactly once (grouping)"
+        );
+        let mut groups: Vec<(K, Vec<V>)> = grouped
+            .into_iter()
+            .map(|(key, values)| (key.into_key(), values))
+            .collect();
+        if deterministic {
+            groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+        let group_count = groups.len();
+        let max_input = groups.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let mut ctx = ReduceContext::with_shard(sink_shard);
+        for (key, values) in &groups {
+            reducer.reduce(key, values, &mut ctx);
+        }
+        let (shard_out, work, emitted) = ctx.into_parts();
+        *reduce_slots[shard]
+            .lock()
+            .expect("arena reduce outcome poisoned") = Some((
+            ReduceOutcome {
+                shard: shard_out,
+                emitted,
+                work,
+                groups: group_count,
+                max_input,
+            },
+            bytes,
+        ));
+    });
+    let reduced: Vec<(ReduceOutcome<O>, u64)> = reduce_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("arena reduce outcome poisoned")
+                .expect("every reduce shard completed")
+        })
+        .collect();
+    metrics.reduce_time = reduce_start.elapsed();
+    metrics.reducers_used = reduced.iter().map(|(outcome, _)| outcome.groups).sum();
+    metrics.max_reducer_input = reduced
+        .iter()
+        .map(|(outcome, _)| outcome.max_input)
+        .max()
+        .unwrap_or(0);
+
+    for (outcome, bytes) in reduced {
+        metrics.shuffle_bytes += bytes;
+        metrics.reducer_work += outcome.work;
+        metrics.outputs += outcome.emitted;
+        sink.fold(outcome.shard);
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::WorkerPool;
+
+    #[test]
+    fn bucket_seals_chunks_and_counts_records() {
+        let pool = WorkerPool::new(0);
+        let buffers = pool.buffers();
+        let mut bucket = ArenaBucket::new();
+        let record = vec![0xabu8; 600 * 1024]; // two won't share a 1 MiB chunk
+        bucket.push(&record, buffers);
+        bucket.push(&record, buffers);
+        assert_eq!(bucket.records(), 2);
+        let chunks = bucket.into_chunks();
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| c.len() == record.len()));
+    }
+
+    #[test]
+    fn oversized_records_get_a_dedicated_chunk() {
+        let pool = WorkerPool::new(0);
+        let buffers = pool.buffers();
+        let mut bucket = ArenaBucket::new();
+        let huge = vec![1u8; ARENA_CHUNK + 17];
+        bucket.push(&huge, buffers);
+        bucket.push(&[2u8, 3], buffers);
+        let chunks = bucket.into_chunks();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), huge.len());
+        assert_eq!(chunks[1], vec![2, 3]);
+    }
+
+    #[test]
+    fn arena_state_routes_by_key_hash() {
+        let pool = WorkerPool::new(0);
+        let shards = 4;
+        let mut state: ArenaState<u32, u32> = ArenaState::new(shards, Arc::clone(pool.buffers()));
+        for key in 0..1000u32 {
+            state.emit(&key, &(key * 2));
+        }
+        #[cfg(debug_assertions)]
+        let _ = crate::hash::debug_hash_count::take();
+        assert_eq!(state.emitted(), 1000);
+        let (buckets, emitted) = state.into_parts();
+        assert_eq!(emitted, 1000);
+        let total: usize = buckets.iter().map(ArenaBucket::records).sum();
+        assert_eq!(total, 1000);
+        // Decoding each bucket yields keys that route to that bucket.
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            for chunk in bucket.into_chunks() {
+                let mut pos = 0;
+                while pos < chunk.len() {
+                    let key = u32::decode(&chunk, &mut pos);
+                    let value = u32::decode(&chunk, &mut pos);
+                    assert_eq!(value, key * 2);
+                    assert_eq!(shard_for_hash(crate::hash::hash_of(&key), shards), shard);
+                }
+            }
+        }
+    }
+}

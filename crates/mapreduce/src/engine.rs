@@ -46,6 +46,14 @@ pub struct EngineConfig {
     /// the reducer outputs are identical either way (that is the combiner
     /// contract, and the property tests pin it).
     pub use_combiners: bool,
+    /// If true (the default), rounds that opted into the arena shuffle
+    /// ([`crate::Round::arena`]) serialize their map emissions into compact
+    /// per-shard byte arenas when running on a worker pool. Disable with
+    /// [`EngineConfig::arena_shuffle`] to force the classic `Vec<(K, V)>`
+    /// representation — outputs and all [`crate::JobMetrics`] counters are
+    /// byte-identical either way (the parity suites pin it); only resident
+    /// memory differs.
+    pub use_arena: bool,
     /// The execution substrate: the persistent worker pool (default) or the
     /// legacy scoped-thread path. Private — set through
     /// [`EngineConfig::with_pool`] / [`EngineConfig::scoped_threads`].
@@ -60,6 +68,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             deterministic: true,
             use_combiners: true,
+            use_arena: true,
             executor: Executor::default(),
         }
     }
@@ -85,6 +94,13 @@ impl EngineConfig {
     /// Enables or disables map-side combiners (enabled by default).
     pub fn combiners(mut self, enabled: bool) -> Self {
         self.use_combiners = enabled;
+        self
+    }
+
+    /// Enables or disables the arena shuffle for opted-in rounds (enabled by
+    /// default; see [`EngineConfig::use_arena`]).
+    pub fn arena_shuffle(mut self, enabled: bool) -> Self {
+        self.use_arena = enabled;
         self
     }
 

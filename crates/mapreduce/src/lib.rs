@@ -43,6 +43,7 @@
 //! memory without the engine ever materializing them. [`Pipeline::run`] is
 //! the collecting wrapper ([`CollectSink`]) over the same path.
 
+pub(crate) mod arena;
 pub mod engine;
 pub mod hash;
 pub mod metrics;

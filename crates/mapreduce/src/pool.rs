@@ -21,7 +21,7 @@
 //!   and the caller re-raises it after the job completes — same observable
 //!   behaviour as a scoped spawn whose join propagates the panic.
 //!
-//! The pool also owns a [`BufferPool`]: a type-erased free list of `Vec`
+//! The pool also owns a `BufferPool`: a type-erased free list of `Vec`
 //! allocations keyed by element layout, letting the shuffle recycle its
 //! per-reduce-worker bucket vectors across rounds instead of reallocating
 //! them every round (see `docs/ENGINE.md`, "Persistent worker pool").
@@ -109,11 +109,11 @@ struct PoolState {
 }
 
 /// A persistent pool of worker threads executing indexed task batches, plus
-/// a [`BufferPool`] of recyclable allocations shared across rounds. See the
+/// a `BufferPool` of recyclable allocations shared across rounds. See the
 /// [module docs](self) for the execution model.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    buffers: BufferPool,
+    buffers: Arc<BufferPool>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -140,7 +140,7 @@ impl WorkerPool {
             .collect();
         WorkerPool {
             shared,
-            buffers: BufferPool::new(),
+            buffers: Arc::new(BufferPool::new()),
             handles,
         }
     }
@@ -164,8 +164,10 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// The pool's recyclable-allocation free list.
-    pub(crate) fn buffers(&self) -> &BufferPool {
+    /// The pool's recyclable-allocation free list. Shared (`Arc`) so the
+    /// arena shuffle's emission contexts can draw and return chunk buffers
+    /// without borrowing the pool itself.
+    pub(crate) fn buffers(&self) -> &Arc<BufferPool> {
         &self.buffers
     }
 

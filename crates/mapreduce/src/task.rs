@@ -1,19 +1,31 @@
 //! Mapper and reducer traits plus their emission contexts.
 
+use crate::arena::ArenaState;
 use crate::sink::SinkShard;
+
+/// How a [`MapContext`] stores its emissions: as plain pairs (the classic
+/// executors partition them afterwards), or routed and serialized on the fly
+/// into per-reduce-shard byte arenas (the arena executor — see
+/// [`crate::arena`]).
+enum Emissions<K, V> {
+    Pairs(Vec<(K, V)>),
+    Arena(ArenaState<K, V>),
+}
 
 /// Collects the key-value pairs emitted by a mapper (each emission is one
 /// unit of communication cost). The engine reuses one context for all of a
 /// map worker's records, so emissions accumulate instead of paying one
-/// allocation per record.
+/// allocation per record. Whether emissions accumulate as pairs or as
+/// serialized arena records is the executor's choice; mappers never see the
+/// difference.
 pub struct MapContext<K, V> {
-    emitted: Vec<(K, V)>,
+    emitted: Emissions<K, V>,
 }
 
 impl<K, V> MapContext<K, V> {
     pub(crate) fn new() -> Self {
         MapContext {
-            emitted: Vec::new(),
+            emitted: Emissions::Pairs(Vec::new()),
         }
     }
 
@@ -21,21 +33,48 @@ impl<K, V> MapContext<K, V> {
     /// executor's way of reusing pair-vector allocations across rounds.
     pub(crate) fn with_buffer(emitted: Vec<(K, V)>) -> Self {
         debug_assert!(emitted.is_empty());
-        MapContext { emitted }
+        MapContext {
+            emitted: Emissions::Pairs(emitted),
+        }
+    }
+
+    /// A context that serializes emissions straight into per-shard arenas.
+    pub(crate) fn with_arena(state: ArenaState<K, V>) -> Self {
+        MapContext {
+            emitted: Emissions::Arena(state),
+        }
     }
 
     /// Emits one key-value pair towards the reducers.
     pub fn emit(&mut self, key: K, value: V) {
-        self.emitted.push((key, value));
+        match &mut self.emitted {
+            Emissions::Pairs(pairs) => pairs.push((key, value)),
+            Emissions::Arena(state) => state.emit(&key, &value),
+        }
     }
 
     /// Number of pairs emitted into this context so far.
     pub fn emitted_len(&self) -> usize {
-        self.emitted.len()
+        match &self.emitted {
+            Emissions::Pairs(pairs) => pairs.len(),
+            Emissions::Arena(state) => state.emitted(),
+        }
     }
 
+    /// The emitted pairs (classic executors only).
     pub(crate) fn into_pairs(self) -> Vec<(K, V)> {
-        self.emitted
+        match self.emitted {
+            Emissions::Pairs(pairs) => pairs,
+            Emissions::Arena(_) => unreachable!("classic executors use pair contexts"),
+        }
+    }
+
+    /// The filled arenas and emission count (arena executor only).
+    pub(crate) fn into_arena(self) -> (Vec<crate::arena::ArenaBucket>, usize) {
+        match self.emitted {
+            Emissions::Pairs(_) => unreachable!("the arena executor uses arena contexts"),
+            Emissions::Arena(state) => state.into_parts(),
+        }
     }
 }
 

@@ -31,7 +31,7 @@ pub mod spec;
 pub use automorphism::{automorphism_group, order_representatives, Permutation};
 pub use instance::Instance;
 pub use sample::{PatternNode, SampleGraph};
-pub use spec::{parse_spec, SpecError};
+pub use spec::{normalize_spec_text, parse_spec, SpecError};
 
 #[cfg(test)]
 mod proptests;

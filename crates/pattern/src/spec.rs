@@ -121,6 +121,31 @@ pub fn looks_like_spec(s: &str) -> bool {
     s.contains('-')
 }
 
+/// Normalizes the contents of a *pattern file* into a one-line inline spec:
+/// `#` starts a comment (to end of line), blank lines and empty tokens are
+/// skipped, and edges may be separated by commas, whitespace, or newlines —
+/// so a file can list one edge per line like an edge-list file. The result
+/// feeds the same strict [`parse_spec`] as a hand-typed spec (a file holding
+/// a single catalog name like `triangle` normalizes to itself).
+///
+/// This is deliberately *not* applied to command-line specs: the file
+/// dialect is free-form, while a hand-typed `a-b,,c-a` keeps its strict
+/// empty-edge error. Callers apply it exactly where file contents enter
+/// (`--pattern-file`, or serve queries whose pattern text contains newlines
+/// or comments).
+pub fn normalize_spec_text(text: &str) -> String {
+    let mut tokens: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        tokens.extend(
+            line.split(|c: char| c == ',' || c.is_whitespace())
+                .map(str::trim)
+                .filter(|t| !t.is_empty()),
+        );
+    }
+    tokens.join(",")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +225,25 @@ mod tests {
         assert!(looks_like_spec("a-b,b-c"));
         assert!(looks_like_spec("pentagon-with-chord"));
         assert!(!looks_like_spec("triangle"));
+    }
+
+    #[test]
+    fn pattern_file_text_normalizes_to_an_inline_spec() {
+        let file = "# the triangle, one edge per line\na-b\nb-c  # closing edge next\n\nc-a\n";
+        assert_eq!(normalize_spec_text(file), "a-b,b-c,c-a");
+        assert_eq!(
+            parse_spec(&normalize_spec_text(file)),
+            parse_spec("a-b,b-c,c-a")
+        );
+        // Mixed separators and stray blanks are all equivalent.
+        assert_eq!(normalize_spec_text("a-b, b-c\tc-a"), "a-b,b-c,c-a");
+        assert_eq!(normalize_spec_text("  a-b ,, b-c  "), "a-b,b-c");
+        // A catalog name (or nothing at all) passes through unchanged.
+        assert_eq!(normalize_spec_text("triangle\n"), "triangle");
+        assert_eq!(normalize_spec_text("# only comments\n\n"), "");
+        // Normalization never repairs *bad edges*: the strict parser still
+        // rejects what survives.
+        assert!(parse_spec(&normalize_spec_text("a-a\n")).is_err());
     }
 
     #[test]

@@ -95,7 +95,18 @@ impl QueryRequest {
         let mut threads = None;
         for (key, value) in params {
             match key {
-                "pattern" => pattern = Some(value.to_string()),
+                // A client may ship the contents of a pattern *file* (the
+                // CLI's `--pattern-file` dialect: one edge per line, `#`
+                // comments) straight into the parameter; multi-line or
+                // commented text is normalized to a one-line spec, while
+                // plain inline specs keep their strict parsing.
+                "pattern" => {
+                    pattern = Some(if value.contains('\n') || value.contains('#') {
+                        subgraph_pattern::normalize_spec_text(value)
+                    } else {
+                        value.to_string()
+                    })
+                }
                 "mode" => {
                     mode = match value {
                         "count" => QueryMode::Count,
@@ -462,6 +473,22 @@ mod tests {
         ] {
             assert!(QueryRequest::from_params(bad).is_err());
         }
+    }
+
+    #[test]
+    fn pattern_file_contents_are_accepted_as_pattern_text() {
+        let file_text = "# the triangle, one edge per line\na-b\nb-c\nc-a\n";
+        let q = QueryRequest::from_params([("pattern", file_text)]).unwrap();
+        assert_eq!(q.pattern, "a-b,b-c,c-a");
+        let outcome = engine().execute(&q, std::io::sink()).unwrap();
+        assert_eq!(outcome.count, 10);
+        // One-line specs stay strict: no silent repair of empty edges.
+        let strict = QueryRequest::from_params([("pattern", "a-b,,b-c")]).unwrap();
+        assert_eq!(strict.pattern, "a-b,,b-c");
+        assert!(matches!(
+            engine().execute(&strict, std::io::sink()),
+            Err(QueryError::BadRequest(_))
+        ));
     }
 
     #[test]

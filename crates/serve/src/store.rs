@@ -177,6 +177,25 @@ mod tests {
     }
 
     #[test]
+    fn store_opens_binary_sgr_graphs() {
+        // `serve --graph foo.sgr`: the source sniffs the container magic and
+        // the store serves straight from the (mmap-backed) graph.
+        let dir = std::env::temp_dir().join("subgraph-serve-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.sgr");
+        let graph = generators::gnm(60, 150, 4);
+        subgraph_graph::write_sgr_file(&graph, &path).unwrap();
+
+        let store = GraphStore::open(&GraphSource::file(&path)).unwrap();
+        assert_eq!(store.stats().num_nodes, graph.num_nodes());
+        assert_eq!(store.stats().num_edges, graph.num_edges());
+        assert!(store.read_stats().is_none(), "binary loads skip hygiene");
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(store.graph().is_mapped(), "sgr loads borrow the mapping");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn store_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<GraphStore>();

@@ -97,6 +97,59 @@ fn pooled_execution_is_byte_identical_to_scoped_threads() {
 }
 
 #[test]
+fn arena_shuffle_is_byte_identical_to_both_classic_executors() {
+    // The arena-opted round on the pooled executor (serialized per-shard
+    // byte arenas) against the classic pooled path and the scoped baseline:
+    // exact output order and every counter, at every thread count.
+    let inputs: Vec<u64> = (0..2500).map(|i| i * 41 % 733).collect();
+    let arena_round = || {
+        Round::new(
+            "count",
+            |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 53, *x),
+            |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+                ctx.add_work(vs.len() as u64);
+                ctx.emit((*k, vs.iter().sum()));
+            },
+        )
+        .arena()
+    };
+    let pool = Arc::new(WorkerPool::new(3));
+    for threads in THREAD_COUNTS {
+        for deterministic in [true, false] {
+            let mut base = EngineConfig::with_threads(threads);
+            base.deterministic = deterministic;
+            let arena = base.clone().with_pool(Arc::clone(&pool));
+            let classic = base
+                .clone()
+                .arena_shuffle(false)
+                .with_pool(Arc::clone(&pool));
+            let scoped = base.scoped_threads();
+
+            let (arena_out, arena_report) =
+                Pipeline::new().round(arena_round()).run(&inputs, &arena);
+            let (classic_out, classic_report) =
+                Pipeline::new().round(arena_round()).run(&inputs, &classic);
+            let (scoped_out, scoped_report) =
+                Pipeline::new().round(arena_round()).run(&inputs, &scoped);
+
+            let context = format!("threads={threads} deterministic={deterministic}");
+            assert_eq!(arena_out, classic_out, "{context}");
+            assert_eq!(arena_out, scoped_out, "{context}");
+            assert_eq!(
+                counters_of(&arena_report),
+                counters_of(&classic_report),
+                "{context}"
+            );
+            assert_eq!(
+                counters_of(&arena_report),
+                counters_of(&scoped_report),
+                "{context}"
+            );
+        }
+    }
+}
+
+#[test]
 fn global_pool_default_matches_scoped_threads_too() {
     // EngineConfig::default() routes through the process-global pool; no
     // explicit pool handle should be needed for parity.

@@ -176,6 +176,39 @@ fn fn_sink_sees_the_exact_deterministic_order() {
     }
 }
 
+#[test]
+fn arena_shuffle_matches_the_classic_shuffle_for_every_strategy() {
+    // Every planner-selectable strategy, arena shuffle on vs off: identical
+    // instance order and byte-identical counters at each thread count. This
+    // pins that the serialized per-shard arenas change *how* records cross
+    // the shuffle, never what arrives or what is measured.
+    for (name, sample) in patterns() {
+        let graph = generators::gnp(46, 0.10, 9_100);
+        for (kind, k) in strategies(&sample) {
+            for threads in THREAD_COUNTS {
+                let context = format!("{name} {kind} threads={threads}");
+                let arena = EnumerationRequest::new(sample.clone(), &graph)
+                    .reducers(k)
+                    .strategy(kind)
+                    .engine(EngineConfig::with_threads(threads))
+                    .plan()
+                    .unwrap_or_else(|e| panic!("{kind} should apply: {e}"))
+                    .execute();
+                let classic = EnumerationRequest::new(sample.clone(), &graph)
+                    .reducers(k)
+                    .strategy(kind)
+                    .engine(EngineConfig::with_threads(threads).arena_shuffle(false))
+                    .plan()
+                    .unwrap_or_else(|e| panic!("{kind} should apply: {e}"))
+                    .execute();
+                assert_eq!(arena.count(), classic.count(), "{context}");
+                assert_eq!(arena.instances(), classic.instances(), "{context}");
+                assert_same_metrics(&arena, &classic, &context);
+            }
+        }
+    }
+}
+
 // ---- the large-graph acceptance check --------------------------------------
 
 /// A counting sink that records how its records arrived: per-worker shards
