@@ -37,6 +37,13 @@ fn main() {
                     std::process::exit(1);
                 }
             },
+            "spill-gate" => match subgraph_bench::sink_bench::spill_gate() {
+                Ok(report) => print!("{report}"),
+                Err(report) => {
+                    eprint!("{report}");
+                    std::process::exit(1);
+                }
+            },
             "serve" => print!("{}", subgraph_bench::serve_bench::serve_amortization(false)),
             "serve-quick" => print!("{}", subgraph_bench::serve_bench::serve_amortization(true)),
             "cli" => print!("{}", cli_table::cli_parity()),
@@ -81,6 +88,8 @@ fn print_usage() {
          sink-quick            the same sweep in CI smoke mode\n  \
          rss-gate              bytes-per-edge budget on the sink-quick peak RSS (CI gate; \
          exits 1 on regression)\n  \
+         spill-gate            out-of-core shuffle gate: budgeted count within budget + graph + \
+         slack, identical answer (CI gate; exits 1 on regression)\n  \
          serve                 serve amortization: warm cached queries vs one-shot (writes BENCH_serve.json)\n  \
          serve-quick           the same comparison in CI smoke mode\n  \
          cli                   CLI parity: enumerate line count vs count per catalog pattern\n  \

@@ -28,6 +28,8 @@ pub fn cli_parity() -> String {
             pattern: entry.name.to_string(),
             reducers: Some(16),
             threads: Some(2),
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let count = count_instances(&opts)
@@ -64,6 +66,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: Some(16),
             threads: Some(2),
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let count = super::count_instances(&opts).unwrap().0.count();

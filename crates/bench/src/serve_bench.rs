@@ -185,6 +185,8 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
         // interactive-fast, so the fixed costs are what the numbers compare.
         reducers: Some(1),
         threads: Some(threads),
+        memory_budget: None,
+        spill_dir: None,
         strategy: None,
     };
     let cli = find_subgraph_binary();

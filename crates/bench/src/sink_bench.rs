@@ -58,13 +58,18 @@ pub struct SinkSample {
     /// True when this configuration asks for more threads than the host's
     /// available parallelism — its timing measures contention, not scaling.
     pub oversubscribed: bool,
+    /// Shuffle memory budget in bytes (0 = unbounded, the in-memory path).
+    pub memory_budget: usize,
     /// Mean wall time per count-only run, in seconds.
     pub mean_secs: f64,
     /// Fastest run, in seconds.
     pub min_secs: f64,
     /// Key-value pairs shipped through the shuffle per run.
     pub shuffle_records: usize,
-    /// Instances counted by the sink (identical across thread counts).
+    /// Arena bytes spilled to disk runs per run (0 without a budget).
+    pub spilled_bytes: u64,
+    /// Instances counted by the sink (identical across thread counts and
+    /// budgets).
     pub count: usize,
 }
 
@@ -109,10 +114,12 @@ impl SinkBenchReport {
             "Streaming sink — count-only triangle enumeration, zero instance storage",
             &[
                 "threads",
+                "budget",
                 "mean (s)",
                 "min (s)",
                 "records/s (mean)",
                 "edges/s (mean)",
+                "spilled (MiB)",
             ],
         );
         for sample in &self.samples {
@@ -125,10 +132,16 @@ impl SinkBenchReport {
             };
             table.row(&[
                 sample.threads.to_string(),
+                if sample.memory_budget == 0 {
+                    "unbounded".to_string()
+                } else {
+                    format!("{} MiB", sample.memory_budget >> 20)
+                },
                 format!("{:.4}", sample.mean_secs),
                 format!("{:.4}", sample.min_secs),
                 fmt(per_sec(sample.shuffle_records as f64)),
                 fmt(per_sec(self.edges as f64)),
+                format!("{:.1}", sample.spilled_bytes as f64 / (1024.0 * 1024.0)),
             ]);
         }
         table.note(&format!(
@@ -221,15 +234,17 @@ impl SinkBenchReport {
                 0.0
             };
             out.push_str(&format!(
-                "    {{ \"threads\": {}, \"oversubscribed\": {}, \"mean_secs\": {:.6}, \
-                 \"min_secs\": {:.6}, \"shuffle_records\": {}, \"records_per_sec\": {:.1}, \
-                 \"count\": {} }}{}\n",
+                "    {{ \"threads\": {}, \"oversubscribed\": {}, \"memory_budget\": {}, \
+                 \"mean_secs\": {:.6}, \"min_secs\": {:.6}, \"shuffle_records\": {}, \
+                 \"records_per_sec\": {:.1}, \"spilled_bytes\": {}, \"count\": {} }}{}\n",
                 sample.threads,
                 sample.oversubscribed,
+                sample.memory_budget,
                 sample.mean_secs,
                 sample.min_secs,
                 sample.shuffle_records,
                 records_per_sec,
+                sample.spilled_bytes,
                 sample.count,
                 if i + 1 == self.samples.len() { "" } else { "," },
             ));
@@ -298,11 +313,17 @@ fn measure_load_times(graph: &subgraph_graph::DataGraph) -> LoadSample {
     }
 }
 
+/// The quick (CI smoke) workload parameters `(mode, n, target_edges, runs)`,
+/// shared by [`run_sink_bench`] and [`spill_gate`].
+fn quick_workload() -> (&'static str, usize, usize, usize) {
+    ("quick", 1_500_000, 1_050_000, 1)
+}
+
 /// Runs the sweep. Both modes use a ≥ 1M-edge graph — the point of the sink
 /// path is large-graph behaviour; `quick` only trims the repetition count.
 pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
     let (mode, n, target_edges, runs) = if quick {
-        ("quick", 1_500_000usize, 1_050_000usize, 1usize)
+        quick_workload()
     } else {
         ("full", 3_000_000usize, 3_000_000usize, 3usize)
     };
@@ -323,13 +344,12 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
         .map(|v| v.get())
         .unwrap_or(1);
 
-    let mut samples = Vec::with_capacity(THREAD_COUNTS.len());
-    for threads in THREAD_COUNTS {
+    let measure = |threads: usize, memory_budget: usize| -> SinkSample {
         let plan = EnumerationRequest::named("triangle", &graph)
             .expect("triangle is a catalog pattern")
             .reducers(reducer_budget)
             .strategy(StrategyKind::BucketOrderedTriangles)
-            .engine(EngineConfig::with_threads(threads))
+            .engine(EngineConfig::with_threads(threads).memory_budget(memory_budget))
             .plan()
             .expect("bucket-ordered applies to the triangle pattern");
         let warmup = plan.count(); // untimed: page in the graph and code paths
@@ -341,15 +361,36 @@ pub fn run_sink_bench(quick: bool) -> SinkBenchReport {
             assert_eq!(report.count(), warmup.count(), "thread-count invariance");
         }
         let metrics = warmup.metrics.as_ref().expect("map-reduce strategy");
-        samples.push(SinkSample {
+        SinkSample {
             threads,
             oversubscribed: threads > available_parallelism,
+            memory_budget,
             mean_secs: times.iter().sum::<f64>() / times.len() as f64,
             min_secs: times.iter().cloned().fold(f64::INFINITY, f64::min),
             shuffle_records: metrics.shuffle_records,
+            spilled_bytes: metrics.spilled_bytes,
             count: warmup.count(),
-        });
+        }
+    };
+
+    let mut samples = Vec::with_capacity(THREAD_COUNTS.len() + 1);
+    for threads in THREAD_COUNTS {
+        samples.push(measure(threads, 0));
     }
+    // One budgeted configuration: the arena runs out-of-core and the count
+    // must not move by a single instance.
+    let budgeted = measure(4, SPILL_GATE_BUDGET_BYTES);
+    assert!(
+        budgeted.spilled_bytes > 0,
+        "a {} MiB budget must spill a {}-edge shuffle",
+        SPILL_GATE_BUDGET_BYTES >> 20,
+        graph.num_edges()
+    );
+    assert_eq!(
+        budgeted.count, samples[0].count,
+        "the spilled run must count exactly what the in-memory runs count"
+    );
+    samples.push(budgeted);
 
     SinkBenchReport {
         mode,
@@ -467,6 +508,113 @@ fn rss_gate_verdict(json: &str, label: &str) -> Result<String, String> {
     }
 }
 
+/// Shuffle memory budget the spill gate (and the budgeted sweep entry)
+/// forces: small enough that both bench workloads spill most of their arena
+/// bytes, large enough that chunk targets stay sensible.
+pub const SPILL_GATE_BUDGET_BYTES: usize = 32 << 20;
+
+/// Fixed allowance on top of `budget + graph` for everything the budget does
+/// not meter: the reduce-side grouping tables (the decoded values of one
+/// round, ~8 bytes per shuffled record on this workload), buffer-pool banks,
+/// allocator retention and code/stack. Sized so the quick workload's
+/// unbudgeted arena (~80 MiB of resident chunks) does NOT fit — if spilling
+/// stops relieving the map side, the gate trips. (Measured: the budgeted
+/// run peaks ~105 MiB against a ~126 MiB allowance on this workload.)
+pub const SPILL_GATE_SLACK_BYTES: u64 = 64 << 20;
+
+/// The `reproduce spill-gate` CI step: proves the memory budget actually
+/// bounds the resident shuffle. Generates the quick-mode graph, records the
+/// post-generation RSS baseline, runs ONE budgeted count (the first and only
+/// shuffle this process has run — `VmHWM` is a lifetime high-water mark, so
+/// the gate must run as its own `reproduce` invocation, never after an
+/// unbudgeted sweep), and fails when the process peak exceeds
+/// `baseline + budget + SPILL_GATE_SLACK_BYTES`. The budgeted count is then
+/// checked against an unbudgeted run (executed *after* the peak was read).
+/// Hosts without `VmHWM` degrade to an informational pass on the RSS check
+/// but still verify spilling and count parity.
+pub fn spill_gate() -> Result<String, String> {
+    let (_, n, target_edges, _) = quick_workload();
+    let p = 2.0 * target_edges as f64 / (n as f64 * (n as f64 - 1.0));
+    let graph = generators::gnp_sparse(n, p, 20_260_731);
+    let baseline = peak_rss_bytes();
+
+    let count_with = |budget: usize| {
+        EnumerationRequest::named("triangle", &graph)
+            .expect("triangle is a catalog pattern")
+            .reducers(64)
+            .strategy(StrategyKind::BucketOrderedTriangles)
+            .engine(EngineConfig::with_threads(4).memory_budget(budget))
+            .plan()
+            .expect("bucket-ordered applies to the triangle pattern")
+            .count()
+    };
+    let budgeted = count_with(SPILL_GATE_BUDGET_BYTES);
+    let peak = peak_rss_bytes();
+    let spilled = budgeted.metrics.as_ref().map_or(0, |m| m.spilled_bytes);
+    if spilled == 0 {
+        return Err(format!(
+            "spill gate FAILED: a {} MiB budget spilled nothing on a {}-edge shuffle\n",
+            SPILL_GATE_BUDGET_BYTES >> 20,
+            graph.num_edges()
+        ));
+    }
+    let unbudgeted = count_with(0);
+    if unbudgeted.count() != budgeted.count() {
+        return Err(format!(
+            "spill gate FAILED: budgeted count {} != unbudgeted count {}\n",
+            budgeted.count(),
+            unbudgeted.count()
+        ));
+    }
+
+    let verdict = spill_gate_verdict(baseline, peak, graph.num_edges());
+    verdict.map(|text| {
+        format!(
+            "spill gate: {} MiB budget spilled {:.1} MiB over {} runs, count {} matches the \
+             in-memory run\n{text}",
+            SPILL_GATE_BUDGET_BYTES >> 20,
+            spilled as f64 / (1024.0 * 1024.0),
+            budgeted.metrics.as_ref().map_or(0, |m| m.spill_runs),
+            budgeted.count(),
+        )
+    })
+}
+
+/// The RSS half of the gate's decision, separated for unit tests:
+/// `peak <= baseline + budget + slack`, informational pass when either
+/// measurement is unavailable.
+fn spill_gate_verdict(
+    baseline: Option<u64>,
+    peak: Option<u64>,
+    edges: usize,
+) -> Result<String, String> {
+    let (Some(baseline), Some(peak)) = (baseline, peak) else {
+        return Ok(
+            "spill gate RSS check skipped: VmHWM unavailable on this platform\n".to_string(),
+        );
+    };
+    let allowed = baseline + SPILL_GATE_BUDGET_BYTES as u64 + SPILL_GATE_SLACK_BYTES;
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+    let arithmetic = format!(
+        "peak RSS {:.1} MiB vs baseline {:.1} MiB + budget {:.1} MiB + slack {:.1} MiB = \
+         {:.1} MiB allowed ({} edges)\n",
+        mib(peak),
+        mib(baseline),
+        mib(SPILL_GATE_BUDGET_BYTES as u64),
+        mib(SPILL_GATE_SLACK_BYTES),
+        mib(allowed),
+        edges,
+    );
+    if peak > allowed {
+        Err(format!(
+            "{arithmetic}spill gate FAILED: the resident shuffle no longer tracks the memory \
+             budget\n"
+        ))
+    } else {
+        Ok(arithmetic)
+    }
+}
+
 /// Extracts the first `"key": <number>` field from JSON text. Returns `None`
 /// for a missing key or a non-numeric value (e.g. `null`) — callers decide
 /// whether that means "skip" or "fail".
@@ -503,9 +651,11 @@ mod tests {
                 .map(|&threads| SinkSample {
                     threads,
                     oversubscribed: threads > 1,
+                    memory_budget: if threads == 8 { 32 << 20 } else { 0 },
                     mean_secs: 1.0 / threads as f64,
                     min_secs: 0.9 / threads as f64,
                     shuffle_records: 6_000_000,
+                    spilled_bytes: if threads == 8 { 48 << 20 } else { 0 },
                     count: 42,
                 })
                 .collect(),
@@ -584,6 +734,45 @@ mod tests {
         // Malformed: loud errors.
         assert!(rss_gate_verdict("{}", "t").is_err());
         assert!(rss_gate_verdict("{ \"edges\": 0, \"peak_rss_bytes\": 1 }", "t").is_err());
+    }
+
+    #[test]
+    fn report_carries_the_budget_and_spill_columns() {
+        let report = micro_report();
+        let json = report.to_json();
+        assert!(json.contains("\"memory_budget\": 0"), "{json}");
+        assert!(
+            json.contains(&format!("\"memory_budget\": {}", 32 << 20)),
+            "{json}"
+        );
+        assert!(json.contains("\"spilled_bytes\": 0"), "{json}");
+        assert!(
+            json.contains(&format!("\"spilled_bytes\": {}", 48u64 << 20)),
+            "{json}"
+        );
+        let table = report.table();
+        assert!(table.contains("budget"), "{table}");
+        assert!(table.contains("unbounded"), "{table}");
+        assert!(table.contains("32 MiB"), "{table}");
+        assert!(table.contains("spilled (MiB)"), "{table}");
+        assert!(table.contains("48.0"), "{table}");
+    }
+
+    #[test]
+    fn spill_gate_verdicts() {
+        let base = 60u64 << 20;
+        // Exactly at the allowance: pass, with the arithmetic in the message.
+        let at = base + SPILL_GATE_BUDGET_BYTES as u64 + SPILL_GATE_SLACK_BYTES;
+        let ok = spill_gate_verdict(Some(base), Some(at), 1_050_000).unwrap();
+        assert!(ok.contains("allowed"), "{ok}");
+        // One byte over: fail.
+        let err = spill_gate_verdict(Some(base), Some(at + 1), 1_050_000).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        // No VmHWM: informational pass, never a silent fail.
+        let skip = spill_gate_verdict(None, None, 1_050_000).unwrap();
+        assert!(skip.contains("skipped"), "{skip}");
+        let skip = spill_gate_verdict(Some(base), None, 1_050_000).unwrap();
+        assert!(skip.contains("skipped"), "{skip}");
     }
 
     #[test]

@@ -99,6 +99,12 @@ pub struct RequestOpts {
     pub reducers: Option<usize>,
     /// Worker threads for the engine (defaults to available parallelism).
     pub threads: Option<usize>,
+    /// Resident-memory budget in bytes for the shuffle (`--memory-budget`);
+    /// `None` or 0 keeps everything in memory.
+    pub memory_budget: Option<usize>,
+    /// Base directory for spill run files (`--spill-dir`); `None` uses the
+    /// OS temp dir.
+    pub spill_dir: Option<PathBuf>,
     /// Force a strategy instead of letting the planner choose.
     pub strategy: Option<StrategyKind>,
 }
@@ -120,8 +126,21 @@ impl RequestOpts {
         if let Some(k) = self.reducers {
             request = request.reducers(k);
         }
-        if let Some(t) = self.threads {
-            request = request.engine(EngineConfig::with_threads(t));
+        if self.threads.is_some() || self.memory_budget.is_some() || self.spill_dir.is_some() {
+            let mut engine = match self.threads {
+                Some(t) => EngineConfig::with_threads(t),
+                None => EngineConfig::default(),
+            };
+            if let Some(bytes) = self.memory_budget {
+                engine = engine.memory_budget(bytes);
+            }
+            if let Some(dir) = &self.spill_dir {
+                engine = engine.spill_dir(dir.clone());
+            }
+            // Fail fast on an unusable spill dir — before planning, not as a
+            // mid-round panic.
+            engine.validate_spill_dir().map_err(CliError::Run)?;
+            request = request.engine(engine);
         }
         if let Some(kind) = self.strategy {
             request = request.strategy(kind);
@@ -173,6 +192,12 @@ pub enum Command {
         pool: usize,
         /// Per-query engine thread budget (default 1).
         threads: usize,
+        /// Per-query resident-memory budget in bytes for the shuffle
+        /// (`--memory-budget`; 0 = unbounded).
+        memory_budget: usize,
+        /// Base directory for spill run files (`--spill-dir`; `None` uses
+        /// the OS temp dir).
+        spill_dir: Option<PathBuf>,
         /// Per-connection socket I/O timeout in seconds (default 30;
         /// 0 disables — a stalled client then holds its worker forever).
         timeout_secs: u64,
@@ -194,6 +219,9 @@ pub enum Command {
         /// The `.sgr` file to write (required — the container is binary, so
         /// it never goes to stdout).
         output: PathBuf,
+        /// Overwrite an existing output file (`--force`); without it an
+        /// existing file is an error.
+        force: bool,
         /// Also report input hygiene counters for text sources.
         verbose: bool,
     },
@@ -286,11 +314,17 @@ request options:
                         <= 1 plans a serial algorithm)
   --threads <t>         engine worker threads (default: all cores;
                         for serve: per-query budget, default 1)
+  --memory-budget <b>   resident-memory budget for the shuffle; past it the
+                        engine spills to disk (suffixes K/M/G, e.g. 512M, 2G;
+                        default 0 = unbounded, never touch disk)
+  --spill-dir <dir>     where spill run files go (default: the OS temp dir;
+                        always cleaned up, even on panic)
   --strategy <name>     force a strategy (e.g. bucket-oriented, cq-oriented)
 
 output options:
   --format <fmt>        enumerate serialization: ndjson (default) | csv | edges
   --output <file>       write results there instead of stdout
+  --force               convert only: overwrite an existing --output file
   --verbose             print the run report (and input hygiene) to stderr
 
 serve options (see docs/SERVE.md):
@@ -332,12 +366,15 @@ impl Command {
         let mut output: Option<PathBuf> = None;
         let mut reducers: Option<usize> = None;
         let mut threads: Option<usize> = None;
+        let mut memory_budget: Option<usize> = None;
+        let mut spill_dir: Option<PathBuf> = None;
         let mut strategy: Option<String> = None;
         let mut listen: Option<String> = None;
         let mut unix: Option<PathBuf> = None;
         let mut plan_cache: Option<usize> = None;
         let mut pool: Option<usize> = None;
         let mut timeout_secs: Option<u64> = None;
+        let mut force = false;
         let mut verbose = false;
         let mut positional: Vec<String> = Vec::new();
 
@@ -366,6 +403,17 @@ impl Command {
                         CliError::Usage("--threads needs a positive integer".into())
                     })?)
                 }
+                "--memory-budget" => {
+                    memory_budget =
+                        Some(parse_size(&value("--memory-budget")?).ok_or_else(|| {
+                            CliError::Usage(
+                                "--memory-budget needs a byte count like 512M or 2G \
+                                 (suffixes K, M, G; 0 = unbounded)"
+                                    .into(),
+                            )
+                        })?)
+                }
+                "--spill-dir" => spill_dir = Some(PathBuf::from(value("--spill-dir")?)),
                 "--strategy" => strategy = Some(value("--strategy")?),
                 "--listen" => listen = Some(value("--listen")?),
                 "--unix" => unix = Some(PathBuf::from(value("--unix")?)),
@@ -385,6 +433,7 @@ impl Command {
                         CliError::Usage("--timeout-secs needs a non-negative integer".into())
                     })?)
                 }
+                "--force" => force = true,
                 "--verbose" | "-v" => verbose = true,
                 "--help" | "-h" => return Err(usage("".into())),
                 flag if flag.starts_with('-') => {
@@ -453,6 +502,8 @@ impl Command {
                 pattern,
                 reducers,
                 threads,
+                memory_budget,
+                spill_dir: spill_dir.clone(),
                 strategy,
             })
         };
@@ -492,6 +543,7 @@ impl Command {
             "enumerate" => {
                 no_positionals("enumerate")?;
                 no_serve_flags("enumerate")?;
+                reject("enumerate", "--force", force)?;
                 let format = match &format {
                     None => Format::Ndjson,
                     Some(name) => Format::parse(name).ok_or_else(|| {
@@ -512,6 +564,7 @@ impl Command {
                 no_serve_flags("count")?;
                 reject("count", "--format", format.is_some())?;
                 reject("count", "--output", output.is_some())?;
+                reject("count", "--force", force)?;
                 Ok(Command::Count {
                     opts: request_opts("count")?,
                     verbose,
@@ -522,6 +575,7 @@ impl Command {
                 no_serve_flags("explain")?;
                 reject("explain", "--format", format.is_some())?;
                 reject("explain", "--output", output.is_some())?;
+                reject("explain", "--force", force)?;
                 reject("explain", "--verbose", verbose)?;
                 Ok(Command::Explain {
                     opts: request_opts("explain")?,
@@ -539,7 +593,10 @@ impl Command {
                     ("--output", output.is_some()),
                     ("--reducers", reducers.is_some()),
                     ("--threads", threads.is_some()),
+                    ("--memory-budget", memory_budget.is_some()),
+                    ("--spill-dir", spill_dir.is_some()),
                     ("--strategy", strategy.is_some()),
+                    ("--force", force),
                     ("--verbose", verbose),
                 ] {
                     reject("catalog", flag, given)?;
@@ -554,6 +611,7 @@ impl Command {
                 reject("serve", "--output", output.is_some())?;
                 reject("serve", "--reducers", reducers.is_some())?;
                 reject("serve", "--strategy", strategy.is_some())?;
+                reject("serve", "--force", force)?;
                 if matches!(threads, Some(0)) {
                     return Err(usage("--threads needs a positive integer".into()));
                 }
@@ -568,6 +626,8 @@ impl Command {
                     plan_cache: plan_cache.unwrap_or(64),
                     pool: pool.unwrap_or(4).max(1),
                     threads: threads.unwrap_or(1),
+                    memory_budget: memory_budget.unwrap_or(0),
+                    spill_dir,
                     timeout_secs: timeout_secs.unwrap_or(30),
                     verbose,
                 })
@@ -580,7 +640,10 @@ impl Command {
                     ("--format", format.is_some()),
                     ("--reducers", reducers.is_some()),
                     ("--threads", threads.is_some()),
+                    ("--memory-budget", memory_budget.is_some()),
+                    ("--spill-dir", spill_dir.is_some()),
                     ("--strategy", strategy.is_some()),
+                    ("--force", force),
                     ("--verbose", verbose),
                 ] {
                     reject("generate", flag, given)?;
@@ -609,6 +672,8 @@ impl Command {
                     ("--format", format.is_some()),
                     ("--reducers", reducers.is_some()),
                     ("--threads", threads.is_some()),
+                    ("--memory-budget", memory_budget.is_some()),
+                    ("--spill-dir", spill_dir.is_some()),
                     ("--strategy", strategy.is_some()),
                 ] {
                     reject("convert", flag, given)?;
@@ -633,6 +698,7 @@ impl Command {
                 Ok(Command::Convert {
                     source,
                     output,
+                    force,
                     verbose,
                 })
             }
@@ -644,6 +710,20 @@ impl Command {
 /// Every forceable strategy name, in tie-breaking order.
 pub fn strategy_names() -> Vec<String> {
     StrategyKind::all().iter().map(|k| k.to_string()).collect()
+}
+
+/// Parses a byte count with an optional binary suffix: `65536`, `64K`,
+/// `512M`, `2G` (case-insensitive; K/M/G are 2^10/2^20/2^30). `0` means
+/// unbounded for `--memory-budget`.
+pub fn parse_size(text: &str) -> Option<usize> {
+    let text = text.trim();
+    let (digits, multiplier) = match text.chars().last()? {
+        'k' | 'K' => (&text[..text.len() - 1], 1usize << 10),
+        'm' | 'M' => (&text[..text.len() - 1], 1 << 20),
+        'g' | 'G' => (&text[..text.len() - 1], 1 << 30),
+        _ => (text, 1),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(multiplier)
 }
 
 /// Resolves a strategy name as printed by [`StrategyKind`]'s `Display`.
@@ -837,11 +917,23 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
             plan_cache,
             pool,
             threads,
+            memory_budget,
+            spill_dir,
             timeout_secs,
             verbose,
         } => {
+            // Fail fast on an unusable spill dir — at startup, not inside
+            // the first budgeted query.
+            {
+                let mut probe = EngineConfig::default().memory_budget(*memory_budget);
+                if let Some(dir) = spill_dir {
+                    probe = probe.spill_dir(dir.clone());
+                }
+                probe.validate_spill_dir().map_err(CliError::Run)?;
+            }
             let store = GraphStore::open(source)?;
-            let engine = QueryEngine::new(store, *plan_cache, *threads);
+            let engine = QueryEngine::new(store, *plan_cache, *threads)
+                .with_memory_budget(*memory_budget, spill_dir.clone());
             let io_timeout = (*timeout_secs > 0).then(|| Duration::from_secs(*timeout_secs));
             let config = ServerConfig {
                 listen: Some(
@@ -854,6 +946,8 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
                 pool: *pool,
                 cache_capacity: *plan_cache,
                 threads_per_query: *threads,
+                memory_budget: *memory_budget,
+                spill_dir: spill_dir.clone(),
                 read_timeout: io_timeout,
                 write_timeout: io_timeout,
             };
@@ -913,8 +1007,18 @@ pub fn run(cmd: &Command, stdout: &mut (dyn Write + Send)) -> Result<Option<Stri
         Command::Convert {
             source,
             output,
+            force,
             verbose,
         } => {
+            // Refuse to clobber an existing file unless asked — checked
+            // before the (possibly expensive) load, so the refusal is
+            // instant.
+            if !force && output.exists() {
+                return Err(CliError::Run(format!(
+                    "{} already exists (pass --force to overwrite)",
+                    output.display()
+                )));
+            }
             let (graph, stats) = source.load_with_stats()?;
             // SgrError already names the file it was writing.
             write_sgr_file(&graph, output).map_err(|e| CliError::Run(e.to_string()))?;
@@ -1068,6 +1172,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: Some(16),
             threads: Some(2),
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let (report, _) = count_instances(&opts).unwrap();
@@ -1086,6 +1192,8 @@ mod tests {
             pattern: "lollipop".to_string(),
             reducers: Some(750),
             threads: None,
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let text = explain_request(&opts).unwrap();
@@ -1126,6 +1234,8 @@ mod tests {
             pattern: "dodecahedron".to_string(),
             reducers: None,
             threads: None,
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let err = count_instances(&opts).unwrap_err();
@@ -1140,6 +1250,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: None,
             threads: None,
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let err = count_instances(&opts).unwrap_err();
@@ -1184,6 +1296,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: None,
             threads: None,
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let err = enumerate_to_file(&bad_input, Format::Ndjson, &out).unwrap_err();
@@ -1328,6 +1442,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: Some(16),
             threads: Some(1),
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let by_spec = RequestOpts {
@@ -1413,6 +1529,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: Some(16),
             threads: Some(1),
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         assert_eq!(
@@ -1441,6 +1559,186 @@ mod tests {
             "triangle"
         ])
         .contains("does not take --pattern"));
+    }
+
+    #[test]
+    fn parse_size_understands_binary_suffixes() {
+        assert_eq!(parse_size("0"), Some(0));
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("64k"), Some(64 << 10));
+        assert_eq!(parse_size("2M"), Some(2 << 20));
+        assert_eq!(parse_size("2G"), Some(2 << 30));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("K"), None);
+        assert_eq!(parse_size("12T"), None);
+        assert_eq!(parse_size("-1"), None);
+        assert_eq!(parse_size("999999999999999999999G"), None);
+    }
+
+    #[test]
+    fn memory_budget_and_spill_dir_flags_parse() {
+        let cmd = parse(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "--memory-budget",
+            "64K",
+            "--spill-dir",
+            "/tmp/spill-here",
+        ]);
+        match cmd {
+            Command::Count { opts, .. } => {
+                assert_eq!(opts.memory_budget, Some(64 << 10));
+                assert_eq!(opts.spill_dir, Some(PathBuf::from("/tmp/spill-here")));
+            }
+            other => panic!("expected Count, got {other:?}"),
+        }
+        let cmd = parse(&["serve", "--generate", "gnp:9,0.5", "--memory-budget", "1G"]);
+        match cmd {
+            Command::Serve {
+                memory_budget,
+                spill_dir,
+                ..
+            } => {
+                assert_eq!(memory_budget, 1 << 30);
+                assert_eq!(spill_dir, None);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spill_flags_are_rejected_where_inapplicable() {
+        let err = |args: &[&str]| match Command::parse(args) {
+            Err(CliError::Usage(msg)) => msg,
+            other => panic!("expected usage error, got {other:?}"),
+        };
+        assert!(
+            err(&["catalog", "--memory-budget", "1M"]).contains("does not take --memory-budget")
+        );
+        assert!(err(&["generate", "gnp:9,0.5", "--spill-dir", "/tmp"])
+            .contains("does not take --spill-dir"));
+        assert!(err(&[
+            "convert",
+            "--generate",
+            "gnp:9,0.5",
+            "-o",
+            "x.sgr",
+            "--memory-budget",
+            "1M"
+        ])
+        .contains("does not take --memory-budget"));
+        assert!(err(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "--force"
+        ])
+        .contains("does not take --force"));
+        assert!(err(&[
+            "count",
+            "--generate",
+            "gnp:9,0.5",
+            "--pattern",
+            "triangle",
+            "--memory-budget",
+            "lots"
+        ])
+        .contains("byte count"));
+    }
+
+    #[test]
+    fn unwritable_spill_dir_fails_fast() {
+        // A spill dir nested under a regular file can never be created: the
+        // request must fail before any round runs, naming the dir.
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not-a-dir.txt");
+        std::fs::write(&blocker, "x").unwrap();
+        let opts = RequestOpts {
+            source: "gnp:30,0.2,5".parse().unwrap(),
+            pattern: "triangle".to_string(),
+            reducers: None,
+            threads: Some(2),
+            memory_budget: Some(64 << 10),
+            spill_dir: Some(blocker.join("spill")),
+            strategy: None,
+        };
+        let err = count_instances(&opts).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("spill"), "{msg}");
+        assert!(msg.contains("not-a-dir.txt"), "{msg}");
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn a_budgeted_count_matches_the_unbudgeted_answer() {
+        let base = RequestOpts {
+            source: "gnm:120,1500,13".parse().unwrap(),
+            pattern: "triangle".to_string(),
+            reducers: Some(220),
+            threads: Some(2),
+            memory_budget: None,
+            spill_dir: None,
+            strategy: Some(StrategyKind::BucketOrderedTriangles),
+        };
+        let budgeted = RequestOpts {
+            memory_budget: Some(64 << 10),
+            ..base.clone()
+        };
+        let (plain, _) = count_instances(&base).unwrap();
+        let (spilled, _) = count_instances(&budgeted).unwrap();
+        assert_eq!(plain.count(), spilled.count());
+        let spill_bytes = |r: &RunReport| r.metrics.as_ref().map_or(0, |m| m.spilled_bytes);
+        assert_eq!(spill_bytes(&plain), 0);
+    }
+
+    #[test]
+    fn convert_refuses_to_overwrite_without_force() {
+        let dir = std::env::temp_dir().join("subgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("convert-noclobber.sgr");
+        std::fs::write(&out_path, "precious bytes").unwrap();
+
+        let mut out = Vec::new();
+        let err = run(
+            &parse(&[
+                "convert",
+                "--generate",
+                "gnp:20,0.3,2",
+                "--output",
+                out_path.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("already exists"), "{err}");
+        assert!(err.to_string().contains("--force"), "{err}");
+        // The original file is untouched.
+        assert_eq!(std::fs::read(&out_path).unwrap(), b"precious bytes");
+
+        // --force overwrites it.
+        let note = run(
+            &parse(&[
+                "convert",
+                "--generate",
+                "gnp:20,0.3,2",
+                "--output",
+                out_path.to_str().unwrap(),
+                "--force",
+            ]),
+            &mut out,
+        )
+        .unwrap()
+        .expect("convert reports what it wrote");
+        assert!(note.contains("mmap-loadable"), "{note}");
+        assert_eq!(&std::fs::read(&out_path).unwrap()[..8], b"SGRAPH\r\n");
+        std::fs::remove_file(&out_path).ok();
     }
 
     #[test]
@@ -1567,6 +1865,8 @@ mod tests {
             pattern: "triangle".to_string(),
             reducers: Some(16),
             threads: Some(1),
+            memory_budget: None,
+            spill_dir: None,
             strategy: None,
         };
         let from_generator = RequestOpts {

@@ -28,6 +28,8 @@ fn opts(source: GraphSource, pattern: &str, threads: usize) -> RequestOpts {
         // larger patterns while still planning map-reduce strategies.
         reducers: Some(16),
         threads: Some(threads),
+        memory_budget: None,
+        spill_dir: None,
         strategy: None,
     }
 }

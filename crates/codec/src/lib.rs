@@ -53,6 +53,48 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
     }
 }
 
+/// Reads one LEB128 varint from a byte stream — the streaming counterpart of
+/// [`read_varint`], used by the engine's spill-run reader where frames arrive
+/// from a file instead of a resident buffer.
+///
+/// Returns `Ok(None)` on a clean end of stream (no byte consumed): a sequence
+/// of length-prefixed frames is terminated by EOF at a frame boundary, so the
+/// reader distinguishes "no more frames" from a truncated length
+/// (`ErrorKind::UnexpectedEof`).
+pub fn read_varint_from(read: &mut impl std::io::Read) -> std::io::Result<Option<u64>> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut byte = [0u8; 1];
+    loop {
+        match read.read(&mut byte) {
+            Ok(0) => {
+                return if shift == 0 {
+                    Ok(None)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a varint",
+                    ))
+                };
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        value |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(value));
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "varint exceeds 10 bytes",
+            ));
+        }
+    }
+}
+
 /// A value that can serialize itself into (and back out of) an arena byte
 /// buffer. See the [crate docs](self) for the contract: `decode` must return
 /// an equal value and consume exactly the bytes `encode` appended.
@@ -279,5 +321,27 @@ mod tests {
         let buf = [0x80u8, 0x80];
         let mut pos = 0;
         let _ = read_varint(&buf, &mut pos);
+    }
+
+    #[test]
+    fn streaming_varints_match_the_slice_reader() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 0x3fff, u32::MAX as u64, u64::MAX];
+        for value in values {
+            write_varint(&mut buf, value);
+        }
+        let mut cursor = std::io::Cursor::new(&buf);
+        for value in values {
+            assert_eq!(read_varint_from(&mut cursor).unwrap(), Some(value));
+        }
+        // Clean EOF at a frame boundary is "no more frames", not an error.
+        assert_eq!(read_varint_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn streaming_varint_rejects_mid_value_eof() {
+        let mut cursor = std::io::Cursor::new([0x80u8, 0x80]);
+        let err = read_varint_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 }

@@ -115,13 +115,16 @@ pub fn bucket_oriented_with_cqs_into(
         }
     };
 
-    let report = Pipeline::new()
-        .round(
+    let report = crate::stream::run_streamed_with_sink(
+        Pipeline::new().round(
             Round::new("bucket-oriented", mapper, reducer)
                 .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len()))
                 .arena(),
-        )
-        .run_with_sink(graph.edges(), config, sink);
+        ),
+        graph.edges(),
+        config,
+        sink,
+    );
     RunStats::from_pipeline(report)
 }
 

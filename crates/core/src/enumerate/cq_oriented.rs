@@ -104,13 +104,16 @@ pub fn single_cq_job_into(
         }
     };
 
-    let report = Pipeline::new()
-        .round(
+    let report = crate::stream::run_streamed_with_sink(
+        Pipeline::new().round(
             Round::new("cq-job", mapper, reducer)
                 .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len()))
                 .arena(),
-        )
-        .run_with_sink(graph.edges(), config, sink);
+        ),
+        graph.edges(),
+        config,
+        sink,
+    );
     RunStats::from_pipeline(report)
 }
 

@@ -130,13 +130,16 @@ pub fn run_with_plan_into(
         }
     };
 
-    let report = Pipeline::new()
-        .round(
+    let report = crate::stream::run_streamed_with_sink(
+        Pipeline::new().round(
             Round::new("variable-oriented", mapper, reducer)
                 .record_bytes(|key: &BucketKey, _edge: &Edge| vec_key_record_bytes(key.len()))
                 .arena(),
-        )
-        .run_with_sink(graph.edges(), config, sink);
+        ),
+        graph.edges(),
+        config,
+        sink,
+    );
     RunStats::from_pipeline(report)
 }
 

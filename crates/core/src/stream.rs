@@ -1,0 +1,71 @@
+//! Streamed map input for the strategy runners.
+//!
+//! Every single-round strategy feeds the engine the graph's edge slice. On
+//! the arena path the engine can consume that input as an
+//! [`InputChunk`] iterator instead of one borrowed slice
+//! ([`Pipeline::run_chunked_with_sink`]): mmap-loaded `.sgr` graphs yield
+//! zero-copy sub-slices, and upstream callers (the CLI's text reader) can
+//! substitute owned batches without the strategies changing. The chunk
+//! boundaries are exactly the slice path's shard boundaries
+//! (`len.div_ceil(threads)`), which pins byte-identical outputs and counters
+//! — the cross-executor parity suites compare runs routed through both entry
+//! points.
+
+use subgraph_mapreduce::{EngineConfig, InputChunk, OutputSink, Pipeline, PipelineReport};
+
+/// Runs `pipeline` over `inputs`, streaming them as shard-sized
+/// [`InputChunk::Slice`]s when the arena path is active (worker pool + arena
+/// shuffle) and falling back to the borrowed-slice entry point otherwise.
+pub(crate) fn run_streamed_with_sink<'a, I, T>(
+    pipeline: Pipeline<'a, I, T>,
+    inputs: &[I],
+    config: &EngineConfig,
+    sink: &mut dyn OutputSink<T>,
+) -> PipelineReport
+where
+    I: Clone + Send + Sync + 'static,
+    T: Clone + Send + 'static,
+{
+    if config.uses_pool() && config.use_arena {
+        let chunk_size = inputs.len().div_ceil(config.num_threads.max(1)).max(1);
+        pipeline.run_chunked_with_sink(
+            inputs.chunks(chunk_size).map(InputChunk::Slice),
+            config,
+            sink,
+        )
+    } else {
+        pipeline.run_with_sink(inputs, config, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::triangles::bucket_ordered::run_bucket_ordered_triangles;
+    use subgraph_graph::generators;
+    use subgraph_mapreduce::EngineConfig;
+
+    /// The strategies route through the chunked entry point; a forced budget
+    /// must spill without changing the answer, and the scoped-thread fallback
+    /// (which skips the chunked path entirely) must agree.
+    #[test]
+    fn streamed_strategy_runs_agree_across_budgets_and_executors() {
+        // b = 10 ships ~30k records (~350 KiB of arena bytes) — comfortably
+        // past a 64 KiB budget.
+        let g = generators::gnm(200, 3000, 7);
+        let base = run_bucket_ordered_triangles(&g, 10, &EngineConfig::with_threads(4));
+        let budgeted = run_bucket_ordered_triangles(
+            &g,
+            10,
+            &EngineConfig::with_threads(4).memory_budget(64 << 10),
+        );
+        assert_eq!(budgeted.count(), base.count());
+        assert!(
+            budgeted.metrics.spilled_bytes > 0,
+            "a 64 KiB budget must spill this workload"
+        );
+        assert_eq!(base.metrics.spilled_bytes, 0);
+        let scoped =
+            run_bucket_ordered_triangles(&g, 10, &EngineConfig::with_threads(4).scoped_threads());
+        assert_eq!(scoped.count(), base.count());
+    }
+}

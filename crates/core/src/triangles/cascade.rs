@@ -39,6 +39,7 @@ pub struct Wedge {
 }
 
 /// Input type of the second round: a wedge from round 1 or a closing edge.
+#[derive(Clone, Copy)]
 enum Round2Input {
     Wedge(Wedge),
     Edge(Edge),
@@ -182,19 +183,23 @@ pub(crate) fn run_cascade_triangles_into(
     config: &EngineConfig,
     sink: &mut dyn InstanceSink,
 ) -> RunStats {
-    let report = Pipeline::new()
-        .round(wedge_round_spec())
-        .prepare(|wedges: Vec<Wedge>| {
-            // The second round joins the wedge stream with the edge relation:
-            // feed it both, tagged by origin.
-            wedges
-                .into_iter()
-                .map(Round2Input::Wedge)
-                .chain(graph.edges().iter().copied().map(Round2Input::Edge))
-                .collect()
-        })
-        .round(closing_round_spec())
-        .run_with_sink(graph.edges(), config, sink);
+    let report = crate::stream::run_streamed_with_sink(
+        Pipeline::new()
+            .round(wedge_round_spec())
+            .prepare(|wedges: Vec<Wedge>| {
+                // The second round joins the wedge stream with the edge
+                // relation: feed it both, tagged by origin.
+                wedges
+                    .into_iter()
+                    .map(Round2Input::Wedge)
+                    .chain(graph.edges().iter().copied().map(Round2Input::Edge))
+                    .collect()
+            })
+            .round(closing_round_spec()),
+        graph.edges(),
+        config,
+        sink,
+    );
     RunStats::from_pipeline(report)
 }
 

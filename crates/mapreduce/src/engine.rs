@@ -6,6 +6,7 @@
 //! or `run_with_sink(..)` for streaming output delivery).
 
 use crate::pool::WorkerPool;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which execution substrate runs a round's map and reduce tasks.
@@ -54,6 +55,23 @@ pub struct EngineConfig {
     /// byte-identical either way (the parity suites pin it); only resident
     /// memory differs.
     pub use_arena: bool,
+    /// Resident-memory budget in bytes for a round's in-flight arena records
+    /// (0, the default, means unbounded — never touch disk). When the sealed
+    /// arena chunks of a round cross this budget, map workers spill them to
+    /// run files under [`EngineConfig::spill_dir`] and the reduce phase
+    /// streams them back, so peak RSS tracks the budget instead of the
+    /// workload. Only rounds on the arena path spill (worker pool,
+    /// [`EngineConfig::use_arena`], no active combiner); classic rounds
+    /// ignore the budget. Outputs and all non-spill [`crate::JobMetrics`]
+    /// counters are byte-identical at any budget (the parity suites pin it).
+    pub memory_budget: usize,
+    /// Base directory for spill run files (`None`, the default, uses the OS
+    /// temp dir). Each round creates — and removes on completion *and* on
+    /// panic — a uniquely named subdirectory inside it, so a shared base
+    /// never accumulates stale runs. Validate a user-supplied directory up
+    /// front with [`EngineConfig::validate_spill_dir`]; a mid-round I/O
+    /// failure panics with the offending run file and spill dir named.
+    pub spill_dir: Option<PathBuf>,
     /// The execution substrate: the persistent worker pool (default) or the
     /// legacy scoped-thread path. Private — set through
     /// [`EngineConfig::with_pool`] / [`EngineConfig::scoped_threads`].
@@ -69,6 +87,8 @@ impl Default for EngineConfig {
             deterministic: true,
             use_combiners: true,
             use_arena: true,
+            memory_budget: 0,
+            spill_dir: None,
             executor: Executor::default(),
         }
     }
@@ -102,6 +122,34 @@ impl EngineConfig {
     pub fn arena_shuffle(mut self, enabled: bool) -> Self {
         self.use_arena = enabled;
         self
+    }
+
+    /// Sets the resident-memory budget in bytes for in-flight arena records
+    /// (see [`EngineConfig::memory_budget`]; 0 disables spilling).
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Sets the base directory for spill run files (see
+    /// [`EngineConfig::spill_dir`]).
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Fail-fast writability probe for the configured spill location: creates
+    /// and removes a uniquely named probe directory under
+    /// [`EngineConfig::spill_dir`] (or the OS temp dir). Callers that accept a
+    /// user-supplied spill directory run this at startup so an unwritable
+    /// path is reported before any work starts, not as a mid-round panic.
+    /// Always `Ok` when nothing would ever spill (no budget, no explicit
+    /// directory); the error message names the offending directory.
+    pub fn validate_spill_dir(&self) -> Result<(), String> {
+        if self.memory_budget == 0 && self.spill_dir.is_none() {
+            return Ok(());
+        }
+        crate::spill::validate_base_dir(self.spill_dir.as_deref())
     }
 
     /// Runs rounds on the given shared [`WorkerPool`] instead of the
@@ -165,7 +213,7 @@ mod tests {
         config: &EngineConfig,
     ) -> (Vec<O>, JobMetrics)
     where
-        I: Sync + Send + 'static,
+        I: Sync + Send + Clone + 'static,
         K: Hash + Eq + Ord + Send,
         V: Send,
         O: Send + Clone + 'static,

@@ -34,8 +34,11 @@
 //! [`hash_of`] FxHash and reusing that hash for routing and grouping), the
 //! coordinator only moves bucket ownership, and reduce workers group and sort
 //! their shard in parallel. The engine intentionally does not model network
-//! transfer, spilling, or fault tolerance — none of which affect the two cost
-//! measures above.
+//! transfer or fault tolerance — neither affects the two cost measures above.
+//! It does, however, bound its own memory: past an
+//! [`EngineConfig::memory_budget`] the arena shuffle spills sealed chunk runs
+//! to disk and streams them back during the reduce, so peak RSS tracks the
+//! budget rather than the workload while outputs stay byte-identical.
 //!
 //! Results leave the engine through streaming [`OutputSink`]s
 //! ([`Pipeline::run_with_sink`]): the final round's reduce workers feed one
@@ -50,12 +53,13 @@ pub mod metrics;
 pub mod pipeline;
 pub mod pool;
 pub mod sink;
+pub(crate) mod spill;
 pub mod task;
 
 pub use engine::{shard_for_hash, EngineConfig};
 pub use hash::{hash_of, FxBuildHasher, FxHasher};
 pub use metrics::JobMetrics;
-pub use pipeline::{Pipeline, PipelineReport, Round, RoundMetrics};
+pub use pipeline::{InputChunk, Pipeline, PipelineReport, Round, RoundMetrics};
 pub use pool::WorkerPool;
 pub use sink::{BufferShard, CollectSink, CountSink, FnSink, OutputSink, SampleSink, SinkShard};
 pub use task::{Combiner, MapContext, Mapper, ReduceContext, Reducer};

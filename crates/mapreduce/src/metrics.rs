@@ -55,6 +55,19 @@ pub struct JobMetrics {
     /// Wall-clock time of the reduce phase (per-worker grouping, key sorting
     /// and reducer invocations).
     pub reduce_time: Duration,
+    /// Payload bytes of sealed arena chunks written to spill run files when a
+    /// [`crate::EngineConfig::memory_budget`] is in force. Exactly 0 when no
+    /// spill occurred (the unbudgeted in-memory path never touches disk).
+    pub spilled_bytes: u64,
+    /// Number of spill run files written (one per map shard × reduce shard ×
+    /// spill epoch that had sealed chunks). Exactly 0 when no spill occurred.
+    pub spill_runs: usize,
+    /// Critical-path wall time any single reduce worker spent reading spilled
+    /// runs back from disk. Like [`JobMetrics::partition_time`] this is a
+    /// slice of an existing phase ([`JobMetrics::reduce_time`]), not an
+    /// additional one — [`JobMetrics::total_time`] does not add it. Exactly
+    /// zero when no spill occurred.
+    pub spill_read_secs: Duration,
 }
 
 impl JobMetrics {
@@ -107,6 +120,9 @@ impl JobMetrics {
         self.partition_time += other.partition_time;
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
+        self.spilled_bytes += other.spilled_bytes;
+        self.spill_runs += other.spill_runs;
+        self.spill_read_secs += other.spill_read_secs;
     }
 
     /// Mean reducer input size.
@@ -198,6 +214,13 @@ mod tests {
             outputs: 3,
             ..JobMetrics::default()
         };
+        a.spilled_bytes = 100;
+        a.spill_runs = 2;
+        let b = JobMetrics {
+            spilled_bytes: 50,
+            spill_runs: 1,
+            ..b
+        };
         a.absorb(&b);
         assert_eq!(a.input_records, 30);
         assert_eq!(a.key_value_pairs, 70);
@@ -209,5 +232,7 @@ mod tests {
         assert_eq!(a.max_reducer_input, 9);
         assert_eq!(a.reducer_work, 150);
         assert_eq!(a.outputs, 8);
+        assert_eq!(a.spilled_bytes, 150);
+        assert_eq!(a.spill_runs, 3);
     }
 }

@@ -77,6 +77,46 @@ pub(crate) type ArenaExec<I, K, V, O> = for<'a, 'b, 'c> fn(
     &'b WorkerPool,
 ) -> JobMetrics;
 
+/// The streaming sibling of [`ArenaExec`]: the monomorphized chunked arena
+/// executor captured by the same [`Round::arena`] call, used when the round's
+/// inputs arrive as an [`InputChunk`] iterator
+/// ([`Pipeline::run_chunked_with_sink`]) instead of one resident slice.
+pub(crate) type ArenaChunkExec<I, K, V, O> = for<'s, 'a, 'b, 'c> fn(
+    &'b mut dyn Iterator<Item = InputChunk<'s, I>>,
+    &'b Round<'a, I, K, V, O>,
+    &'b EngineConfig,
+    &'c mut dyn OutputSink<O>,
+    &'b WorkerPool,
+) -> JobMetrics;
+
+/// One batch of map input records for the streaming input path
+/// ([`Pipeline::run_chunked_with_sink`]). Each yielded chunk becomes one
+/// logical map shard, so a source can hand the engine zero-copy slices (an
+/// mmap-loaded `.sgr` graph) or owned batches (a text reader's parse buffer)
+/// without the engine ever materializing the full record set. Owned batches
+/// are dropped as soon as their map wave completes.
+///
+/// Parity note: outputs are byte-identical to the slice path when the chunk
+/// boundaries match the slice path's shards (`len.div_ceil(threads)` records
+/// per chunk); other boundaries still produce correct results, but combiner
+/// scope and bucket concatenation order follow the chunks.
+pub enum InputChunk<'s, I> {
+    /// A borrowed slice of already-resident records (zero-copy).
+    Slice(&'s [I]),
+    /// An owned batch read from a streaming source.
+    Batch(Vec<I>),
+}
+
+impl<I> InputChunk<'_, I> {
+    /// The chunk's records.
+    pub fn as_slice(&self) -> &[I] {
+        match self {
+            InputChunk::Slice(slice) => slice,
+            InputChunk::Batch(batch) => batch,
+        }
+    }
+}
+
 /// One map-reduce round of a [`Pipeline`]: mapper, reducer, optional map-side
 /// combiner, and the weigher that prices one shuffled record in bytes.
 pub struct Round<'a, I, K, V, O> {
@@ -86,6 +126,7 @@ pub struct Round<'a, I, K, V, O> {
     pub(crate) combiner: Option<Box<dyn Combiner<K, V> + 'a>>,
     pub(crate) record_bytes: RecordWeigher<'a, K, V>,
     pub(crate) arena: Option<ArenaExec<I, K, V, O>>,
+    pub(crate) arena_chunked: Option<ArenaChunkExec<I, K, V, O>>,
 }
 
 impl<'a, I, K, V, O> Round<'a, I, K, V, O>
@@ -110,6 +151,7 @@ where
             combiner: None,
             record_bytes: Box::new(|_k, _v| size_of::<K>() + size_of::<V>()),
             arena: None,
+            arena_chunked: None,
         }
     }
 
@@ -134,6 +176,7 @@ where
         O: 'static,
     {
         self.arena = Some(crate::arena::execute_round_arena::<I, K, V, O>);
+        self.arena_chunked = Some(crate::arena::execute_round_arena_chunked::<I, K, V, O>);
         self
     }
 
@@ -216,6 +259,10 @@ impl PipelineReport {
 enum StageInput<'s, I> {
     Borrowed(&'s [I]),
     Owned(Vec<I>),
+    /// A streaming chunk source ([`Pipeline::run_chunked_with_sink`]): only
+    /// the first stage ever sees this variant, and the round dispatcher
+    /// consumes it without materializing unless the executor needs a slice.
+    Chunked(Box<dyn Iterator<Item = InputChunk<'s, I>> + 's>),
 }
 
 impl<I> StageInput<'_, I> {
@@ -223,6 +270,9 @@ impl<I> StageInput<'_, I> {
         match self {
             StageInput::Borrowed(slice) => slice,
             StageInput::Owned(vec) => vec,
+            StageInput::Chunked(_) => {
+                unreachable!("chunked inputs are consumed by the round dispatcher")
+            }
         }
     }
 }
@@ -234,8 +284,23 @@ impl<I: Clone> StageInput<'_, I> {
         match self {
             StageInput::Borrowed(slice) => slice.to_vec(),
             StageInput::Owned(vec) => vec,
+            StageInput::Chunked(mut chunks) => materialize_chunks(&mut *chunks),
         }
     }
+}
+
+/// Collects a chunk stream into one resident `Vec` — the fallback for stages
+/// that need the whole slice (classic executors, `prepare`, zero-round
+/// pass-through). Clones only the borrowed slices; owned batches move.
+fn materialize_chunks<'s, I: Clone>(chunks: &mut dyn Iterator<Item = InputChunk<'s, I>>) -> Vec<I> {
+    let mut out = Vec::new();
+    for chunk in chunks {
+        match chunk {
+            InputChunk::Slice(slice) => out.extend_from_slice(slice),
+            InputChunk::Batch(mut batch) => out.append(&mut batch),
+        }
+    }
+    out
 }
 
 /// Where a pipeline's final outputs go: back to the caller as a `Vec`
@@ -292,7 +357,7 @@ impl<'a, I: Send + 'static, T: Send + 'static> Pipeline<'a, I, T> {
     /// round's mapper inputs.
     pub fn round<K, V, O>(self, round: Round<'a, T, K, V, O>) -> Pipeline<'a, I, O>
     where
-        T: Sync,
+        T: Sync + Clone,
         K: Hash + Eq + Ord + Send + 'a,
         V: Send + 'a,
         O: Send + 'a + 'static,
@@ -305,16 +370,33 @@ impl<'a, I: Send + 'static, T: Send + 'static> Pipeline<'a, I, T> {
                 let name = round.name.clone();
                 match destination {
                     Destination::Materialize => {
-                        let (outputs, metrics) =
-                            execute_round(intermediate.as_slice(), &round, config);
+                        let (outputs, metrics) = match intermediate {
+                            StageInput::Chunked(mut chunks) => {
+                                let mut collected = CollectSink::new();
+                                let metrics = execute_round_chunked_into(
+                                    &mut *chunks,
+                                    &round,
+                                    config,
+                                    &mut collected,
+                                );
+                                (collected.into_items(), metrics)
+                            }
+                            resident => execute_round(resident.as_slice(), &round, config),
+                        };
                         report.rounds.push(RoundMetrics { name, metrics });
                         Some(StageInput::Owned(outputs))
                     }
                     Destination::Stream(sink) => {
                         // The final round: reduce workers feed the sink's
                         // shards directly; nothing is materialized here.
-                        let metrics =
-                            execute_round_into(intermediate.as_slice(), &round, config, sink);
+                        let metrics = match intermediate {
+                            StageInput::Chunked(mut chunks) => {
+                                execute_round_chunked_into(&mut *chunks, &round, config, sink)
+                            }
+                            resident => {
+                                execute_round_into(resident.as_slice(), &round, config, sink)
+                            }
+                        };
                         report.rounds.push(RoundMetrics { name, metrics });
                         None
                     }
@@ -387,6 +469,43 @@ impl<'a, I: Send + 'static, T: Send + 'static> Pipeline<'a, I, T> {
         let mut report = PipelineReport::default();
         if let Some(leftover) = (self.stages)(
             StageInput::Borrowed(inputs),
+            config,
+            &mut report,
+            Destination::Stream(sink),
+        ) {
+            for value in leftover.into_vec() {
+                sink.accept(value);
+            }
+        }
+        report
+    }
+
+    /// Like [`Pipeline::run_with_sink`], but the *first* round's map input
+    /// streams from an [`InputChunk`] iterator instead of one resident slice:
+    /// each yielded chunk becomes one logical map shard, and owned batches are
+    /// dropped as soon as their map wave completes — so a source that reads
+    /// fixed-size batches (or hands out mmap slices) never requires the full
+    /// record set in memory. The streaming path engages when the first round
+    /// runs the arena executor (worker pool + [`Round::arena`] opt-in, no
+    /// active combiner); other executors need the whole slice anyway and
+    /// materialize the chunks first.
+    ///
+    /// Outputs and counters are byte-identical to [`Pipeline::run_with_sink`]
+    /// when the chunk boundaries match the slice path's map shards
+    /// (`len.div_ceil(threads)` records per chunk) — see [`InputChunk`].
+    pub fn run_chunked_with_sink<'s>(
+        self,
+        chunks: impl Iterator<Item = InputChunk<'s, I>> + 's,
+        config: &EngineConfig,
+        sink: &mut dyn OutputSink<T>,
+    ) -> PipelineReport
+    where
+        I: Clone,
+        T: Clone,
+    {
+        let mut report = PipelineReport::default();
+        if let Some(leftover) = (self.stages)(
+            StageInput::Chunked(Box::new(chunks)),
             config,
             &mut report,
             Destination::Stream(sink),
@@ -513,6 +632,35 @@ where
         }
         None => execute_round_scoped(inputs, round, config, sink),
     }
+}
+
+/// The chunked-input sibling of [`execute_round_into`]: streams the chunk
+/// iterator through the arena executor when the round qualifies for it (worker
+/// pool, [`Round::arena`] opt-in, no active combiner — the same gate as the
+/// slice dispatch), and otherwise materializes the chunks and falls back,
+/// since the classic executors need the whole input slice resident anyway.
+pub(crate) fn execute_round_chunked_into<'s, I, K, V, O>(
+    chunks: &mut dyn Iterator<Item = InputChunk<'s, I>>,
+    round: &Round<'_, I, K, V, O>,
+    config: &EngineConfig,
+    sink: &mut dyn OutputSink<O>,
+) -> JobMetrics
+where
+    I: Sync + Clone,
+    K: Hash + Eq + Ord + Send,
+    V: Send,
+    O: Send + 'static,
+{
+    if let Some(pool) = config.pool() {
+        let combining = config.use_combiners && round.combiner.is_some();
+        if config.use_arena && !combining {
+            if let Some(arena_chunked) = round.arena_chunked {
+                return arena_chunked(chunks, round, config, sink, pool);
+            }
+        }
+    }
+    let inputs = materialize_chunks(chunks);
+    execute_round_into(&inputs, round, config, sink)
 }
 
 /// The pre-pool executor: one `std::thread::scope` spawn set per phase, one
@@ -1312,6 +1460,7 @@ mod tests {
                 metrics.partition_time = Duration::ZERO;
                 metrics.shuffle_time = Duration::ZERO;
                 metrics.reduce_time = Duration::ZERO;
+                metrics.spill_read_secs = Duration::ZERO;
                 (round.name.clone(), metrics)
             })
             .collect()
@@ -1505,6 +1654,146 @@ mod tests {
         assert_eq!(outputs, plain);
         assert!(report.rounds[0].metrics.combiner_input_records > 0);
         assert_eq!(counters_of(&report), counters_of(&plain_report));
+    }
+
+    /// Strips the spill counters so budgeted and unbudgeted runs can be
+    /// compared on everything else — the cross-budget parity contract.
+    fn without_spill_counters(counters: Vec<(String, JobMetrics)>) -> Vec<(String, JobMetrics)> {
+        counters
+            .into_iter()
+            .map(|(name, mut metrics)| {
+                metrics.spilled_bytes = 0;
+                metrics.spill_runs = 0;
+                (name, metrics)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_input_matches_the_slice_path_exactly() {
+        // Feeding the slice path's own shard boundaries through the chunk
+        // iterator — as borrowed slices or owned batches — must reproduce the
+        // outputs and counters byte for byte, arena and fallback paths alike.
+        let inputs: Vec<u64> = (0..4000).map(|i| i * 29 % 613).collect();
+        for threads in [1usize, 2, 8] {
+            for arena in [true, false] {
+                let config = EngineConfig::with_threads(threads);
+                let mut collected = crate::sink::CollectSink::new();
+                let report = Pipeline::new().round(arena_round(arena)).run_with_sink(
+                    &inputs,
+                    &config,
+                    &mut collected,
+                );
+                let outputs = collected.into_items();
+                let chunk_size = inputs.len().div_ceil(threads).max(1);
+
+                let mut sliced = crate::sink::CollectSink::new();
+                let slice_report = Pipeline::new()
+                    .round(arena_round(arena))
+                    .run_chunked_with_sink(
+                        inputs.chunks(chunk_size).map(InputChunk::Slice),
+                        &config,
+                        &mut sliced,
+                    );
+                assert_eq!(sliced.into_items(), outputs, "threads={threads}");
+                assert_eq!(counters_of(&slice_report), counters_of(&report));
+
+                let mut batched = crate::sink::CollectSink::new();
+                let batch_report = Pipeline::new()
+                    .round(arena_round(arena))
+                    .run_chunked_with_sink(
+                        inputs
+                            .chunks(chunk_size)
+                            .map(|chunk| InputChunk::Batch(chunk.to_vec())),
+                        &config,
+                        &mut batched,
+                    );
+                assert_eq!(batched.into_items(), outputs, "threads={threads}");
+                assert_eq!(counters_of(&batch_report), counters_of(&report));
+            }
+        }
+    }
+
+    #[test]
+    fn spill_counters_are_zero_without_a_budget() {
+        let inputs: Vec<u64> = (0..5000).map(|i| i * 31 % 997).collect();
+        let (_, report) = Pipeline::new()
+            .round(arena_round(true))
+            .run(&inputs, &EngineConfig::with_threads(4));
+        let metrics = &report.rounds[0].metrics;
+        assert_eq!(metrics.spilled_bytes, 0);
+        assert_eq!(metrics.spill_runs, 0);
+        assert_eq!(metrics.spill_read_secs, Duration::ZERO);
+    }
+
+    #[test]
+    fn outputs_are_byte_identical_across_memory_budgets() {
+        // ~100k records (~half a MiB of arena bytes) dwarf the forced 64 KiB
+        // budget, so the smallest budget spills several epochs; the contract
+        // is byte-identical outputs and counters (spill counters aside) at
+        // every budget, in deterministic and relaxed mode.
+        let inputs: Vec<u64> = (0..100_000).map(|i| i * 37 % 7919).collect();
+        for threads in [2usize, 4] {
+            for deterministic in [true, false] {
+                let unbounded = EngineConfig {
+                    num_threads: threads,
+                    deterministic,
+                    ..EngineConfig::default()
+                };
+                let (base_out, base_report) = Pipeline::new()
+                    .round(arena_round(true))
+                    .run(&inputs, &unbounded);
+                assert_eq!(base_report.rounds[0].metrics.spilled_bytes, 0);
+                for budget in [64 << 10, 1 << 20] {
+                    let config = unbounded.clone().memory_budget(budget);
+                    let (outputs, report) = Pipeline::new()
+                        .round(arena_round(true))
+                        .run(&inputs, &config);
+                    assert_eq!(
+                        outputs, base_out,
+                        "threads={threads} deterministic={deterministic} budget={budget}"
+                    );
+                    assert_eq!(
+                        without_spill_counters(counters_of(&report)),
+                        without_spill_counters(counters_of(&base_report)),
+                        "threads={threads} deterministic={deterministic} budget={budget}"
+                    );
+                    if budget == 64 << 10 {
+                        let metrics = &report.rounds[0].metrics;
+                        assert!(
+                            metrics.spilled_bytes > 0,
+                            "a 64 KiB budget under ~500 KiB of records must spill"
+                        );
+                        assert!(metrics.spill_runs > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_input_spills_under_a_budget_and_stays_identical() {
+        // The streamed-input path composes with spilling: same outputs as the
+        // unbudgeted slice path, with the spill counters lighting up.
+        let inputs: Vec<u64> = (0..80_000).map(|i| i * 41 % 6007).collect();
+        let threads = 4usize;
+        let chunk_size = inputs.len().div_ceil(threads);
+        let (base_out, _) = Pipeline::new()
+            .round(arena_round(true))
+            .run(&inputs, &EngineConfig::with_threads(threads));
+        let config = EngineConfig::with_threads(threads).memory_budget(64 << 10);
+        let mut collected = crate::sink::CollectSink::new();
+        let report = Pipeline::new()
+            .round(arena_round(true))
+            .run_chunked_with_sink(
+                inputs
+                    .chunks(chunk_size)
+                    .map(|chunk| InputChunk::Batch(chunk.to_vec())),
+                &config,
+                &mut collected,
+            );
+        assert_eq!(collected.into_items(), base_out);
+        assert!(report.rounds[0].metrics.spilled_bytes > 0);
     }
 
     #[test]

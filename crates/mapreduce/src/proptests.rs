@@ -451,6 +451,62 @@ fn parallel_shuffle_repeats_exactly_and_counters_ignore_thread_count() {
     }
 }
 
+/// Zeroes the timing fields and the spill-only counters, leaving every count
+/// that the cross-budget parity contract pins.
+fn spill_invariant_counters(mut metrics: JobMetrics) -> JobMetrics {
+    metrics.map_time = std::time::Duration::ZERO;
+    metrics.partition_time = std::time::Duration::ZERO;
+    metrics.shuffle_time = std::time::Duration::ZERO;
+    metrics.reduce_time = std::time::Duration::ZERO;
+    metrics.spill_read_secs = std::time::Duration::ZERO;
+    metrics.spilled_bytes = 0;
+    metrics.spill_runs = 0;
+    metrics
+}
+
+/// The out-of-core contract: for any seeded random workload, outputs and every
+/// `JobMetrics` counter (spill counters aside) are byte-identical across
+/// memory budgets — a 64 KiB budget that spills heavily, a 1 MiB budget, and
+/// the unbounded in-memory path.
+#[test]
+fn outputs_and_counters_are_invariant_across_memory_budgets() {
+    for seed in 148..154 {
+        let inputs = random_inputs(seed, 60_000, 1 << 20);
+        let threads = 1 + (seed as usize) % 4;
+        let mapper = |x: &u64, ctx: &mut MapContext<u64, u64>| {
+            ctx.emit(x % 1987, x ^ (x >> 7));
+            ctx.emit(x % 311, x.wrapping_mul(3));
+        };
+        let reducer = |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64, usize)>| {
+            ctx.emit((
+                *k,
+                vs.iter().fold(0u64, |a, v| a.wrapping_add(*v)),
+                vs.len(),
+            ));
+        };
+        let run = |budget: usize| {
+            let config = EngineConfig::with_threads(threads).memory_budget(budget);
+            let (outputs, report) = Pipeline::new()
+                .round(Round::new("budget-sweep", mapper, reducer).arena())
+                .run(&inputs, &config);
+            let metrics = report.rounds.into_iter().next().unwrap().metrics;
+            (outputs, metrics)
+        };
+        let (base_out, base_metrics) = run(0);
+        assert_eq!(base_metrics.spilled_bytes, 0, "seed {seed}");
+        assert_eq!(base_metrics.spill_runs, 0, "seed {seed}");
+        for budget in [64 << 10, 1 << 20] {
+            let (outputs, metrics) = run(budget);
+            assert_eq!(outputs, base_out, "seed {seed} budget {budget}");
+            assert_eq!(
+                spill_invariant_counters(metrics),
+                spill_invariant_counters(base_metrics.clone()),
+                "seed {seed} budget {budget}"
+            );
+        }
+    }
+}
+
 /// Sanity check that the blanket `Combiner` impl for closures and an explicit
 /// struct implementation are interchangeable.
 #[test]

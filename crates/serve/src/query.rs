@@ -232,6 +232,11 @@ pub struct QueryEngine {
     /// worker participates, so `max_threads - 1` pool workers give each
     /// query its full budget.
     pool: Arc<WorkerPool>,
+    /// Per-query resident-memory budget for the shuffle (bytes;
+    /// 0 = unbounded). See [`QueryEngine::with_memory_budget`].
+    memory_budget: usize,
+    /// Base directory for spill run files (`None` = OS temp dir).
+    spill_dir: Option<std::path::PathBuf>,
 }
 
 impl QueryEngine {
@@ -245,7 +250,24 @@ impl QueryEngine {
             planner: Planner::new(),
             max_threads,
             pool: Arc::new(WorkerPool::new(max_threads - 1)),
+            memory_budget: 0,
+            spill_dir: None,
         }
+    }
+
+    /// Bounds every query's resident shuffle memory to `budget` bytes
+    /// (0 = unbounded), spilling arena runs into `spill_dir` (`None` = the
+    /// OS temp dir) past it. Validate the directory up front with
+    /// [`subgraph_mapreduce::EngineConfig::validate_spill_dir`]; the engine
+    /// assumes it is writable.
+    pub fn with_memory_budget(
+        mut self,
+        budget: usize,
+        spill_dir: Option<std::path::PathBuf>,
+    ) -> Self {
+        self.memory_budget = budget;
+        self.spill_dir = spill_dir;
+        self
     }
 
     /// The shared graph store.
@@ -294,8 +316,14 @@ impl QueryEngine {
             .threads
             .unwrap_or(self.max_threads)
             .min(self.max_threads);
-        request =
-            request.engine(EngineConfig::with_threads(threads).with_pool(Arc::clone(&self.pool)));
+        let mut engine = EngineConfig::with_threads(threads).with_pool(Arc::clone(&self.pool));
+        if self.memory_budget > 0 {
+            engine = engine.memory_budget(self.memory_budget);
+        }
+        if let Some(dir) = &self.spill_dir {
+            engine = engine.spill_dir(dir.clone());
+        }
+        request = request.engine(engine);
         let automorphisms = automorphism_group(request.sample()).len();
 
         // Plan-cache consultation: a hit resumes with zero re-estimation, a

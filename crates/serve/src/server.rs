@@ -36,6 +36,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Per-query engine thread budget.
     pub threads_per_query: usize,
+    /// Per-query resident-memory budget in bytes for the shuffle; past it
+    /// arena runs spill to disk. 0 (the default) is unbounded.
+    pub memory_budget: usize,
+    /// Base directory for spill run files (`None` uses the OS temp dir).
+    pub spill_dir: Option<std::path::PathBuf>,
     /// Per-connection socket read timeout. A client that connects and never
     /// finishes its request releases its worker after this long instead of
     /// holding it hostage forever (the classic slowloris failure). `None`
@@ -55,6 +60,8 @@ impl Default for ServerConfig {
             pool: 4,
             cache_capacity: 64,
             threads_per_query: 1,
+            memory_budget: 0,
+            spill_dir: None,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
         }
@@ -535,6 +542,16 @@ pub fn startup_banner(
             None => "off".to_string(),
         },
     ));
+    if config.memory_budget > 0 {
+        out.push_str(&format!(
+            ", shuffle memory budget {} bytes (spill dir: {})",
+            config.memory_budget,
+            match &config.spill_dir {
+                Some(dir) => dir.display().to_string(),
+                None => "os temp".to_string(),
+            },
+        ));
+    }
     out
 }
 

@@ -149,6 +149,88 @@ fn arena_shuffle_is_byte_identical_to_both_classic_executors() {
     }
 }
 
+/// [`counters_of`] with the spill counters also flattened — a budgeted arena
+/// run is compared against executors that never spill, and the spill
+/// counters are the one permitted difference.
+fn counters_sans_spill(report: &PipelineReport) -> Vec<(String, JobMetrics)> {
+    counters_of(report)
+        .into_iter()
+        .map(|(name, mut metrics)| {
+            metrics.spilled_bytes = 0;
+            metrics.spill_runs = 0;
+            metrics.spill_read_secs = Duration::ZERO;
+            (name, metrics)
+        })
+        .collect()
+}
+
+#[test]
+fn a_64k_budget_on_the_arena_path_matches_both_classic_executors() {
+    // Forced 64 KiB shuffle budget on the pooled arena path: the run must
+    // actually seal, spill and merge runs from disk, and still produce the
+    // exact output order and (spill counters aside) the exact counters of
+    // the classic pooled path and the scoped baseline. 250k records are
+    // enough that even at 8 threads (64 map×reduce buckets) every bucket
+    // fills several chunks, so sealed chunks exist to spill.
+    let inputs: Vec<u64> = (0..250_000).map(|i| i * 41 % 733).collect();
+    let arena_round = || {
+        Round::new(
+            "count",
+            |x: &u64, ctx: &mut MapContext<u64, u64>| ctx.emit(x % 53, *x),
+            |k: &u64, vs: &[u64], ctx: &mut ReduceContext<(u64, u64)>| {
+                ctx.add_work(vs.len() as u64);
+                ctx.emit((*k, vs.iter().sum()));
+            },
+        )
+        .arena()
+    };
+    let pool = Arc::new(WorkerPool::new(3));
+    for threads in THREAD_COUNTS {
+        let context = format!("threads={threads} budget=64K");
+        let base = EngineConfig::with_threads(threads);
+        let budgeted = base
+            .clone()
+            .memory_budget(64 << 10)
+            .with_pool(Arc::clone(&pool));
+        let classic = base
+            .clone()
+            .arena_shuffle(false)
+            .with_pool(Arc::clone(&pool));
+        let scoped = base.scoped_threads();
+
+        let (budgeted_out, budgeted_report) =
+            Pipeline::new().round(arena_round()).run(&inputs, &budgeted);
+        let (classic_out, classic_report) =
+            Pipeline::new().round(arena_round()).run(&inputs, &classic);
+        let (scoped_out, scoped_report) =
+            Pipeline::new().round(arena_round()).run(&inputs, &scoped);
+
+        assert_eq!(budgeted_out, classic_out, "{context}");
+        assert_eq!(budgeted_out, scoped_out, "{context}");
+        assert_eq!(
+            counters_sans_spill(&budgeted_report),
+            counters_sans_spill(&classic_report),
+            "{context}"
+        );
+        assert_eq!(
+            counters_sans_spill(&budgeted_report),
+            counters_sans_spill(&scoped_report),
+            "{context}"
+        );
+        let spill = &budgeted_report.rounds[0].metrics;
+        assert!(
+            spill.spilled_bytes > 0 && spill.spill_runs > 0,
+            "{context}: 30k records must overflow a 64 KiB budget \
+             (spilled_bytes={}, spill_runs={})",
+            spill.spilled_bytes,
+            spill.spill_runs
+        );
+        // The executors that never had a budget never touched disk.
+        assert_eq!(classic_report.rounds[0].metrics.spilled_bytes, 0);
+        assert_eq!(scoped_report.rounds[0].metrics.spilled_bytes, 0);
+    }
+}
+
 #[test]
 fn global_pool_default_matches_scoped_threads_too() {
     // EngineConfig::default() routes through the process-global pool; no

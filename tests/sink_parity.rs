@@ -113,6 +113,17 @@ fn assert_same_metrics(streamed: &RunReport, collected: &RunReport, context: &st
     );
 }
 
+/// [`counters`] with the spill counters also flattened — for comparing a
+/// budgeted run against an unbudgeted baseline, where the spill counters are
+/// the one permitted difference.
+fn counters_without_spill(metrics: &JobMetrics) -> JobMetrics {
+    let mut flat = counters(metrics);
+    flat.spilled_bytes = 0;
+    flat.spill_runs = 0;
+    flat.spill_read_secs = Duration::ZERO;
+    flat
+}
+
 #[test]
 fn count_sink_matches_the_collect_path_for_every_strategy() {
     for (name, sample) in patterns() {
@@ -206,6 +217,85 @@ fn arena_shuffle_matches_the_classic_shuffle_for_every_strategy() {
                 assert_same_metrics(&arena, &classic, &context);
             }
         }
+    }
+}
+
+#[test]
+fn a_forced_64k_budget_matches_the_unbudgeted_run_for_every_strategy() {
+    // Every planner-selectable strategy under a 64 KiB shuffle memory budget:
+    // identical instances, identical order, and every non-spill counter
+    // byte-identical to the unbudgeted run. On this small graph most
+    // combinations stay resident — which pins the other side of the contract:
+    // a budget that is never exceeded must not change anything.
+    for (name, sample) in patterns() {
+        let graph = generators::gnp(46, 0.10, 9_100);
+        for (kind, k) in strategies(&sample) {
+            for threads in THREAD_COUNTS {
+                let context = format!("{name} {kind} threads={threads} budget=64K");
+                let run = |budget: usize| {
+                    EnumerationRequest::new(sample.clone(), &graph)
+                        .reducers(k)
+                        .strategy(kind)
+                        .engine(EngineConfig::with_threads(threads).memory_budget(budget))
+                        .plan()
+                        .unwrap_or_else(|e| panic!("{kind} should apply: {e}"))
+                        .execute()
+                };
+                let base = run(0);
+                let budgeted = run(64 << 10);
+                assert_eq!(budgeted.count(), base.count(), "{context}");
+                assert_eq!(budgeted.instances(), base.instances(), "{context}");
+                assert_eq!(
+                    budgeted.metrics.as_ref().map(counters_without_spill),
+                    base.metrics.as_ref().map(counters_without_spill),
+                    "{context}"
+                );
+                assert_eq!(
+                    base.metrics.as_ref().map_or(0, |m| m.spilled_bytes),
+                    0,
+                    "{context}: the unbudgeted run must never touch disk"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_64k_budget_really_spills_on_a_shuffle_heavy_run_and_stays_identical() {
+    // A triangle workload whose arena bytes dwarf the budget: every CI run
+    // exercises seal → spill → merge, and the merged answer is byte-identical
+    // to the in-memory one.
+    let graph = generators::gnm(240, 3_600, 9_300);
+    for threads in [2usize, 8] {
+        let context = format!("threads={threads} budget=64K");
+        let run = |budget: usize| {
+            EnumerationRequest::named("triangle", &graph)
+                .unwrap()
+                .reducers(220)
+                .strategy(StrategyKind::BucketOrderedTriangles)
+                .engine(EngineConfig::with_threads(threads).memory_budget(budget))
+                .plan()
+                .unwrap()
+                .execute()
+        };
+        let base = run(0);
+        let budgeted = run(64 << 10);
+        assert_eq!(budgeted.count(), base.count(), "{context}");
+        assert_eq!(budgeted.instances(), base.instances(), "{context}");
+        assert_eq!(
+            budgeted.metrics.as_ref().map(counters_without_spill),
+            base.metrics.as_ref().map(counters_without_spill),
+            "{context}"
+        );
+        let spill = budgeted.metrics.as_ref().unwrap();
+        assert!(
+            spill.spilled_bytes > 0 && spill.spill_runs > 0,
+            "{context}: a 64 KiB budget must spill this workload \
+             (spilled_bytes={}, spill_runs={})",
+            spill.spilled_bytes,
+            spill.spill_runs
+        );
+        assert_eq!(base.metrics.as_ref().unwrap().spilled_bytes, 0, "{context}");
     }
 }
 
