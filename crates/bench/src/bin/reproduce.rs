@@ -19,6 +19,20 @@ fn main() {
         match arg.as_str() {
             "all" => print!("{}", subgraph_bench::run_all()),
             "planner" => print!("{}", planner_table::planner_choices()),
+            "plan-times" => {
+                let report = planner_table::plan_timing();
+                let path = planner_table::bench_json_path();
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                print!("{}", report.table());
+            }
+            "plan-gate" => match planner_table::plan_gate() {
+                Ok(table) => print!("{table}"),
+                Err(report) => {
+                    eprint!("{report}");
+                    std::process::exit(1);
+                }
+            },
             "shuffle" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(false)),
             "shuffle-quick" => print!("{}", subgraph_bench::shuffle::shuffle_throughput(true)),
             "shuffle-gate" => match subgraph_bench::shuffle::shuffle_gate() {
@@ -80,6 +94,10 @@ fn print_usage() {
          targets:\n  \
          all                   every table and figure\n  \
          planner               strategy chosen per pattern and reducer budget\n  \
+         plan-times            plan-time sweep: branch-and-bound vs exhaustive order-class \
+         search per catalog pattern (writes BENCH_planner.json)\n  \
+         plan-gate             the same sweep as a CI gate: hypercube3 must plan within \
+         50 ms (release) and both search modes must agree (exits 1 on regression)\n  \
          shuffle               engine shuffle throughput sweep (writes BENCH_shuffle.json)\n  \
          shuffle-quick         the same sweep in CI smoke mode\n  \
          shuffle-gate          quick sweep + multi-core scaling assertion (CI gate; \

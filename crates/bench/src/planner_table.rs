@@ -1,13 +1,18 @@
 //! The planner's strategy choices across catalog patterns and reducer
 //! budgets — the cost-based comparison the paper performs by hand in
-//! Sections 2 and 4, automated.
+//! Sections 2 and 4, automated — plus the plan-time sweep and CI gate for
+//! the branch-and-bound order-class search
+//! ([`subgraph_core::plan::search`]).
 
 use crate::report::{fmt, Table};
-use subgraph_core::plan::EnumerationRequest;
+use std::time::Instant;
+use subgraph_core::plan::{search_order_classes, EnumerationRequest, SearchMode};
 use subgraph_graph::generators;
+use subgraph_pattern::catalog;
 
 /// One row per (pattern, budget): the chosen strategy, its predicted
-/// replication and reducer work, and the measured communication after
+/// replication and reducer work, how long planning took (wall-clock) with
+/// the order-class search counters, and the measured communication after
 /// executing the plan.
 pub fn planner_choices() -> String {
     let graph = generators::gnm(250, 1_800, 20_130_417);
@@ -19,17 +24,28 @@ pub fn planner_choices() -> String {
             "chosen strategy",
             "pred repl/edge",
             "pred work",
+            "plan ms",
+            "classes s/p",
             "measured kv pairs",
             "instances",
         ],
     );
     for pattern in ["triangle", "square", "lollipop", "c5"] {
         for k in [1usize, 64, 750] {
+            let started = Instant::now();
             let plan = EnumerationRequest::named(pattern, &graph)
                 .unwrap()
                 .reducers(k)
                 .plan()
                 .expect("catalog patterns plan");
+            let plan_ms = started.elapsed().as_secs_f64() * 1e3;
+            // The search counters live on whichever candidate searched order
+            // classes (cq-oriented); serial-only plans never search.
+            let classes = plan
+                .candidates()
+                .iter()
+                .map(|c| (c.classes_scored, c.classes_pruned))
+                .find(|&(s, p)| s + p > 0);
             // The measured columns come from a count-only (streamed) run —
             // RunReport::count() stays accurate with a CountSink, so the
             // instances column never lies for runs that retained nothing.
@@ -46,6 +62,11 @@ pub fn planner_choices() -> String {
                 plan.strategy().to_string(),
                 fmt(plan.predicted_replication()),
                 fmt(plan.predicted_reducer_work()),
+                format!("{plan_ms:.2}"),
+                match classes {
+                    Some((scored, pruned)) => format!("{scored}/{pruned}"),
+                    None => "-".to_string(),
+                },
                 run.communication().to_string(),
                 run.count().to_string(),
             ]);
@@ -54,10 +75,264 @@ pub fn planner_choices() -> String {
     table.note("budget 1 means no cluster: the planner picks a serial Section 6-7 algorithm");
     table.note("Theorem 4.4 in action: cq-oriented is never chosen over the combined schemes");
     table.note(
+        "classes s/p: CQ order classes scored / pruned by the branch-and-bound Shares lower \
+         bound while estimating cq-oriented processing ('-': no search ran)",
+    );
+    table.note(
         "measured columns come from count-only runs (instances streamed through a CountSink, \
          not retained); a collect run is asserted identical",
     );
     table.render()
+}
+
+/// Plan-time measurements for one catalog pattern, in both search modes.
+pub struct PatternPlanTiming {
+    /// Catalog pattern name.
+    pub pattern: &'static str,
+    /// `p!/|Aut(S)|` — the order classes both modes account for.
+    pub classes: usize,
+    /// Classes branch-and-bound established with a solver call.
+    pub scored: usize,
+    /// Classes its lower bound eliminated.
+    pub pruned: usize,
+    /// Wall-clock of a full `plan()` under branch-and-bound (best of three).
+    pub plan_millis: f64,
+    /// Wall-clock of a full `plan()` under the exhaustive oracle (one run).
+    pub exhaustive_millis: f64,
+    /// The strategy each mode chose.
+    pub chosen: String,
+    /// Whether the exhaustive oracle chose the same strategy.
+    pub modes_agree: bool,
+    /// Winning-class cost bits from each mode (must be identical).
+    pub winner_bits_equal: bool,
+}
+
+/// The full-catalog plan-time sweep: every pattern planned in both search
+/// modes against the same generated graph the CLI acceptance command uses.
+pub struct PlanTimingReport {
+    /// Graph parameters (G(n, m) seed) the sweep planned against.
+    pub n: usize,
+    /// Edge count of the generated graph.
+    pub m: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Reducer budget `k` for every plan.
+    pub reducers: usize,
+    /// One entry per catalog pattern.
+    pub patterns: Vec<PatternPlanTiming>,
+}
+
+/// Runs the sweep: plans every catalog pattern in both modes, timing each.
+pub fn plan_timing() -> PlanTimingReport {
+    let (n, m, seed, reducers) = (1_000usize, 5_000usize, 7u64, 750usize);
+    let graph = generators::gnm(n, m, seed);
+    let mut patterns = Vec::new();
+    for entry in catalog::entries() {
+        let plan_with = |mode: SearchMode| {
+            let started = Instant::now();
+            let plan = EnumerationRequest::new(entry.sample.clone(), &graph)
+                .reducers(reducers)
+                .search_mode(mode)
+                .plan()
+                .expect("catalog patterns plan");
+            (started.elapsed().as_secs_f64() * 1e3, plan)
+        };
+        // Best of three for the fast path (the number CI gates on); the
+        // slow oracle runs once — it only exists for the parity check.
+        let mut plan_millis = f64::INFINITY;
+        let mut chosen = String::new();
+        let mut counters = (0usize, 0usize);
+        for _ in 0..3 {
+            let (ms, plan) = plan_with(SearchMode::BranchAndBound);
+            plan_millis = plan_millis.min(ms);
+            chosen = plan.strategy().to_string();
+            counters = plan
+                .candidates()
+                .iter()
+                .map(|c| (c.classes_scored, c.classes_pruned))
+                .find(|&(s, p)| s + p > 0)
+                .unwrap_or((0, 0));
+        }
+        let (exhaustive_millis, oracle) = plan_with(SearchMode::Exhaustive);
+        // The winning-class cost itself, pinned bitwise between the modes.
+        let k = reducers as f64;
+        let bb = search_order_classes(&entry.sample, k, SearchMode::BranchAndBound);
+        let ex = search_order_classes(&entry.sample, k, SearchMode::Exhaustive);
+        patterns.push(PatternPlanTiming {
+            pattern: entry.name,
+            classes: entry.order_classes(),
+            scored: counters.0,
+            pruned: counters.1,
+            plan_millis,
+            exhaustive_millis,
+            modes_agree: chosen == oracle.strategy().to_string(),
+            chosen,
+            winner_bits_equal: bb.winner_cost.to_bits() == ex.winner_cost.to_bits()
+                && bb.winner == ex.winner,
+        });
+    }
+    PlanTimingReport {
+        n,
+        m,
+        seed,
+        reducers,
+        patterns,
+    }
+}
+
+impl PlanTimingReport {
+    /// Renders the sweep as a table.
+    pub fn table(&self) -> String {
+        let mut table = Table::new(
+            "Planner — plan time per catalog pattern (branch-and-bound vs exhaustive)",
+            &[
+                "pattern",
+                "classes",
+                "scored",
+                "pruned",
+                "plan ms",
+                "exhaustive ms",
+                "speedup",
+                "chosen strategy",
+                "modes agree",
+            ],
+        );
+        for p in &self.patterns {
+            let speedup = if p.plan_millis > 0.0 {
+                p.exhaustive_millis / p.plan_millis
+            } else {
+                0.0
+            };
+            table.row(&[
+                p.pattern.to_string(),
+                p.classes.to_string(),
+                p.scored.to_string(),
+                p.pruned.to_string(),
+                format!("{:.2}", p.plan_millis),
+                format!("{:.2}", p.exhaustive_millis),
+                format!("{speedup:.1}x"),
+                p.chosen.clone(),
+                (p.modes_agree && p.winner_bits_equal).to_string(),
+            ]);
+        }
+        table.note(&format!(
+            "G(n = {}, m = {}) seed {}, reducer budget {}; plan ms is the best of three \
+             full plan() calls under branch-and-bound; written to BENCH_planner.json",
+            self.n, self.m, self.seed, self.reducers,
+        ));
+        table.note(
+            "modes agree: same chosen strategy, same winning order class, bitwise-identical \
+             winning-class cost",
+        );
+        table.render()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"benchmark\": \"planner_plan_time\",\n");
+        out.push_str("  \"workload\": {\n");
+        out.push_str("    \"graph\": \"gnm\",\n");
+        out.push_str(&format!("    \"n\": {},\n", self.n));
+        out.push_str(&format!("    \"m\": {},\n", self.m));
+        out.push_str(&format!("    \"seed\": {},\n", self.seed));
+        out.push_str(&format!("    \"reducers\": {}\n", self.reducers));
+        out.push_str("  },\n");
+        out.push_str("  \"results\": [\n");
+        for (i, p) in self.patterns.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"pattern\": \"{}\", \"classes\": {}, \"scored\": {}, \"pruned\": {}, \
+                 \"plan_ms\": {:.3}, \"exhaustive_ms\": {:.3}, \"chosen\": \"{}\", \
+                 \"modes_agree\": {} }}{}\n",
+                p.pattern,
+                p.classes,
+                p.scored,
+                p.pruned,
+                p.plan_millis,
+                p.exhaustive_millis,
+                p.chosen,
+                p.modes_agree && p.winner_bits_equal,
+                if i + 1 == self.patterns.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Path of the tracked benchmark file: `BENCH_planner.json` at the repo root.
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_planner.json")
+}
+
+/// The plan-time budget the gate enforces on `hypercube3` (release builds).
+pub const HYPERCUBE3_BUDGET_MILLIS: f64 = 50.0;
+
+/// The CI plan gate: runs the full-catalog sweep, writes
+/// `BENCH_planner.json`, and fails if `hypercube3` planning exceeds
+/// [`HYPERCUBE3_BUDGET_MILLIS`] (release builds) or if any catalog pattern's
+/// chosen strategy or winning-class cost differs between the search modes.
+pub fn plan_gate() -> Result<String, String> {
+    let report = plan_timing();
+    let mut out = report.table();
+    let path = bench_json_path();
+    std::fs::write(&path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    let written = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot re-read {}: {e}", path.display()));
+    crate::shuffle::validate_json(&written)
+        .unwrap_or_else(|e| panic!("{} is malformed JSON: {e}", path.display()));
+
+    for p in &report.patterns {
+        if !p.modes_agree {
+            return Err(format!(
+                "{out}\nplan gate FAILED: {} chose {:?} under branch-and-bound but the \
+                 exhaustive oracle disagrees\n",
+                p.pattern, p.chosen,
+            ));
+        }
+        if !p.winner_bits_equal {
+            return Err(format!(
+                "{out}\nplan gate FAILED: {} winning-class cost differs bitwise between \
+                 search modes\n",
+                p.pattern,
+            ));
+        }
+    }
+    let hypercube = report
+        .patterns
+        .iter()
+        .find(|p| p.pattern == "hypercube3")
+        .expect("hypercube3 is a catalog pattern");
+    if cfg!(debug_assertions) {
+        out.push_str(&format!(
+            "\nplan gate: timing budget skipped in debug builds (hypercube3 planned in \
+             {:.2} ms); strategy/cost parity checked on all {} patterns\n",
+            hypercube.plan_millis,
+            report.patterns.len(),
+        ));
+        return Ok(out);
+    }
+    if hypercube.plan_millis > HYPERCUBE3_BUDGET_MILLIS {
+        return Err(format!(
+            "{out}\nplan gate FAILED: hypercube3 planned in {:.2} ms > {HYPERCUBE3_BUDGET_MILLIS} ms \
+             budget (the branch-and-bound search regressed)\n",
+            hypercube.plan_millis,
+        ));
+    }
+    out.push_str(&format!(
+        "\nplan gate passed: hypercube3 planned in {:.2} ms (budget {HYPERCUBE3_BUDGET_MILLIS} ms), \
+         both search modes agree on all {} patterns\n",
+        hypercube.plan_millis,
+        report.patterns.len(),
+    ));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -69,6 +344,8 @@ mod tests {
         let text = planner_choices();
         assert!(text.contains("serial-"));
         assert!(text.contains("bucket-oriented"));
+        assert!(text.contains("plan ms"));
+        assert!(text.contains("classes s/p"));
         // Theorem 4.4: cq-oriented never wins a row (the trailing notes
         // mention it by name, so only inspect the data rows).
         for row in text
@@ -80,5 +357,23 @@ mod tests {
                 "Theorem 4.4 violated:\n{text}"
             );
         }
+    }
+
+    #[test]
+    fn plan_timing_report_is_well_formed() {
+        // The full sweep solves every order class under the exhaustive
+        // oracle, which the debug solver makes too slow for unit tests; the
+        // release CI gate runs it for real.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        let report = plan_timing();
+        assert_eq!(report.patterns.len(), catalog::entries().len());
+        for p in &report.patterns {
+            assert!(p.modes_agree, "{}", p.pattern);
+            assert!(p.winner_bits_equal, "{}", p.pattern);
+            assert_eq!(p.scored + p.pruned, p.classes, "{}", p.pattern);
+        }
+        crate::shuffle::validate_json(&report.to_json()).expect("valid JSON");
     }
 }

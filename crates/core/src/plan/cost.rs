@@ -86,6 +86,15 @@ pub struct CostEstimate {
     /// [`crate::convertible::predicted_parallel_work`]); for serial strategies
     /// this is the predicted serial running-time bound.
     pub reducer_work: f64,
+    /// CQ order classes whose cost the estimator established with a solver
+    /// call ([`crate::plan::search`]); 0 for strategies that do not search
+    /// order classes. Exhaustive search scores every class; branch-and-bound
+    /// scores the classes its lower bound could not prune.
+    pub classes_scored: usize,
+    /// CQ order classes the branch-and-bound lower bound eliminated without
+    /// scoring; always 0 under exhaustive search. When a search ran,
+    /// `classes_scored + classes_pruned = p!/|Aut(S)|`.
+    pub classes_pruned: usize,
 }
 
 impl CostEstimate {
@@ -164,6 +173,8 @@ mod tests {
             communication: comm,
             reducers: 0.0,
             reducer_work: work,
+            classes_scored: 0,
+            classes_pruned: 0,
         };
         assert!(mk(10.0, 99.0).score() < mk(11.0, 1.0).score());
         assert!(mk(10.0, 1.0).score() < mk(10.0, 2.0).score());
@@ -185,6 +196,8 @@ mod tests {
             communication: 1700.0,
             reducers: 216.0,
             reducer_work: 0.0,
+            classes_scored: 0,
+            classes_pruned: 0,
         };
         assert_eq!(estimate.emitted_communication(), 1900.0);
         assert_eq!(estimate.predicted_shuffle_bytes(), 1600.0 * 24.0 + 1600.0);

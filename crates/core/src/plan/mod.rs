@@ -39,10 +39,12 @@ pub mod cost;
 pub mod planner;
 pub mod report;
 pub mod request;
+pub mod search;
 pub mod strategy;
 
 pub use cost::CostEstimate;
 pub use planner::{ExecutionPlan, Planner};
 pub use report::RunReport;
 pub use request::{EnumerationRequest, PlanError, DEFAULT_REDUCERS};
+pub use search::{search_order_classes, ClassSearch, SearchMode};
 pub use strategy::{Strategy, StrategyKind};

@@ -255,6 +255,19 @@ impl<'g> ExecutionPlan<'g> {
             "  predicted reducer work: {}\n",
             format_value(self.chosen.reducer_work)
         ));
+        // Order-class search counters (only strategies that search CQ order
+        // classes set them — cq-oriented processing): how much of `p!/|Aut|`
+        // the branch-and-bound lower bound pruned away. Reported even when
+        // another strategy wins, because the search ran while estimating.
+        for candidate in &self.candidates {
+            let classes = candidate.classes_scored + candidate.classes_pruned;
+            if classes > 0 {
+                out.push_str(&format!(
+                    "  order classes ({}): {classes} ({} scored, {} pruned by the Shares lower bound)\n",
+                    candidate.strategy, candidate.classes_scored, candidate.classes_pruned,
+                ));
+            }
+        }
         // The per-round breakdown earns its lines when there is something a
         // single total cannot show: several rounds, or a combiner discount.
         if self.chosen.round_costs.len() > 1 || self.chosen.has_combiner_discount() {

@@ -13,6 +13,7 @@ use crate::enumerate::variable_oriented;
 use crate::plan::cost::{CostEstimate, RoundCost};
 use crate::plan::report::RunReport;
 use crate::plan::request::EnumerationRequest;
+use crate::plan::search::search_order_classes;
 use crate::serial::{
     enumerate_bounded_degree_into, enumerate_by_decomposition_into, enumerate_generic_into,
     enumerate_triangles_into,
@@ -32,8 +33,6 @@ use subgraph_shares::counting::{
     binomial, bucket_oriented_replication, multiway_triangle_replication,
     partition_triangle_replication, useful_reducers,
 };
-use subgraph_shares::dominance::single_cq_expression_with_dominance;
-use subgraph_shares::optimize_shares;
 
 /// Identifier of one enumeration strategy.
 ///
@@ -278,6 +277,8 @@ fn mr_estimate(
         communication,
         reducers,
         reducer_work,
+        classes_scored: 0,
+        classes_pruned: 0,
     }
 }
 
@@ -434,22 +435,29 @@ impl Strategy for CqOriented {
 
     fn estimate(&self, request: &EnumerationRequest<'_>) -> CostEstimate {
         let k = request.reducer_budget().max(1) as f64;
-        let cqs = cqs_for_sample(request.sample());
         let p = request.sample().num_nodes();
         let m = request.graph().num_edges();
         // One RoundCost per parallel job: each CQ optimizes its own shares.
-        let mut round_costs = Vec::with_capacity(cqs.len());
-        for (job, cq) in cqs.iter().enumerate() {
-            let expr = single_cq_expression_with_dominance(cq);
-            let solution = optimize_shares(&expr, k);
-            round_costs.push(RoundCost::without_combiner(
-                format!("cq-job-{job}"),
-                solution.cost_per_edge * m as f64,
-                vec_key_record_bytes(p),
-            ));
-        }
+        // The search (branch-and-bound by default, exhaustive as the oracle)
+        // establishes each class's cost without necessarily solving each one:
+        // single-CQ expressions are orientation-independent, so pruned
+        // classes inherit the winner's cost bitwise.
+        let search = search_order_classes(request.sample(), k, request.order_class_search());
+        let round_costs: Vec<RoundCost> = search
+            .per_class_costs
+            .iter()
+            .enumerate()
+            .map(|(job, &cost_per_edge)| {
+                RoundCost::without_combiner(
+                    format!("cq-job-{job}"),
+                    cost_per_edge * m as f64,
+                    vec_key_record_bytes(p),
+                )
+            })
+            .collect();
+        let jobs = search.total_classes as f64;
         let per_job_share = k.powf(1.0 / p as f64);
-        mr_estimate(
+        let mut estimate = mr_estimate(
             self.kind(),
             "§4.1",
             1,
@@ -458,16 +466,18 @@ impl Strategy for CqOriented {
             Vec::new(),
             None,
             round_costs,
-            cqs.len() as f64 * k,
-            cqs.len() as f64
-                * decomposition_work(
-                    request.sample(),
-                    request.graph().num_nodes(),
-                    m,
-                    per_job_share,
-                ),
+            jobs * k,
+            jobs * decomposition_work(
+                request.sample(),
+                request.graph().num_nodes(),
+                m,
+                per_job_share,
+            ),
             m,
-        )
+        );
+        estimate.classes_scored = search.classes_scored;
+        estimate.classes_pruned = search.classes_pruned;
+        estimate
     }
 
     fn execute_into(
@@ -719,6 +729,8 @@ fn serial_estimate(
         communication: 0.0,
         reducers: 0.0,
         reducer_work: predicted_work,
+        classes_scored: 0,
+        classes_pruned: 0,
     }
 }
 

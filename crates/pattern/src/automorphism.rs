@@ -9,7 +9,6 @@
 //! permutations.
 
 use crate::sample::{PatternNode, SampleGraph};
-use std::collections::HashSet;
 
 /// A permutation of the pattern nodes, stored as `perm[old] = new`.
 pub type Permutation = Vec<PatternNode>;
@@ -62,23 +61,91 @@ pub fn apply_to_ordering(mu: &Permutation, order: &NodeOrdering) -> NodeOrdering
     order.iter().map(|&v| mu[v as usize]).collect()
 }
 
+/// True when `prefix` is the lexicographically smallest member of its orbit
+/// under the given automorphisms: no `mu` maps it to a strictly smaller
+/// prefix of the same length.
+///
+/// The key structural fact behind the prefix tree of
+/// [`order_representatives`] (and the planner's branch-and-bound search over
+/// the same tree): every prefix of a canonical (lex-smallest-in-orbit) full
+/// ordering is itself canonical — if `mu(prefix) < prefix` then
+/// `mu(ordering) < ordering`. Pruning non-canonical prefixes therefore loses
+/// no class representative.
+pub fn is_canonical_prefix(autos: &[Permutation], prefix: &[PatternNode]) -> bool {
+    autos.iter().all(|mu| {
+        for (i, &v) in prefix.iter().enumerate() {
+            let image = mu[v as usize];
+            match image.cmp(&prefix[i]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => return true,
+                std::cmp::Ordering::Equal => continue,
+            }
+        }
+        true
+    })
+}
+
+/// The lexicographically smallest image of `prefix` under the group — the
+/// canonical form shared by every symmetric prefix of one orbit. Two prefixes
+/// have the same canonical form exactly when some automorphism maps one to
+/// the other, which is what lets a search memoize per-orbit results.
+pub fn canonical_prefix(autos: &[Permutation], prefix: &[PatternNode]) -> Vec<PatternNode> {
+    autos
+        .iter()
+        .map(|mu| prefix.iter().map(|&v| mu[v as usize]).collect::<Vec<_>>())
+        .min()
+        .unwrap_or_else(|| prefix.to_vec())
+}
+
 /// One node ordering per equivalence class of `S_p / Aut(S)` (Theorem 3.1),
 /// chosen as the lexicographically smallest member of each class. The number
-/// of representatives is exactly `p! / |Aut(S)|`.
+/// of representatives is exactly `p! / |Aut(S)|`, and they are returned in
+/// lexicographic order.
+///
+/// Implemented as a depth-first search over canonical prefixes (see
+/// [`is_canonical_prefix`]): a prefix whose orbit contains a smaller prefix
+/// cannot extend to any class representative, so whole subtrees are skipped
+/// without being enumerated. The old brute force hashed all `p!` orderings
+/// against the full group — `p! · |Aut|` work — which is what made planning
+/// 8-node patterns pay tens of milliseconds before a single share was
+/// optimized; the prefix tree touches only `O(Σ_d classes(d))` nodes.
 pub fn order_representatives(sample: &SampleGraph) -> Vec<NodeOrdering> {
-    let autos = automorphism_group(sample);
-    let mut seen: HashSet<NodeOrdering> = HashSet::new();
+    representatives_for_group(sample.num_nodes(), &automorphism_group(sample))
+}
+
+/// [`order_representatives`] for a precomputed group (the planner reuses the
+/// group it already needs for orbit memoization).
+pub fn representatives_for_group(p: usize, autos: &[Permutation]) -> Vec<NodeOrdering> {
     let mut reps = Vec::new();
-    for order in all_permutations(sample.num_nodes()) {
-        if seen.contains(&order) {
+    let mut prefix: NodeOrdering = Vec::with_capacity(p);
+    let mut used = vec![false; p];
+    descend(p, autos, &mut prefix, &mut used, &mut reps);
+    reps
+}
+
+fn descend(
+    p: usize,
+    autos: &[Permutation],
+    prefix: &mut NodeOrdering,
+    used: &mut [bool],
+    reps: &mut Vec<NodeOrdering>,
+) {
+    if prefix.len() == p {
+        reps.push(prefix.clone());
+        return;
+    }
+    for v in 0..p as PatternNode {
+        if used[v as usize] {
             continue;
         }
-        for mu in &autos {
-            seen.insert(apply_to_ordering(mu, &order));
+        prefix.push(v);
+        if is_canonical_prefix(autos, prefix) {
+            used[v as usize] = true;
+            descend(p, autos, prefix, used, reps);
+            used[v as usize] = false;
         }
-        reps.push(order);
+        prefix.pop();
     }
-    reps
 }
 
 /// Checks whether two sample graphs are isomorphic (brute force; both must be
@@ -99,6 +166,7 @@ pub fn isomorphism(a: &SampleGraph, b: &SampleGraph) -> Option<Permutation> {
 mod tests {
     use super::*;
     use crate::catalog;
+    use std::collections::HashSet;
 
     #[test]
     fn permutation_enumeration_counts() {
@@ -181,6 +249,71 @@ mod tests {
         assert!(reps.contains(&vec![0, 1, 2, 3]));
         assert!(reps.contains(&vec![0, 1, 3, 2]));
         assert!(reps.contains(&vec![0, 2, 1, 3]));
+    }
+
+    /// The original brute force: hash every ordering's full orbit, keep the
+    /// first unseen one. Retained as the oracle for the canonical-prefix DFS.
+    fn brute_force_representatives(sample: &SampleGraph) -> Vec<NodeOrdering> {
+        let autos = automorphism_group(sample);
+        let mut seen: HashSet<NodeOrdering> = HashSet::new();
+        let mut reps = Vec::new();
+        for order in all_permutations(sample.num_nodes()) {
+            if seen.contains(&order) {
+                continue;
+            }
+            for mu in &autos {
+                seen.insert(apply_to_ordering(mu, &order));
+            }
+            reps.push(order);
+        }
+        reps
+    }
+
+    #[test]
+    fn prefix_dfs_matches_brute_force_on_catalog() {
+        for entry in catalog::entries() {
+            assert_eq!(
+                order_representatives(&entry.sample),
+                brute_force_representatives(&entry.sample),
+                "representative mismatch for {}",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn representatives_are_lexicographic_orbit_minima() {
+        let c5 = catalog::cycle(5);
+        let autos = automorphism_group(&c5);
+        let reps = order_representatives(&c5);
+        for w in reps.windows(2) {
+            assert!(w[0] < w[1], "representatives must come out in lex order");
+        }
+        for rep in &reps {
+            for mu in &autos {
+                assert!(apply_to_ordering(mu, rep) >= *rep);
+            }
+            assert!(is_canonical_prefix(&autos, rep));
+            assert_eq!(canonical_prefix(&autos, rep), *rep);
+        }
+    }
+
+    #[test]
+    fn canonical_prefix_identifies_orbits() {
+        // In the square (Aut = dihedral group of order 8), prefixes [1] and
+        // [3] are both images of [0] under rotations, so all three share the
+        // canonical form [0] and only [0] is canonical.
+        let autos = automorphism_group(&catalog::square());
+        assert!(is_canonical_prefix(&autos, &[0]));
+        assert!(!is_canonical_prefix(&autos, &[1]));
+        assert!(!is_canonical_prefix(&autos, &[3]));
+        assert_eq!(canonical_prefix(&autos, &[1]), vec![0]);
+        assert_eq!(canonical_prefix(&autos, &[3]), vec![0]);
+        // [0,1] (adjacent corners) and [0,2] (opposite corners) sit in
+        // different orbits: both canonical, different canonical forms.
+        assert!(is_canonical_prefix(&autos, &[0, 1]));
+        assert!(is_canonical_prefix(&autos, &[0, 2]));
+        assert_eq!(canonical_prefix(&autos, &[0, 3]), vec![0, 1]);
     }
 
     #[test]
